@@ -1,0 +1,168 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out and the
+//! paper's §7 future-work extensions:
+//!
+//! * victim-page selection: kernel choice (evaluated in the paper) vs. the
+//!   §7 pointer-free preference;
+//! * heap regrowth after transient pressure (§7);
+//! * swap-device speed: the paper's disk (~5 ms faults) vs. an SSD-like
+//!   device (~100 µs) — how much of BC's advantage survives when faults
+//!   are only ~50x (not ~10⁶x) a RAM access.
+//!
+//! Each bench prints a small comparison table alongside its timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bookmarking::{BcOptions, VictimPolicy};
+use simtime::{CostModel, Nanos};
+use simulate::{run, CollectorKind, Program, RunConfig, RunResult};
+use workloads::spec;
+
+const SCALE: f64 = 0.02;
+
+fn pseudo_jbb() -> impl Fn() -> Box<dyn Program> {
+    let b = spec("pseudoJBB").unwrap();
+    move || Box::new(b.program(SCALE, 42))
+}
+
+fn eq(paper: usize) -> usize {
+    (paper as f64 * SCALE) as usize
+}
+
+fn describe(label: &str, r: &RunResult) {
+    println!(
+        "  {label:<28} exec {:>9}  mean pause {:>9}  faults {:>6}  bookmarks {:>7}  vetoes {:>4}  regrows {:>3}",
+        r.exec_time.to_string(),
+        r.pauses.mean.to_string(),
+        r.vm.major_faults,
+        r.gc.bookmarks_set,
+        r.gc.victims_vetoed,
+        r.gc.heap_regrows,
+    );
+}
+
+/// Runs BC under dynamic pressure with explicit options (bypassing
+/// `CollectorKind` to reach the §7 knobs).
+fn run_bc_with(options: BcOptions, target_avail: usize) -> RunResult {
+    use bookmarking::Bookmarking;
+    use heap::HeapConfig;
+    use simulate::{Engine, JvmProcess, Signalmem, SignalmemConfig};
+    use vmm::{Vmm, VmmConfig};
+
+    let heap = eq(100 << 20);
+    let memory = eq(224 << 20);
+    let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(memory), CostModel::default());
+    let pid = vmm.register_process();
+    let bc = Bookmarking::new(HeapConfig::with_heap_bytes(heap), options);
+    bc.register(&mut vmm, pid);
+    let make = pseudo_jbb();
+    let mut engine = Engine::new(vmm);
+    engine
+        .jvms
+        .push(JvmProcess::new(pid, Box::new(bc), make()));
+    let mut pressure = SignalmemConfig::dynamic(
+        memory.saturating_sub(target_avail),
+        Nanos::from_millis(1),
+    );
+    pressure.initial_pages = ((pressure.initial_pages as f64) * SCALE) as usize;
+    pressure.step_pages = ((pressure.step_pages as f64) * SCALE).max(1.0) as usize;
+    pressure.interval = Nanos((pressure.interval.as_nanos() as f64 * SCALE * 0.2) as u64);
+    let sm_pid = engine.vmm.register_process();
+    engine.signalmem = Some(Signalmem::new(pressure, sm_pid));
+    engine.run_to_completion();
+    let jvm = &engine.jvms[0];
+    RunResult {
+        collector: CollectorKind::Bc,
+        benchmark: jvm.program.name().to_string(),
+        exec_time: jvm.finish_time.unwrap_or(jvm.clock.now()),
+        oom: jvm.failed.is_some(),
+        timed_out: engine.timed_out(),
+        pauses: jvm.gc.pause_log().stats(),
+        pause_records: jvm.gc.pause_log().records().to_vec(),
+        gc: *jvm.gc.stats(),
+        vm: *engine.vmm.stats(jvm.pid),
+    }
+}
+
+fn bench_victim_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_victim_policy");
+    group.sample_size(10);
+    group.bench_function("kernel_choice_vs_pointer_free", |b| {
+        b.iter(|| {
+            println!("== ablation: victim selection (paper-equivalent 44MB available) ==");
+            let kernel = run_bc_with(BcOptions::default(), eq(44 << 20));
+            describe("kernel choice (paper)", &kernel);
+            let mut opts = BcOptions::default();
+            opts.victim_policy = VictimPolicy::PreferPointerFree {
+                max_pointers: 8,
+                max_vetoes: 4,
+            };
+            let ptr_free = run_bc_with(opts, eq(44 << 20));
+            describe("prefer pointer-free (§7)", &ptr_free);
+            (kernel.exec_time, ptr_free.exec_time)
+        })
+    });
+    group.finish();
+}
+
+fn bench_regrowth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_regrowth");
+    group.sample_size(10);
+    group.bench_function("shrink_only_vs_regrow", |b| {
+        b.iter(|| {
+            println!("== ablation: heap regrowth after a transient spike ==");
+            let fixed = run_bc_with(BcOptions::default(), eq(80 << 20));
+            describe("shrink-only (paper)", &fixed);
+            let mut opts = BcOptions::default();
+            opts.regrow = true;
+            let regrow = run_bc_with(opts, eq(80 << 20));
+            describe("regrow enabled (§7)", &regrow);
+            (fixed.gc.total_gcs(), regrow.gc.total_gcs())
+        })
+    });
+    group.finish();
+}
+
+fn bench_swap_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_swap_device");
+    group.sample_size(10);
+    group.bench_function("disk_vs_ssd", |b| {
+        b.iter(|| {
+            println!("== ablation: swap-device speed (GenMS, heavy pressure) ==");
+            let make = pseudo_jbb();
+            let heap = eq(100 << 20);
+            let memory = eq(224 << 20);
+            let mut out = Vec::new();
+            for (label, fault) in [("disk (5ms, paper)", Nanos::from_millis(5)),
+                                   ("ssd (100us)", Nanos::from_micros(100))] {
+                for kind in [CollectorKind::Bc, CollectorKind::GenMs] {
+                    let mut config = RunConfig::new(kind, heap, memory);
+                    config.costs.major_fault = fault;
+                    config.pressure = Some({
+                        let mut p = simulate::SignalmemConfig::dynamic(
+                            memory.saturating_sub(eq(60 << 20)),
+                            Nanos::from_millis(1),
+                        );
+                        p.initial_pages = ((p.initial_pages as f64) * SCALE) as usize;
+                        p.step_pages = ((p.step_pages as f64) * SCALE).max(1.0) as usize;
+                        p.interval = Nanos((p.interval.as_nanos() as f64 * SCALE * 0.2) as u64);
+                        p
+                    });
+                    let r = run(&config, make());
+                    println!(
+                        "  {label:<20} {:<8} exec {:>9}  mean pause {:>9}  faults {:>6}",
+                        kind.label(),
+                        r.exec_time.to_string(),
+                        r.pauses.mean.to_string(),
+                        r.vm.major_faults
+                    );
+                    out.push(r.exec_time);
+                }
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablations, bench_victim_policy, bench_regrowth, bench_swap_device);
+criterion_main!(ablations);

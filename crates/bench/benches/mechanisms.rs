@@ -1,0 +1,185 @@
+//! Criterion micro-benchmarks of the collector mechanisms: allocation,
+//! the write barrier, nursery collection, full collection, and BC's
+//! eviction-time bookmark scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bookmarking::{BcOptions, Bookmarking};
+use heap::{AllocKind, GcHeap, HeapConfig, MemCtx};
+use simtime::{Clock, CostModel};
+use simulate::CollectorKind;
+use vmm::{Vmm, VmmConfig};
+
+fn fresh(kind: CollectorKind) -> (Vmm, Clock, vmm::ProcessId, Box<dyn GcHeap>) {
+    let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(256 << 20), CostModel::default());
+    let clock = Clock::new();
+    let pid = vmm.register_process();
+    let gc = kind.build(32 << 20, &mut vmm, pid);
+    (vmm, clock, pid, gc)
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc");
+    for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::SemiSpace] {
+        group.bench_function(kind.label(), |b| {
+            let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
+            b.iter(|| {
+                let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+                let h = gc
+                    .alloc(
+                        &mut ctx,
+                        AllocKind::Scalar {
+                            data_words: 6,
+                            num_refs: 2,
+                        },
+                    )
+                    .unwrap();
+                gc.drop_handle(black_box(h));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_barrier");
+    for kind in [CollectorKind::Bc, CollectorKind::GenMs] {
+        group.bench_function(kind.label(), |b| {
+            let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
+            let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+            let old = gc.alloc(&mut ctx, AllocKind::RefArray { len: 64 }).unwrap();
+            gc.collect(&mut ctx, false); // promote `old`
+            let young = gc
+                .alloc(
+                    &mut ctx,
+                    AllocKind::Scalar {
+                        data_words: 2,
+                        num_refs: 1,
+                    },
+                )
+                .unwrap();
+            let mut i = 0u32;
+            b.iter(|| {
+                let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+                gc.write_ref(&mut ctx, old, i % 64, Some(young));
+                i = i.wrapping_add(1);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nursery_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nursery_gc_1000_live");
+    group.sample_size(20);
+    for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::GenCopy] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
+                let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+                let held: Vec<_> = (0..1000)
+                    .map(|_| {
+                        gc.alloc(
+                            &mut ctx,
+                            AllocKind::Scalar {
+                                data_words: 8,
+                                num_refs: 2,
+                            },
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                gc.collect(&mut ctx, false);
+                black_box(held);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_gc_10k_live");
+    group.sample_size(10);
+    for kind in [
+        CollectorKind::Bc,
+        CollectorKind::GenMs,
+        CollectorKind::MarkSweep,
+        CollectorKind::SemiSpace,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
+                let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+                let held: Vec<_> = (0..10_000)
+                    .map(|_| {
+                        gc.alloc(
+                            &mut ctx,
+                            AllocKind::Scalar {
+                                data_words: 8,
+                                num_refs: 2,
+                            },
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                gc.collect(&mut ctx, true);
+                black_box(held);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bookmark_scan(c: &mut Criterion) {
+    // The §3.4 eviction path: scan a victim page, set bookmarks, relinquish.
+    c.bench_function("bookmark_scan_and_relinquish_page", |b| {
+        b.iter(|| {
+            let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(8 << 20), CostModel::default());
+            let mut clock = Clock::new();
+            let pid = vmm.register_process();
+            let hog = vmm.register_process();
+            let mut bc = Bookmarking::new(
+                HeapConfig::with_heap_bytes(2 << 20),
+                BcOptions::default(),
+            );
+            bc.register(&mut vmm, pid);
+            let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+            let held: Vec<_> = (0..2_000)
+                .map(|_| {
+                    bc.alloc(
+                        &mut ctx,
+                        AllocKind::Scalar {
+                            data_words: 8,
+                            num_refs: 2,
+                        },
+                    )
+                    .unwrap()
+                })
+                .collect();
+            bc.collect(&mut ctx, true);
+            // Squeeze until pages are relinquished.
+            let mut pinned = 0;
+            while bc.evicted_heap_pages() == 0 && pinned < 2040 {
+                if vmm.free_frames() > 8 {
+                    vmm.mlock(hog, vmm::VirtPage(pinned), &mut clock);
+                    pinned += 1;
+                }
+                vmm.pump(&mut clock);
+                let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+                bc.handle_vm_events(&mut ctx);
+            }
+            black_box((held, bc.evicted_heap_pages()));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alloc,
+    bench_write_barrier,
+    bench_nursery_gc,
+    bench_full_gc,
+    bench_bookmark_scan
+);
+criterion_main!(benches);

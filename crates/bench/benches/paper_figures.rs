@@ -1,0 +1,114 @@
+//! `cargo bench` front end for the paper's tables and figures.
+//!
+//! Each Criterion benchmark regenerates one table/figure at a small
+//! workload scale and prints it, so `cargo bench --workspace` leaves the
+//! full set of reproduced results in the bench output. For
+//! publication-scale runs use the dedicated binary:
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all --scale 0.25
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::pressure_figs::{
+    fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
+};
+use bench::{fig2_report, table1_report, Params};
+
+fn quick() -> Params {
+    Params::quick()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("min_heaps", |b| {
+        b.iter(|| {
+            let t = table1_report(&quick());
+            println!("{t}");
+            t
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("no_pressure_geomean", |b| {
+        b.iter(|| {
+            let t = fig2_report(&quick());
+            println!("{t}");
+            t
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("steady_pressure", |b| {
+        b.iter(|| {
+            let (a, p) = fig3_report(&quick());
+            println!("{a}\n{p}");
+            (a, p)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig4_5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_5");
+    group.sample_size(10);
+    group.bench_function("dynamic_pressure", |b| {
+        b.iter(|| {
+            let f4 = fig4_report(&quick());
+            let f5a = fig5a_report(&quick());
+            let f5b = fig5b_report(&quick());
+            println!("{f4}\n{f5a}\n{f5b}");
+            (f4, f5a, f5b)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("bmu_curves", |b| {
+        b.iter(|| {
+            let ts = fig6_report(&quick());
+            for t in &ts {
+                println!("{t}");
+            }
+            ts
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("multi_jvm", |b| {
+        b.iter(|| {
+            let (a, p) = fig7_report(&quick());
+            println!("{a}\n{p}");
+            (a, p)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4_5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(figures);

@@ -1,0 +1,114 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|all> [--scale F] [--seed N]
+//! ```
+
+use bench::pressure_figs::{
+    fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
+};
+use bench::{fig2_report, table1_report, Params, Table};
+
+/// Writes a figure's table(s) as CSV into the chosen directory.
+fn emit_csv(dir: &Option<String>, name: &str, tables: &[&Table]) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    for (i, t) in tables.iter().enumerate() {
+        let suffix = if tables.len() > 1 {
+            format!("_{}", (b'a' + i as u8) as char)
+        } else {
+            String::new()
+        };
+        let path = format!("{dir}/{name}{suffix}.csv");
+        std::fs::write(&path, t.to_csv()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = String::from("all");
+    let mut params = Params::standard();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                params.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args[i].clone());
+            }
+            other if !other.starts_with('-') => which = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    eprintln!(
+        "# workload scale {} (1.0 = the paper's volumes), seed {}",
+        params.scale, params.seed
+    );
+    let run = |name: &str| which == "all" || which == name;
+    if run("table1") {
+        println!("== Table 1: benchmark memory statistics ==");
+        let t = table1_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "table1", &[&t]);
+    }
+    if run("fig2") {
+        println!("== Figure 2: geomean execution time relative to BC (no pressure) ==");
+        let t = fig2_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "fig2", &[&t]);
+    }
+    if run("fig3") {
+        let (a, b) = fig3_report(&params);
+        println!("{a}");
+        println!("{b}");
+        emit_csv(&csv_dir, "fig3", &[&a, &b]);
+    }
+    if run("fig4") {
+        let t = fig4_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "fig4", &[&t]);
+    }
+    if run("fig5a") {
+        let t = fig5a_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "fig5a", &[&t]);
+    }
+    if run("fig5b") {
+        let t = fig5b_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "fig5b", &[&t]);
+    }
+    if run("fig6") {
+        let ts = fig6_report(&params);
+        for t in &ts {
+            println!("{t}");
+        }
+        let refs: Vec<&Table> = ts.iter().collect();
+        emit_csv(&csv_dir, "fig6", &refs);
+    }
+    if run("fig7") {
+        let (a, b) = fig7_report(&params);
+        println!("{a}");
+        println!("{b}");
+        emit_csv(&csv_dir, "fig7", &[&a, &b]);
+    }
+    if !["table1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "all"]
+        .contains(&which.as_str())
+    {
+        eprintln!("unknown figure '{which}'");
+        std::process::exit(2);
+    }
+}

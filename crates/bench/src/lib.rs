@@ -1,0 +1,225 @@
+//! Reproduction harness for every table and figure in *Garbage Collection
+//! Without Paging* (§5).
+//!
+//! Each `figN_*` function runs one experiment at a configurable workload
+//! [`Params::scale`] and renders a plain-text table mirroring the paper's
+//! plot. Absolute numbers differ from the paper (the substrate is a
+//! simulator, not a 2005 Pentium M — see DESIGN.md); the claims under test
+//! are the *shapes*: who wins, by roughly what factor, and where the
+//! crossovers fall.
+//!
+//! The `figures` binary is the command-line front end:
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- fig4 --scale 0.25
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pressure_figs;
+pub mod report;
+
+use simulate::{min_heap_search, CollectorKind};
+use workloads::{table1, BenchmarkSpec};
+
+pub use report::{fmt_time, geomean, Table};
+
+/// How many sweep points each figure evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepDepth {
+    /// Every point the paper plots (the `figures` binary default).
+    Full,
+    /// A thinned sweep — endpoints plus the interesting middle — for
+    /// `cargo bench` and smoke tests.
+    Quick,
+}
+
+/// Experiment sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Workload volume relative to the paper (1.0 = Table 1 volumes).
+    /// Heaps, live sets, and memory sizes scale alongside, so the
+    /// heap-to-live and memory-to-heap geometry is preserved.
+    pub scale: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Sweep thinning.
+    pub sweep: SweepDepth,
+}
+
+impl Params {
+    /// Tiny runs for tests and `cargo bench` (~1 % volume, thinned sweeps).
+    pub fn quick() -> Params {
+        Params {
+            scale: 0.01,
+            seed: 42,
+            sweep: SweepDepth::Quick,
+        }
+    }
+
+    /// The default for figure generation (10 % volume, full sweeps —
+    /// minutes, not hours, with the same qualitative shapes).
+    pub fn standard() -> Params {
+        Params {
+            scale: 0.1,
+            seed: 42,
+            sweep: SweepDepth::Full,
+        }
+    }
+
+    /// Thins a sweep according to [`Params::sweep`]: keeps the first, an
+    /// early-middle, and the last point in Quick mode.
+    pub fn thin<T: Copy>(&self, points: &[T]) -> Vec<T> {
+        match self.sweep {
+            SweepDepth::Full => points.to_vec(),
+            SweepDepth::Quick => {
+                let n = points.len();
+                if n <= 3 {
+                    points.to_vec()
+                } else {
+                    vec![points[0], points[n / 2], points[n - 1]]
+                }
+            }
+        }
+    }
+}
+
+/// Scales a paper-sized byte count.
+pub fn scaled(params: &Params, paper_bytes: usize) -> usize {
+    ((paper_bytes as f64 * params.scale) as usize).max(1 << 20)
+}
+
+/// Reproduces **Table 1**: per-benchmark total allocation and minimum heap.
+///
+/// Total bytes allocated match the paper by construction (scaled);
+/// minimum heaps are *measured* by binary search with the bookmarking
+/// collector, then rescaled for comparison against the paper's column.
+pub fn table1_report(params: &Params) -> Table {
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Paper bytes alloc",
+        "Measured (rescaled)",
+        "Paper min heap",
+        "Measured min heap (rescaled)",
+    ]);
+    for b in table1() {
+        let make = || -> Box<dyn simulate::Program> { Box::new(b.program(0.0, 0)) };
+        let _ = make; // the search builds its own programs below
+        let scale = params.scale;
+        let seed = params.seed;
+        let mk = move || -> Box<dyn simulate::Program> { Box::new(b.program(scale, seed)) };
+        let lo = (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
+        let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
+        let min = min_heap_search(
+            CollectorKind::Bc,
+            512 << 20,
+            &mk,
+            lo,
+            hi,
+            256 << 10,
+        );
+        // Run once at a comfortable heap to confirm the allocation volume.
+        let run = simulate::run(
+            &simulate::RunConfig::new(CollectorKind::Bc, hi, 512 << 20),
+            mk(),
+        );
+        t.row(vec![
+            b.name.to_string(),
+            format!("{}", b.paper_total_alloc),
+            format!("{:.0}", run.gc.bytes_allocated as f64 / scale),
+            format!("{}", b.paper_min_heap),
+            min.map(|m| format!("{:.0}", m as f64 / scale))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+/// Reproduces **Figure 2**: geometric mean of execution time relative to
+/// BC, across all benchmarks, as a function of heap size (no memory
+/// pressure).
+///
+/// Heap sizes are multiples of each benchmark's *measured* GenMS minimum
+/// heap (the paper plots relative heap sizes). Collectors that exhaust a
+/// heap report "-" and drop out of that column's mean, as in the paper's
+/// plot where curves only span the heaps their collector can run in.
+pub fn fig2_report(params: &Params) -> Table {
+    let multipliers = params.thin(&[1.25, 1.5, 2.0, 2.5, 3.0]);
+    let multipliers: &[f64] = &multipliers;
+    let benchmarks = table1();
+    // Per-benchmark base heaps (GenMS minimum).
+    let mut bases = Vec::new();
+    for b in &benchmarks {
+        let scale = params.scale;
+        let seed = params.seed;
+        let spec = *b;
+        let mk = move || -> Box<dyn simulate::Program> { Box::new(spec.program(scale, seed)) };
+        let lo = (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
+        let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
+        let base = min_heap_search(CollectorKind::GenMs, 512 << 20, &mk, lo, hi, 256 << 10)
+            .unwrap_or(hi / 2);
+        bases.push(base);
+    }
+    // exec[collector][multiplier][benchmark]
+    let mut t = Table::new(
+        std::iter::once("Collector".to_string())
+            .chain(multipliers.iter().map(|m| format!("{m}x min heap")))
+            .collect(),
+    );
+    let mut bc_times: Vec<Vec<f64>> = Vec::new(); // [mult][bench]
+    for (mi, &mult) in multipliers.iter().enumerate() {
+        bc_times.push(Vec::new());
+        for (bi, b) in benchmarks.iter().enumerate() {
+            let heap = (bases[bi] as f64 * mult) as usize;
+            let r = run_bench(CollectorKind::Bc, b, heap, 512 << 20, params);
+            bc_times[mi].push(if r.ok() {
+                r.exec_time.as_nanos() as f64
+            } else {
+                f64::NAN
+            });
+        }
+    }
+    for kind in CollectorKind::FIGURE2 {
+        let mut cells = vec![kind.label().to_string()];
+        for (mi, &mult) in multipliers.iter().enumerate() {
+            let mut ratios = Vec::new();
+            for (bi, b) in benchmarks.iter().enumerate() {
+                let heap = (bases[bi] as f64 * mult) as usize;
+                let time = if kind == CollectorKind::Bc {
+                    bc_times[mi][bi]
+                } else {
+                    let r = run_bench(kind, b, heap, 512 << 20, params);
+                    if r.ok() {
+                        r.exec_time.as_nanos() as f64
+                    } else {
+                        f64::NAN
+                    }
+                };
+                let ratio = time / bc_times[mi][bi];
+                if ratio.is_finite() {
+                    ratios.push(ratio);
+                }
+            }
+            cells.push(if ratios.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.3}", geomean(&ratios))
+            });
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Runs one benchmark once.
+pub fn run_bench(
+    kind: CollectorKind,
+    b: &BenchmarkSpec,
+    heap_bytes: usize,
+    memory_bytes: usize,
+    params: &Params,
+) -> simulate::RunResult {
+    let config = simulate::RunConfig::new(kind, heap_bytes, memory_bytes);
+    simulate::run(&config, Box::new(b.program(params.scale, params.seed)))
+}

@@ -1,0 +1,746 @@
+//! The collector proper: heap organization, nursery and full collections.
+
+use std::collections::HashMap;
+
+use heap::gc::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
+use heap::object::HEADER_BYTES;
+use heap::{
+    Address, AllocKind, BlockKind, BumpSpace, BYTES_PER_PAGE, CardTable, GcHeap, GcStats, Handle,
+    Header, HeapConfig, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, WriteBuffer, WORD,
+};
+use simtime::{PauseKind, PauseLog};
+use vmm::{Access, ProcessId, Vmm};
+
+use crate::residency::ResidencyMap;
+
+/// Victim-page selection policy — the paper's §7 future work: "we can
+/// prefer to evict pages with no pointers, because these pages cannot
+/// create false garbage. … We could also prefer to evict pages with as few
+/// non-NULL pointers as possible."
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Accept whatever page the virtual memory manager nominates (the
+    /// paper's evaluated configuration: the kernel's LRU choice is least
+    /// likely to be used again soon).
+    #[default]
+    KernelChoice,
+    /// Veto pointer-rich victims (by touching them, which makes the VMM
+    /// nominate another page) until a page with at most `max_pointers`
+    /// outgoing non-null references comes up, for up to `max_vetoes`
+    /// consecutive notices. Pointer-poor pages set fewer bookmarks and
+    /// retain less floating garbage, at the risk the paper names: "evicting
+    /// a page that is not the last on the LRU queue may lead to more page
+    /// faults in the application".
+    PreferPointerFree {
+        /// Outgoing-pointer budget under which a victim is accepted.
+        max_pointers: u32,
+        /// Consecutive vetoes allowed before accepting any victim.
+        max_vetoes: u32,
+    },
+}
+
+/// Construction options for the bookmarking collector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BcOptions {
+    /// Whether bookmarking is enabled. When `false` the collector still
+    /// discards empty pages and shrinks its heap under pressure, but never
+    /// bookmarks or relinquishes pages — the paper's "BC w/ Resizing only"
+    /// ablation (§5.3.2).
+    pub bookmarking: bool,
+    /// Victim-page selection (§7 future work; defaults to the paper's
+    /// evaluated kernel-choice behaviour).
+    pub victim_policy: VictimPolicy,
+    /// Grow the heap budget back toward its configured size once memory
+    /// pressure abates (§7: "It is important that a brief spike in memory
+    /// pressure not limit throughput by restricting the size of the
+    /// heap."). Off by default: the paper's evaluated collector only
+    /// shrinks.
+    pub regrow: bool,
+}
+
+impl BcOptions {
+    /// The §5.3.2 ablation: heap resizing without bookmarks.
+    pub fn resizing_only() -> BcOptions {
+        BcOptions {
+            bookmarking: false,
+            ..BcOptions::default()
+        }
+    }
+
+    /// The §7 extensions enabled: pointer-aware victim selection and
+    /// post-pressure heap regrowth.
+    pub fn with_future_work() -> BcOptions {
+        BcOptions {
+            bookmarking: true,
+            victim_policy: VictimPolicy::PreferPointerFree {
+                max_pointers: 8,
+                max_vetoes: 4,
+            },
+            regrow: true,
+        }
+    }
+}
+
+impl Default for BcOptions {
+    fn default() -> BcOptions {
+        BcOptions {
+            bookmarking: true,
+            victim_policy: VictimPolicy::default(),
+            regrow: false,
+        }
+    }
+}
+
+/// Which collection is in progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Idle,
+    Minor,
+    Major,
+    /// Second (Cheney) pass of a compacting collection (§3.2).
+    Compact,
+}
+
+/// A collection deferred to the next safe point (§3.3.2: eviction notices
+/// may require "triggering a collection", but notices can arrive in the
+/// middle of a mutator operation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum GcRequest {
+    None,
+    Minor,
+    Full,
+}
+
+/// The bookmarking collector. See the [crate docs](crate) for the
+/// algorithm and [`BcOptions`] for the ablation switch.
+#[derive(Debug)]
+pub struct Bookmarking {
+    pub(crate) core: Core,
+    pub(crate) nursery: BumpSpace,
+    pub(crate) ms: MsSpace,
+    pub(crate) los: LargeObjectSpace,
+    pub(crate) wbuf: WriteBuffer,
+    pub(crate) cards: CardTable,
+    pub(crate) sizer: NurserySizer,
+    pub(crate) nursery_limit: u32,
+    pub(crate) residency: ResidencyMap,
+    /// Incoming-bookmark counters for large objects (the LOS analogue of
+    /// the per-superpage counter).
+    pub(crate) los_incoming: HashMap<u32, u32>,
+    pub(crate) options: BcOptions,
+    pub(crate) phase: Phase,
+    pub(crate) gc_requested: GcRequest,
+    /// Pass-2 compaction visited set (in-place objects have no stub).
+    pub(crate) visited: std::collections::HashSet<u32>,
+    /// Target superpages of the in-progress compaction.
+    pub(crate) compact_targets: std::collections::HashSet<u32>,
+    /// Per-(class, kind) target allocation lists for compaction.
+    pub(crate) target_alloc: HashMap<(u8, BlockKind), Vec<heap::SpIndex>>,
+    /// The heap size the experiment configured (the budget may shrink
+    /// below this under pressure, §3.3.3).
+    pub(crate) configured_heap_bytes: usize,
+    /// High-water mark of nursery extent, for discardable-page discovery.
+    pub(crate) nursery_peak_pages: usize,
+    /// Set once a pressure-triggered collection has been requested and not
+    /// yet evaluated; throttles repeated requests from one notice burst.
+    pub(crate) pressure_gc_ran: bool,
+    /// Set when a minor collection failed to relieve pressure: the next
+    /// pressure-triggered collection will be a full one.
+    pub(crate) pressure_escalate: bool,
+    /// Edge counter driving the in-collection event pump.
+    pub(crate) gc_tick: u32,
+    /// Consecutive pointer-rich victims vetoed (see [`VictimPolicy`]).
+    pub(crate) victim_vetoes: u32,
+    /// Pages whose eviction completed mid-collection; their §3.4 scan is
+    /// deferred to the end of the pause (setting bookmarks mid-trace could
+    /// hide objects from the in-flight marking).
+    pub(crate) deferred_evicted: Vec<vmm::VirtPage>,
+}
+
+impl Bookmarking {
+    /// Creates a bookmarking collector.
+    pub fn new(config: HeapConfig, options: BcOptions) -> Bookmarking {
+        let l = config.layout;
+        let sizer = NurserySizer::new(config.nursery);
+        let mut bc = Bookmarking {
+            core: Core::new(config),
+            nursery: BumpSpace::new(l.nursery.0, l.nursery.1),
+            ms: MsSpace::new(l.space_a.0, l.space_a.1),
+            los: LargeObjectSpace::new(l.los.0, l.los.1),
+            wbuf: WriteBuffer::new(),
+            cards: CardTable::new(l.space_a.0, l.los.1),
+            sizer,
+            nursery_limit: 0,
+            residency: ResidencyMap::new(),
+            los_incoming: HashMap::new(),
+            options,
+            phase: Phase::Idle,
+            gc_requested: GcRequest::None,
+            visited: std::collections::HashSet::new(),
+            compact_targets: std::collections::HashSet::new(),
+            target_alloc: HashMap::new(),
+            configured_heap_bytes: config.heap_bytes,
+            nursery_peak_pages: 0,
+            pressure_gc_ran: false,
+            pressure_escalate: false,
+            gc_tick: 0,
+            victim_vetoes: 0,
+            deferred_evicted: Vec::new(),
+        };
+        bc.recompute_nursery_limit();
+        bc
+    }
+
+    /// Registers this collector's process for paging notifications — the
+    /// cooperation channel of §4.1. Call once before the first allocation.
+    pub fn register(&self, vmm: &mut Vmm, pid: ProcessId) {
+        vmm.register_notifications(pid);
+    }
+
+    /// Whether this instance runs the full algorithm or the resizing-only
+    /// ablation.
+    pub fn bookmarking_enabled(&self) -> bool {
+        self.options.bookmarking
+    }
+
+    /// BC's own count of evicted heap pages.
+    pub fn evicted_heap_pages(&self) -> usize {
+        self.residency.evicted_count()
+    }
+
+    /// The current heap budget in bytes (shrinks under pressure, §3.3.3).
+    pub fn current_heap_budget(&self) -> usize {
+        self.core.pool.budget_bytes()
+    }
+
+    // ----- residency helpers -------------------------------------------
+
+    /// Whether the whole object at `addr` (header included) is resident
+    /// according to BC's bit array. Resizing-only instances treat all pages
+    /// as resident (their collections fault like any other collector's).
+    pub(crate) fn object_resident(&mut self, addr: Address) -> bool {
+        if !self.options.bookmarking {
+            return true;
+        }
+        if !self.residency.page_resident(addr.page()) {
+            return false;
+        }
+        // Header page is resident: the size can be read without faulting.
+        let w0 = self.core.mem.read_word(addr);
+        let w1 = self.core.mem.read_word(addr.offset(WORD));
+        let size = match Header::decode_forwarded(w0, w1) {
+            Ok(h) => h.kind.size_bytes(),
+            Err(_) => return true, // forwarding stubs are header-only
+        };
+        self.residency.range_resident(addr, size)
+    }
+
+    // ----- charged access that pumps paging events ----------------------
+
+    /// Touch + event pump: notifications raised by the touch (protection
+    /// faults, reloads) are handled *before* the caller proceeds, so
+    /// bookmark-clearing scans observe pristine page contents (§3.4.2).
+    pub(crate) fn touch_pumped(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        addr: Address,
+        len: u32,
+        access: Access,
+    ) {
+        let o = ctx.touch(&mut self.core.mem, addr, len, access);
+        if o.events_queued {
+            self.process_vm_events(ctx);
+        }
+    }
+
+    // ----- sizing --------------------------------------------------------
+
+    fn free_minus_reserve(&self) -> u32 {
+        let budget = self.core.pool.budget_bytes() as u64;
+        let non_nursery = self
+            .core
+            .pool
+            .used()
+            .saturating_sub(self.nursery.extent_pages()) as u64
+            * BYTES_PER_PAGE as u64;
+        budget.saturating_sub(non_nursery).min(u32::MAX as u64) as u32
+    }
+
+    pub(crate) fn recompute_nursery_limit(&mut self) {
+        self.nursery_limit = self.sizer.limit(self.free_minus_reserve());
+    }
+
+    // ----- allocation ----------------------------------------------------
+
+    fn alloc_raw(&mut self, kind: AllocKind) -> Option<Address> {
+        let size = kind.size_bytes();
+        if is_large(kind) {
+            return self.los.alloc(&mut self.core.pool, size);
+        }
+        if self.nursery.used_bytes() + size > self.nursery_limit {
+            return None;
+        }
+        let addr = self.nursery.alloc(&mut self.core.pool, size);
+        if addr.is_some() {
+            self.nursery_peak_pages = self.nursery_peak_pages.max(self.nursery.extent_pages());
+        }
+        addr
+    }
+
+    /// Copies a nursery survivor into a mature cell (promotion).
+    pub(crate) fn promote(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        obj: Address,
+        h: Header,
+    ) -> Address {
+        let size = h.kind.size_bytes();
+        let class = self
+            .ms
+            .classes()
+            .class_for(size)
+            .expect("nursery object fits a cell")
+            .index;
+        let bk = if h.kind.is_array() {
+            BlockKind::Array
+        } else {
+            BlockKind::Scalar
+        };
+        let new = self
+            .ms
+            .alloc_forced(&mut self.core.pool, class, bk)
+            .expect("mature region exhausted");
+        self.core.copy_object(ctx, obj, new, size);
+        new
+    }
+
+    // ----- remembered set (§3.1) ----------------------------------------
+
+    /// Converts a full write buffer into card marks: "it removes entries
+    /// for pointers from the mature space and instead marks the card for
+    /// the source object in the card table".
+    pub(crate) fn process_write_buffer(&mut self, ctx: &mut MemCtx<'_>) {
+        let costs = ctx.vmm.costs().clone();
+        let entries = self.wbuf.drain();
+        ctx.clock.advance(costs.ram_word * entries.len() as u64);
+        for slot in entries {
+            self.cards.mark(slot);
+        }
+    }
+
+    /// Scans the reference fields of `obj` whose slots fall in
+    /// `[lo, hi)`, returning `(slot, target)` pairs (charged).
+    pub(crate) fn scan_refs_in_range(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        obj: Address,
+        lo: Address,
+        hi: Address,
+    ) -> Vec<(Address, Address)> {
+        let h = self.core.header(ctx, obj);
+        let n = h.kind.num_ref_fields();
+        if n == 0 {
+            return Vec::new();
+        }
+        let first_slot = obj.offset(HEADER_BYTES).0;
+        let last_slot = first_slot + (n - 1) * WORD;
+        let lo = lo.0.max(first_slot);
+        let hi = hi.0.min(last_slot + WORD);
+        if lo >= hi {
+            return Vec::new();
+        }
+        let costs = ctx.vmm.costs().clone();
+        let count = (hi - lo) / WORD;
+        ctx.clock
+            .advance(costs.scan_object + costs.scan_ref * count as u64);
+        ctx.touch(&mut self.core.mem, Address(lo), hi - lo, Access::Read);
+        let mut out = Vec::new();
+        let mut slot = lo - (lo - first_slot) % WORD;
+        while slot < hi {
+            let target = Address(self.core.mem.read_word(Address(slot)));
+            if !target.is_null() {
+                out.push((Address(slot), target));
+            }
+            slot += WORD;
+        }
+        out
+    }
+
+    /// Forwards nursery targets reachable from one dirty card.
+    fn scan_card(&mut self, ctx: &mut MemCtx<'_>, card_base: Address) {
+        let (lo, hi) = CardTable::card_range(card_base);
+        let mut objects: Vec<Address> = Vec::new();
+        if self.ms.region_contains(card_base) {
+            let sp_extent = self.ms.extent_superpages();
+            let sp_of_card = (card_base.0 - self.ms.sp_base(heap::SpIndex(0)).0)
+                / heap::BYTES_PER_SUPERPAGE;
+            if sp_of_card < sp_extent {
+                let sp = heap::SpIndex(sp_of_card);
+                objects = self.ms.cells_overlapping_bytes(
+                    sp,
+                    lo.0 - self.ms.sp_base(sp).0,
+                    hi.0 - self.ms.sp_base(sp).0,
+                );
+            }
+        } else if self.los.region_contains(card_base) {
+            if let Some((obj, _pages)) = self.los.object_containing(card_base) {
+                objects.push(obj);
+            }
+        }
+        for obj in objects {
+            if !self.object_resident(obj) {
+                // Invariant: evicted pages hold no nursery pointers (pages
+                // with nursery pointers are rescued, not evicted).
+                continue;
+            }
+            let refs = self.scan_refs_in_range(ctx, obj, lo, hi);
+            for (slot, target) in refs {
+                if self.nursery.region_contains(target) {
+                    let new = self.forward(ctx, target);
+                    self.core.mem.write_word(slot, new.0);
+                }
+            }
+        }
+    }
+
+    // ----- collections ---------------------------------------------------
+
+    pub(crate) fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
+        let start = self.core.begin_pause(ctx);
+        // Serve this collection's page demand from the empty-page reserve
+        // so the kernel does not run ahead mid-collection (§3.4.3).
+        self.discard_reserve(ctx);
+        self.phase = Phase::Minor;
+        forward_roots(self, ctx);
+        // Unprocessed write-buffer entries first (§3.1). Slots on evicted
+        // pages are skipped: a page holding a live nursery pointer is never
+        // evicted (the eviction scan rescues it), so a non-resident slot's
+        // store was overwritten before the page left.
+        let entries = self.wbuf.drain();
+        for slot in entries {
+            if !self.residency.page_resident(slot.page()) {
+                continue;
+            }
+            let target = self.core.read_slot(ctx, slot);
+            if self.nursery.region_contains(target) {
+                let new = self.forward(ctx, target);
+                self.core.write_slot(ctx, slot, new);
+            }
+        }
+        // Then the objects named by dirty cards.
+        for card in self.cards.dirty_cards() {
+            self.scan_card(ctx, card);
+        }
+        self.cards.clear();
+        drain_gray(self, ctx);
+        let _ = self.nursery.release_all(&mut self.core.pool);
+        self.phase = Phase::Idle;
+        self.core.stats.nursery_gcs += 1;
+        self.recompute_nursery_limit();
+        self.core.end_pause(ctx, start, PauseKind::Nursery);
+        self.finish_deferred_evictions(ctx);
+    }
+
+    /// The bookmark root scan of §3.4.1: treat every resident bookmarked
+    /// object as root-referenced, visiting "only those superpages with a
+    /// nonzero incoming bookmark count".
+    pub(crate) fn bookmark_root_scan(&mut self, ctx: &mut MemCtx<'_>) {
+        for sp in self.ms.assigned_sps() {
+            if self.ms.info(sp).incoming_bookmarks == 0 {
+                continue;
+            }
+            // Reading the superpage header (always resident, §3.4).
+            let base = self.ms.sp_base(sp);
+            ctx.touch(&mut self.core.mem, base, 12, Access::Read);
+            for cell in self.ms.allocated_cells(sp) {
+                if !self.object_resident(cell) {
+                    continue;
+                }
+                let h = self.core.header(ctx, cell);
+                if h.bookmark && self.core.try_mark(ctx, cell) {
+                    self.core.queue.push(cell);
+                }
+            }
+        }
+        // Large objects with incoming bookmarks are roots too.
+        let bookmarked: Vec<u32> = self.los_incoming.keys().copied().collect();
+        for addr in bookmarked {
+            let obj = Address(addr);
+            if self.los.is_live_object(obj) && self.core.try_mark(ctx, obj) {
+                self.core.queue.push(obj);
+            }
+        }
+    }
+
+    /// Frees unmarked *resident* cells; evicted cells are preserved
+    /// unexamined ("a sweep of the memory-resident pages completes the
+    /// collection", §3.4.1).
+    pub(crate) fn sweep_resident(&mut self, ctx: &mut MemCtx<'_>) {
+        for sp in self.ms.assigned_sps() {
+            let mut freed_any = false;
+            for cell in self.ms.allocated_cells(sp) {
+                if !self.object_resident(cell) {
+                    continue;
+                }
+                if self.core.is_marked(ctx, cell) {
+                    self.core.clear_mark(ctx, cell);
+                } else {
+                    let _ = self.ms.free_cell(&mut self.core.pool, cell);
+                    freed_any = true;
+                }
+            }
+            if freed_any && self.ms.info(sp).assignment.is_some() {
+                self.ms.note_partial(sp);
+            }
+        }
+        for (obj, _pages) in self.los.objects() {
+            if self.core.is_marked(ctx, obj) {
+                self.core.clear_mark(ctx, obj);
+            } else {
+                debug_assert!(
+                    !self.los_incoming.contains_key(&obj.0),
+                    "bookmarked LOS object was not rooted"
+                );
+                let _ = self.los.free(&mut self.core.pool, obj);
+            }
+        }
+    }
+
+    pub(crate) fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
+        let start = self.core.begin_pause(ctx);
+        self.discard_reserve(ctx);
+        self.phase = Phase::Major;
+        if self.options.bookmarking && self.residency.any_evicted() {
+            self.bookmark_root_scan(ctx);
+        }
+        forward_roots(self, ctx);
+        drain_gray(self, ctx);
+        self.sweep_resident(ctx);
+        let _ = self.nursery.release_all(&mut self.core.pool);
+        self.wbuf.retain_entries(Vec::new());
+        self.cards.clear();
+        self.phase = Phase::Idle;
+        self.core.stats.full_gcs += 1;
+        self.recompute_nursery_limit();
+        self.core.end_pause(ctx, start, PauseKind::Full);
+        self.finish_deferred_evictions(ctx);
+    }
+
+    /// §7 extension: once pressure has clearly abated, grow the heap budget
+    /// back toward its configured size so a transient spike does not
+    /// permanently constrain throughput. Runs at safe points.
+    pub(crate) fn maybe_regrow(&mut self, ctx: &mut MemCtx<'_>) {
+        if !self.options.regrow {
+            return;
+        }
+        let configured = self.configured_heap_bytes / BYTES_PER_PAGE as usize;
+        let budget = self.core.pool.budget();
+        if budget >= configured {
+            return;
+        }
+        // Only regrow while the machine has comfortable slack: at least
+        // twice the reclaim high watermark of free frames.
+        if ctx.vmm.free_frames() > ctx.vmm.config().high_watermark * 2 {
+            const REGROW_STEP_PAGES: usize = 64;
+            self.core.pool.set_budget((budget + REGROW_STEP_PAGES).min(configured));
+            self.core.stats.heap_regrows += 1;
+            self.recompute_nursery_limit();
+        }
+    }
+
+    /// Runs any collection deferred from a notification handler.
+    pub(crate) fn run_deferred_gc(&mut self, ctx: &mut MemCtx<'_>) {
+        match std::mem::replace(&mut self.gc_requested, GcRequest::None) {
+            GcRequest::None => {}
+            GcRequest::Minor => {
+                self.minor_gc(ctx);
+                self.after_pressure_gc(ctx);
+            }
+            GcRequest::Full => {
+                self.major_gc(ctx);
+                self.after_pressure_gc(ctx);
+            }
+        }
+    }
+}
+
+impl Forwarder for Bookmarking {
+    fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    fn forward(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Address {
+        // The paper's signal handler keeps running during collections: every
+        // few hundred edges, service pending notices and — before the
+        // kernel is forced into direct reclaim — feed its free list from
+        // the empty-page reserve (§3.4.3: "If pages are scheduled for
+        // eviction during a collection, BC discards the pages held in
+        // reserve").
+        self.gc_tick = self.gc_tick.wrapping_add(1);
+        if self.gc_tick.is_multiple_of(128) {
+            self.discard_reserve(ctx);
+            if ctx.vmm.has_events(ctx.pid) {
+                self.pump_events_in_gc(ctx);
+            }
+        }
+        match self.phase {
+            Phase::Idle => unreachable!("forward outside a collection"),
+            Phase::Minor => {
+                if !self.nursery.region_contains(obj) {
+                    return obj;
+                }
+                match self.core.header_or_forward(ctx, obj) {
+                    Err(new) => new,
+                    Ok(h) => {
+                        let new = self.promote(ctx, obj, h);
+                        self.core.queue.push(new);
+                        new
+                    }
+                }
+            }
+            Phase::Major => {
+                if self.nursery.region_contains(obj) {
+                    match self.core.header_or_forward(ctx, obj) {
+                        Err(new) => new,
+                        Ok(h) => {
+                            let new = self.promote(ctx, obj, h);
+                            let marked = self.core.try_mark(ctx, new);
+                            debug_assert!(marked);
+                            self.core.queue.push(new);
+                            new
+                        }
+                    }
+                } else {
+                    // The heart of BC: never follow references onto
+                    // evicted pages ("BC ignores these during collection").
+                    if !self.object_resident(obj) {
+                        return obj;
+                    }
+                    if self.core.try_mark(ctx, obj) {
+                        self.core.queue.push(obj);
+                    }
+                    obj
+                }
+            }
+            Phase::Compact => self.forward_compact(ctx, obj),
+        }
+    }
+}
+
+impl GcHeap for Bookmarking {
+    fn alloc(&mut self, ctx: &mut MemCtx<'_>, kind: AllocKind) -> Result<Handle, OutOfMemory> {
+        self.run_deferred_gc(ctx);
+        let addr = match self.alloc_raw(kind) {
+            Some(a) => a,
+            None => self.alloc_slow(ctx, kind)?,
+        };
+        self.core.init_object(ctx, addr, kind.object_kind());
+        Ok(self.core.roots.add(addr))
+    }
+
+    fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
+        let obj = self.core.roots.get(src);
+        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let slot = heap::object::field_addr(obj, field);
+        if !self.nursery.region_contains(obj) && self.nursery.region_contains(target) {
+            self.core.stats.barrier_records += 1;
+            let barrier = ctx.vmm.costs().barrier;
+            ctx.clock.advance(barrier);
+            if self.wbuf.record(slot) {
+                self.process_write_buffer(ctx);
+            }
+        }
+        // Pump events raised by the touch *before* the store lands, so a
+        // reload scan sees the page as it was when evicted.
+        self.touch_pumped(ctx, slot, WORD, Access::Write);
+        self.core.mem.write_word(slot, target.0);
+    }
+
+    fn read_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32) -> Option<Handle> {
+        let obj = self.core.roots.get(src);
+        let slot = heap::object::field_addr(obj, field);
+        self.touch_pumped(ctx, slot, WORD, Access::Read);
+        let target = Address(self.core.mem.read_word(slot));
+        (!target.is_null()).then(|| self.core.roots.add(target))
+    }
+
+    fn read_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        self.touch_pumped(ctx, addr, HEADER_BYTES, Access::Read);
+        let size = Header::decode(
+            self.core.mem.read_word(addr),
+            self.core.mem.read_word(addr.offset(WORD)),
+        )
+        .kind
+        .size_bytes();
+        self.touch_pumped(ctx, addr, size, Access::Read);
+    }
+
+    fn write_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        self.touch_pumped(ctx, addr, HEADER_BYTES, Access::Read);
+        let size = Header::decode(
+            self.core.mem.read_word(addr),
+            self.core.mem.read_word(addr.offset(WORD)),
+        )
+        .kind
+        .size_bytes();
+        self.touch_pumped(
+            ctx,
+            addr.offset(HEADER_BYTES),
+            size.saturating_sub(HEADER_BYTES).max(WORD),
+            Access::Write,
+        );
+    }
+
+    fn same_object(&self, a: Handle, b: Handle) -> bool {
+        self.core.roots.get(a) == self.core.roots.get(b)
+    }
+
+    fn dup_handle(&mut self, h: Handle) -> Handle {
+        let addr = self.core.roots.get(h);
+        self.core.roots.add(addr)
+    }
+
+    fn drop_handle(&mut self, h: Handle) {
+        self.core.roots.remove(h);
+    }
+
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool) {
+        if full {
+            self.major_gc(ctx);
+        } else {
+            self.minor_gc(ctx);
+            if self.sizer.full_gc_needed(self.free_minus_reserve()) {
+                self.major_gc(ctx);
+            }
+        }
+    }
+
+    fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
+        self.process_vm_events(ctx);
+        // The engine calls this between mutator steps: a safe point.
+        self.run_deferred_gc(ctx);
+        self.maybe_regrow(ctx);
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.core.stats
+    }
+
+    fn pause_log(&self) -> &PauseLog {
+        &self.core.pauses
+    }
+
+    fn heap_pages_used(&self) -> usize {
+        self.core.pool.used()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.options.bookmarking {
+            "BC"
+        } else {
+            "BC-resize"
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The **bookmarking collector** (BC) of *Garbage Collection Without
+//! Paging* (Hertz, Feng & Berger, PLDI 2005).
+//!
+//! BC is a generational collector — bump-pointer nursery, segregated-fit
+//! mark-sweep mature space over 16 KiB superpages, page-based large object
+//! space — that *cooperates with the virtual memory manager* so that garbage
+//! collection almost never touches an evicted page:
+//!
+//! * **Residency tracking** (§3.3.1): BC keeps its own bit array of page
+//!   residency and never follows references onto non-resident pages.
+//! * **Discarding empty pages** (§3.3.2): on an eviction notice BC hands the
+//!   VMM an empty page (`madvise(MADV_DONTNEED)`) instead of letting a live
+//!   one be swapped out, collecting first if necessary.
+//! * **Heap footprint shrinking** (§3.3.3): eviction notices tell BC the
+//!   heap no longer fits; BC pins its heap budget to the current footprint
+//!   rather than growing at the expense of paging.
+//! * **Bookmarking** (§3.4): when a non-empty page really must go, BC scans
+//!   it, sets a one-bit *bookmark* in every object it references, increments
+//!   the target superpages' incoming-bookmark counters, conservatively
+//!   bookmarks the page's own objects, and surrenders the page via
+//!   `vm_relinquish`. Bookmarked objects serve as extra roots, so full-heap
+//!   collections complete without touching evicted pages; bookmarks are
+//!   dropped when reloaded pages drive the counters back to zero (§3.4.2).
+//! * **Compaction** (§3.2): when mark-sweep cannot satisfy an allocation, a
+//!   two-pass compacting collection copies live objects onto a minimal set
+//!   of target superpages — which always include superpages holding
+//!   bookmarked objects or evicted pages, so evicted pointers stay valid.
+//! * **Completeness fail-safe** (§3.5): if the heap is truly exhausted, BC
+//!   discards all bookmarks and performs an ordinary full-heap collection
+//!   that may touch evicted pages — the common case for other collectors,
+//!   the worst case for BC.
+//!
+//! The [`Bookmarking`] type implements the same [`GcHeap`](heap::GcHeap)
+//! interface as the baseline collectors, plus construction options for the
+//! paper's ablation: [`BcOptions::resizing_only`] disables bookmarking (the
+//! "BC w/ Resizing only" variant of §5.3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use bookmarking::{BcOptions, Bookmarking};
+//! use heap::{AllocKind, GcHeap, HeapConfig, MemCtx};
+//! use simtime::{Clock, CostModel};
+//! use vmm::{Vmm, VmmConfig};
+//!
+//! # fn main() -> Result<(), heap::OutOfMemory> {
+//! let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+//! let mut clock = Clock::new();
+//! let pid = vmm.register_process();
+//! let mut bc = Bookmarking::new(HeapConfig::with_heap_bytes(8 << 20), BcOptions::default());
+//! bc.register(&mut vmm, pid);
+//! let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+//! let obj = bc.alloc(&mut ctx, AllocKind::Scalar { data_words: 4, num_refs: 2 })?;
+//! bc.drop_handle(obj);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod collector;
+mod compact;
+mod pressure;
+mod residency;
+
+#[cfg(test)]
+mod tests;
+
+pub use collector::{BcOptions, Bookmarking, VictimPolicy};
+pub use residency::ResidencyMap;

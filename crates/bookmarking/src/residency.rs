@@ -1,0 +1,121 @@
+//! BC's private page-residency bookkeeping (§3.3.1).
+//!
+//! "To limit overhead due to communication with the virtual memory manager,
+//! BC tracks page residency internally. … During garbage collection, the
+//! collector uses this bit array to avoid following pointers into pages that
+//! are not resident."
+
+use std::collections::HashSet;
+
+use heap::Address;
+use vmm::VirtPage;
+
+/// The collector-side view of which heap pages are non-resident.
+///
+/// Pages start (and, after reload, return to) the resident state; BC marks a
+/// page non-resident exactly when it relinquishes it (or learns of a hard
+/// eviction) and resident again on a `MadeResident` notification.
+#[derive(Clone, Debug, Default)]
+pub struct ResidencyMap {
+    evicted: HashSet<VirtPage>,
+}
+
+impl ResidencyMap {
+    /// A map with every page resident.
+    pub fn new() -> ResidencyMap {
+        ResidencyMap::default()
+    }
+
+    /// Records a page as evicted.
+    pub fn mark_evicted(&mut self, page: VirtPage) {
+        self.evicted.insert(page);
+    }
+
+    /// Records a page as resident again. Returns whether it had been
+    /// tracked as evicted.
+    pub fn mark_resident(&mut self, page: VirtPage) -> bool {
+        self.evicted.remove(&page)
+    }
+
+    /// Whether a page is resident according to BC's own bookkeeping.
+    pub fn page_resident(&self, page: VirtPage) -> bool {
+        !self.evicted.contains(&page)
+    }
+
+    /// Whether every page of `[addr, addr + len)` is resident.
+    pub fn range_resident(&self, addr: Address, len: u32) -> bool {
+        if self.evicted.is_empty() {
+            return true;
+        }
+        let first = addr.page().0;
+        let last = Address(addr.0 + len.max(1) - 1).page().0;
+        (first..=last).all(|p| !self.evicted.contains(&VirtPage(p)))
+    }
+
+    /// Number of pages currently tracked as evicted.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted.len()
+    }
+
+    /// Whether any heap page is evicted (fast path: when false, full
+    /// collections skip all bookmark machinery).
+    pub fn any_evicted(&self) -> bool {
+        !self.evicted.is_empty()
+    }
+
+    /// The evicted pages, in arbitrary order.
+    pub fn evicted_pages(&self) -> impl Iterator<Item = VirtPage> + '_ {
+        self.evicted.iter().copied()
+    }
+
+    /// Forgets all evictions (the §3.5 fail-safe makes everything resident).
+    pub fn clear(&mut self) {
+        self.evicted.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_all_resident() {
+        let m = ResidencyMap::new();
+        assert!(m.page_resident(VirtPage(0)));
+        assert!(m.range_resident(Address(0), 1 << 20));
+        assert!(!m.any_evicted());
+        assert_eq!(m.evicted_count(), 0);
+    }
+
+    #[test]
+    fn evict_and_reload_round_trip() {
+        let mut m = ResidencyMap::new();
+        m.mark_evicted(VirtPage(5));
+        assert!(!m.page_resident(VirtPage(5)));
+        assert!(m.page_resident(VirtPage(6)));
+        assert!(m.any_evicted());
+        assert!(m.mark_resident(VirtPage(5)));
+        assert!(!m.mark_resident(VirtPage(5)), "second reload is a no-op");
+        assert!(m.page_resident(VirtPage(5)));
+    }
+
+    #[test]
+    fn range_residency_spans_pages() {
+        let mut m = ResidencyMap::new();
+        m.mark_evicted(VirtPage(2)); // bytes 8192..12288
+        assert!(m.range_resident(Address(0), 8192));
+        assert!(!m.range_resident(Address(8000), 400));
+        assert!(!m.range_resident(Address(8192), 1));
+        assert!(m.range_resident(Address(12288), 4096));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut m = ResidencyMap::new();
+        m.mark_evicted(VirtPage(1));
+        m.mark_evicted(VirtPage(2));
+        m.clear();
+        assert!(!m.any_evicted());
+        assert!(m.page_resident(VirtPage(1)));
+    }
+}

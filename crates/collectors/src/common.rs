@@ -1,0 +1,3 @@
+//! Shared collector machinery, re-exported from [`heap::gc`].
+
+pub(crate) use heap::gc::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};

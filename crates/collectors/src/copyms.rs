@@ -1,0 +1,281 @@
+//! Whole-heap copy-into-mark-sweep collection.
+
+use heap::object::HEADER_BYTES;
+use heap::{
+    Address, AllocKind, BlockKind, BumpSpace, BYTES_PER_PAGE, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory,
+};
+use simtime::{PauseKind, PauseLog};
+use vmm::Access;
+
+use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder};
+
+/// The paper's **CopyMS** baseline: "a variant of GenMS which performs only
+/// whole-heap garbage collections" (§5).
+///
+/// Allocation bumps through a copy space; every collection is a full-heap
+/// trace that evacuates copy-space survivors into the segregated-fit
+/// mark-sweep mature space and sweeps it. There is no write barrier and no
+/// nursery-only collection.
+#[derive(Debug)]
+pub struct CopyMs {
+    core: Core,
+    copy_space: BumpSpace,
+    ms: MsSpace,
+    los: LargeObjectSpace,
+    copy_limit: u32,
+    collecting: bool,
+}
+
+impl CopyMs {
+    /// Creates a CopyMS heap with the given configuration.
+    pub fn new(config: HeapConfig) -> CopyMs {
+        let l = config.layout;
+        let mut gc = CopyMs {
+            core: Core::new(config),
+            copy_space: BumpSpace::new(l.nursery.0, l.nursery.1),
+            ms: MsSpace::new(l.space_a.0, l.space_a.1),
+            los: LargeObjectSpace::new(l.los.0, l.los.1),
+            copy_limit: 0,
+            collecting: false,
+        };
+        gc.recompute_copy_limit();
+        gc
+    }
+
+    fn recompute_copy_limit(&mut self) {
+        let budget = self.core.pool.budget_bytes() as u64;
+        let non_copy = self
+            .core
+            .pool
+            .used()
+            .saturating_sub(self.copy_space.extent_pages()) as u64
+            * BYTES_PER_PAGE as u64;
+        let free = budget.saturating_sub(non_copy);
+        // Half of free space: the other half is the promotion reserve.
+        self.copy_limit = (free / 2).min(u32::MAX as u64) as u32;
+    }
+
+    fn alloc_raw(&mut self, kind: AllocKind) -> Option<Address> {
+        let size = kind.size_bytes();
+        if is_large(kind) {
+            return self.los.alloc(&mut self.core.pool, size);
+        }
+        if self.copy_space.used_bytes() + size > self.copy_limit {
+            return None;
+        }
+        self.copy_space.alloc(&mut self.core.pool, size)
+    }
+
+    fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
+        for sp in self.ms.assigned_sps() {
+            let mut freed_any = false;
+            for cell in self.ms.allocated_cells(sp) {
+                if self.core.is_marked(ctx, cell) {
+                    self.core.clear_mark(ctx, cell);
+                } else {
+                    let _ = self.ms.free_cell(&mut self.core.pool, cell);
+                    freed_any = true;
+                }
+            }
+            if freed_any && self.ms.info(sp).assignment.is_some() {
+                self.ms.note_partial(sp);
+            }
+        }
+        for (obj, _pages) in self.los.objects() {
+            if self.core.is_marked(ctx, obj) {
+                self.core.clear_mark(ctx, obj);
+            } else {
+                let _ = self.los.free(&mut self.core.pool, obj);
+            }
+        }
+    }
+}
+
+impl Forwarder for CopyMs {
+    fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    fn forward(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Address {
+        debug_assert!(self.collecting);
+        if self.copy_space.region_contains(obj) {
+            match self.core.header_or_forward(ctx, obj) {
+                Err(new) => new,
+                Ok(h) => {
+                    let size = h.kind.size_bytes();
+                    let class = self
+                        .ms
+                        .classes()
+                        .class_for(size)
+                        .expect("copy-space object fits a cell")
+                        .index;
+                    let bk = if h.kind.is_array() {
+                        BlockKind::Array
+                    } else {
+                        BlockKind::Scalar
+                    };
+                    let new = self
+                        .ms
+                        .alloc_forced(&mut self.core.pool, class, bk)
+                        .expect("mature region exhausted");
+                    self.core.copy_object(ctx, obj, new, size);
+                    let marked = self.core.try_mark(ctx, new);
+                    debug_assert!(marked);
+                    self.core.queue.push(new);
+                    new
+                }
+            }
+        } else {
+            if self.core.try_mark(ctx, obj) {
+                self.core.queue.push(obj);
+            }
+            obj
+        }
+    }
+}
+
+impl GcHeap for CopyMs {
+    fn alloc(&mut self, ctx: &mut MemCtx<'_>, kind: AllocKind) -> Result<Handle, OutOfMemory> {
+        let addr = match self.alloc_raw(kind) {
+            Some(a) => a,
+            None => {
+                self.collect(ctx, true);
+                self.alloc_raw(kind).ok_or(OutOfMemory {
+                    requested_bytes: kind.size_bytes(),
+                })?
+            }
+        };
+        self.core.init_object(ctx, addr, kind.object_kind());
+        Ok(self.core.roots.add(addr))
+    }
+
+    fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
+        let obj = self.core.roots.get(src);
+        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        self.core
+            .write_slot(ctx, heap::object::field_addr(obj, field), target);
+    }
+
+    fn read_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32) -> Option<Handle> {
+        let obj = self.core.roots.get(src);
+        let target = self
+            .core
+            .read_slot(ctx, heap::object::field_addr(obj, field));
+        (!target.is_null()).then(|| self.core.roots.add(target))
+    }
+
+    fn read_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        let size = self.core.header(ctx, addr).kind.size_bytes();
+        ctx.touch(&mut self.core.mem, addr, size, Access::Read);
+    }
+
+    fn write_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        let size = self.core.header(ctx, addr).kind.size_bytes();
+        ctx.touch(
+            &mut self.core.mem,
+            addr.offset(HEADER_BYTES),
+            size.saturating_sub(HEADER_BYTES).max(4),
+            Access::Write,
+        );
+    }
+
+    fn same_object(&self, a: Handle, b: Handle) -> bool {
+        self.core.roots.get(a) == self.core.roots.get(b)
+    }
+
+    fn dup_handle(&mut self, h: Handle) -> Handle {
+        let addr = self.core.roots.get(h);
+        self.core.roots.add(addr)
+    }
+
+    fn drop_handle(&mut self, h: Handle) {
+        self.core.roots.remove(h);
+    }
+
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, _full: bool) {
+        let start = self.core.begin_pause(ctx);
+        self.collecting = true;
+        forward_roots(self, ctx);
+        drain_gray(self, ctx);
+        self.sweep(ctx);
+        let _ = self.copy_space.release_all(&mut self.core.pool);
+        self.collecting = false;
+        self.core.stats.full_gcs += 1;
+        self.recompute_copy_limit();
+        self.core.end_pause(ctx, start, PauseKind::Full);
+    }
+
+    fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
+        let _ = ctx.vmm.take_events(ctx.pid);
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.core.stats
+    }
+
+    fn pause_log(&self) -> &PauseLog {
+        &self.core.pauses
+    }
+
+    fn heap_pages_used(&self) -> usize {
+        self.core.pool.used()
+    }
+
+    fn name(&self) -> &'static str {
+        crate::names::COPY_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{env, list_len, make_list, TestEnv};
+
+    #[test]
+    fn every_collection_is_whole_heap() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = CopyMs::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let keep = make_list(&mut gc, &mut ctx, 100, 0);
+        // ~1.2 MiB of garbage through a 1 MiB heap forces collection.
+        for _ in 0..30_000 {
+            let h = gc
+                .alloc(
+                    &mut ctx,
+                    AllocKind::Scalar {
+                        data_words: 8,
+                        num_refs: 0,
+                    },
+                )
+                .unwrap();
+            gc.drop_handle(h);
+        }
+        let s = gc.stats();
+        assert!(s.full_gcs >= 1);
+        assert_eq!(s.nursery_gcs, 0, "CopyMS never does nursery-only GCs");
+        assert_eq!(s.barrier_records, 0, "CopyMS has no write barrier");
+        assert_eq!(list_len(&mut gc, &mut ctx, keep), 100);
+    }
+
+    #[test]
+    fn survivors_land_in_mark_sweep_cells_and_stay() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = CopyMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let keep = make_list(&mut gc, &mut ctx, 64, 0);
+        gc.collect(&mut ctx, true);
+        let moved = gc.stats().objects_moved;
+        assert!(moved >= 64);
+        // Second collection marks them in place: no further copies.
+        gc.collect(&mut ctx, true);
+        assert_eq!(gc.stats().objects_moved, moved);
+        assert_eq!(list_len(&mut gc, &mut ctx, keep), 64);
+    }
+}

@@ -1,0 +1,407 @@
+//! Appel-style generational collection with a mark-sweep mature space —
+//! the paper's high-throughput yardstick.
+
+use heap::object::HEADER_BYTES;
+use heap::{
+    Address, AllocKind, BlockKind, BumpSpace, BYTES_PER_PAGE, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory,
+};
+use simtime::{PauseKind, PauseLog};
+use vmm::Access;
+
+use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Minor,
+    Major,
+}
+
+/// The paper's **GenMS** baseline: bump-pointer nursery, segregated-fit
+/// mark-sweep mature space (§5: "Appel-style generational collectors using
+/// bump-pointer and mark-sweep mature spaces").
+///
+/// GenMS "consistently provides high throughput" (§1) and is the collector
+/// BC is calibrated against in the no-pressure experiments; under pressure
+/// its full-heap collections touch every mature superpage and it suffers
+/// the paper's headline pathologies (pauses of seconds to minutes).
+#[derive(Debug)]
+pub struct GenMs {
+    core: Core,
+    nursery: BumpSpace,
+    ms: MsSpace,
+    los: LargeObjectSpace,
+    remset: Vec<Address>,
+    sizer: NurserySizer,
+    nursery_limit: u32,
+    phase: Phase,
+}
+
+impl GenMs {
+    /// Creates a GenMS heap with the given configuration.
+    pub fn new(config: HeapConfig) -> GenMs {
+        let l = config.layout;
+        let sizer = NurserySizer::new(config.nursery);
+        let mut gc = GenMs {
+            core: Core::new(config),
+            nursery: BumpSpace::new(l.nursery.0, l.nursery.1),
+            ms: MsSpace::new(l.space_a.0, l.space_a.1),
+            los: LargeObjectSpace::new(l.los.0, l.los.1),
+            remset: Vec::new(),
+            sizer,
+            nursery_limit: 0,
+            phase: Phase::Idle,
+        };
+        gc.recompute_nursery_limit();
+        gc
+    }
+
+    fn free_minus_reserve(&self) -> u32 {
+        let budget = self.core.pool.budget_bytes() as u64;
+        let non_nursery = self
+            .core
+            .pool
+            .used()
+            .saturating_sub(self.nursery.extent_pages()) as u64
+            * BYTES_PER_PAGE as u64;
+        budget.saturating_sub(non_nursery).min(u32::MAX as u64) as u32
+    }
+
+    fn recompute_nursery_limit(&mut self) {
+        self.nursery_limit = self.sizer.limit(self.free_minus_reserve());
+    }
+
+    fn alloc_raw(&mut self, kind: AllocKind) -> Option<Address> {
+        let size = kind.size_bytes();
+        if is_large(kind) {
+            return self.los.alloc(&mut self.core.pool, size);
+        }
+        if self.nursery.used_bytes() + size > self.nursery_limit {
+            return None;
+        }
+        self.nursery.alloc(&mut self.core.pool, size)
+    }
+
+    /// Copies a nursery survivor into a mature cell of the right class.
+    fn promote(&mut self, ctx: &mut MemCtx<'_>, obj: Address, h: heap::Header) -> Address {
+        let size = h.kind.size_bytes();
+        let class = self
+            .ms
+            .classes()
+            .class_for(size)
+            .expect("nursery object fits a cell")
+            .index;
+        let bk = if h.kind.is_array() {
+            BlockKind::Array
+        } else {
+            BlockKind::Scalar
+        };
+        let new = self
+            .ms
+            .alloc_forced(&mut self.core.pool, class, bk)
+            .expect("mature region exhausted");
+        self.core.copy_object(ctx, obj, new, size);
+        new
+    }
+
+    fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
+        for sp in self.ms.assigned_sps() {
+            let mut freed_any = false;
+            for cell in self.ms.allocated_cells(sp) {
+                if self.core.is_marked(ctx, cell) {
+                    self.core.clear_mark(ctx, cell);
+                } else {
+                    let _ = self.ms.free_cell(&mut self.core.pool, cell);
+                    freed_any = true;
+                }
+            }
+            if freed_any && self.ms.info(sp).assignment.is_some() {
+                self.ms.note_partial(sp);
+            }
+        }
+        for (obj, _pages) in self.los.objects() {
+            if self.core.is_marked(ctx, obj) {
+                self.core.clear_mark(ctx, obj);
+            } else {
+                let _ = self.los.free(&mut self.core.pool, obj);
+            }
+        }
+    }
+
+    fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
+        let start = self.core.begin_pause(ctx);
+        self.phase = Phase::Minor;
+        forward_roots(self, ctx);
+        let slots = std::mem::take(&mut self.remset);
+        for slot in slots {
+            let target = self.core.read_slot(ctx, slot);
+            if self.nursery.region_contains(target) {
+                let new = self.forward(ctx, target);
+                self.core.write_slot(ctx, slot, new);
+            }
+        }
+        drain_gray(self, ctx);
+        let _ = self.nursery.release_all(&mut self.core.pool);
+        self.phase = Phase::Idle;
+        self.core.stats.nursery_gcs += 1;
+        self.recompute_nursery_limit();
+        self.core.end_pause(ctx, start, PauseKind::Nursery);
+    }
+
+    fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
+        let start = self.core.begin_pause(ctx);
+        self.phase = Phase::Major;
+        forward_roots(self, ctx);
+        drain_gray(self, ctx);
+        self.sweep(ctx);
+        let _ = self.nursery.release_all(&mut self.core.pool);
+        self.remset.clear();
+        self.phase = Phase::Idle;
+        self.core.stats.full_gcs += 1;
+        self.recompute_nursery_limit();
+        self.core.end_pause(ctx, start, PauseKind::Full);
+    }
+}
+
+impl Forwarder for GenMs {
+    fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    fn forward(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Address {
+        match self.phase {
+            Phase::Idle => unreachable!("forward outside a collection"),
+            Phase::Minor => {
+                if !self.nursery.region_contains(obj) {
+                    return obj;
+                }
+                match self.core.header_or_forward(ctx, obj) {
+                    Err(new) => new,
+                    Ok(h) => {
+                        let new = self.promote(ctx, obj, h);
+                        self.core.queue.push(new);
+                        new
+                    }
+                }
+            }
+            Phase::Major => {
+                if self.nursery.region_contains(obj) {
+                    match self.core.header_or_forward(ctx, obj) {
+                        Err(new) => new,
+                        Ok(h) => {
+                            let new = self.promote(ctx, obj, h);
+                            // Survivors must carry a mark or the sweep
+                            // below would free them.
+                            let marked = self.core.try_mark(ctx, new);
+                            debug_assert!(marked);
+                            self.core.queue.push(new);
+                            new
+                        }
+                    }
+                } else {
+                    if self.core.try_mark(ctx, obj) {
+                        self.core.queue.push(obj);
+                    }
+                    obj
+                }
+            }
+        }
+    }
+}
+
+impl GcHeap for GenMs {
+    fn alloc(&mut self, ctx: &mut MemCtx<'_>, kind: AllocKind) -> Result<Handle, OutOfMemory> {
+        let addr = match self.alloc_raw(kind) {
+            Some(a) => a,
+            None => {
+                self.collect(ctx, is_large(kind));
+                match self.alloc_raw(kind) {
+                    Some(a) => a,
+                    None => {
+                        self.major_gc(ctx);
+                        self.alloc_raw(kind).ok_or(OutOfMemory {
+                            requested_bytes: kind.size_bytes(),
+                        })?
+                    }
+                }
+            }
+        };
+        self.core.init_object(ctx, addr, kind.object_kind());
+        Ok(self.core.roots.add(addr))
+    }
+
+    fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
+        let obj = self.core.roots.get(src);
+        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let slot = heap::object::field_addr(obj, field);
+        if !self.nursery.region_contains(obj) && self.nursery.region_contains(target) {
+            self.remset.push(slot);
+            self.core.stats.barrier_records += 1;
+            let barrier = ctx.vmm.costs().barrier;
+            ctx.clock.advance(barrier);
+        }
+        self.core.write_slot(ctx, slot, target);
+    }
+
+    fn read_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32) -> Option<Handle> {
+        let obj = self.core.roots.get(src);
+        let target = self
+            .core
+            .read_slot(ctx, heap::object::field_addr(obj, field));
+        (!target.is_null()).then(|| self.core.roots.add(target))
+    }
+
+    fn read_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        let size = self.core.header(ctx, addr).kind.size_bytes();
+        ctx.touch(&mut self.core.mem, addr, size, Access::Read);
+    }
+
+    fn write_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        let size = self.core.header(ctx, addr).kind.size_bytes();
+        ctx.touch(
+            &mut self.core.mem,
+            addr.offset(HEADER_BYTES),
+            size.saturating_sub(HEADER_BYTES).max(4),
+            Access::Write,
+        );
+    }
+
+    fn same_object(&self, a: Handle, b: Handle) -> bool {
+        self.core.roots.get(a) == self.core.roots.get(b)
+    }
+
+    fn dup_handle(&mut self, h: Handle) -> Handle {
+        let addr = self.core.roots.get(h);
+        self.core.roots.add(addr)
+    }
+
+    fn drop_handle(&mut self, h: Handle) {
+        self.core.roots.remove(h);
+    }
+
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool) {
+        if full {
+            self.major_gc(ctx);
+        } else {
+            self.minor_gc(ctx);
+            if self.sizer.full_gc_needed(self.free_minus_reserve()) {
+                self.major_gc(ctx);
+            }
+        }
+    }
+
+    fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
+        let _ = ctx.vmm.take_events(ctx.pid);
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.core.stats
+    }
+
+    fn pause_log(&self) -> &PauseLog {
+        &self.core.pauses
+    }
+
+    fn heap_pages_used(&self) -> usize {
+        self.core.pool.used()
+    }
+
+    fn name(&self) -> &'static str {
+        crate::names::GEN_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{env, list_kind, list_len, make_list, TestEnv};
+
+    #[test]
+    fn minor_gcs_promote_into_cells_and_preserve_structure() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let keep = make_list(&mut gc, &mut ctx, 80, 0);
+        gc.collect(&mut ctx, false);
+        assert_eq!(gc.stats().nursery_gcs, 1);
+        assert_eq!(list_len(&mut gc, &mut ctx, keep), 80);
+    }
+
+    #[test]
+    fn major_gc_keeps_promoted_survivors_marked_through_sweep() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let keep = make_list(&mut gc, &mut ctx, 60, 0);
+        // Full collection straight from the nursery: survivors are promoted
+        // *and* swept in the same cycle.
+        gc.collect(&mut ctx, true);
+        assert_eq!(gc.stats().full_gcs, 1);
+        assert_eq!(list_len(&mut gc, &mut ctx, keep), 60);
+        // A second full GC re-traces the now-mature list.
+        gc.collect(&mut ctx, true);
+        assert_eq!(list_len(&mut gc, &mut ctx, keep), 60);
+    }
+
+    #[test]
+    fn mature_garbage_is_reclaimed_by_full_gc_only() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(4 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let dead = make_list(&mut gc, &mut ctx, 500, 0);
+        gc.collect(&mut ctx, false); // promotes the (still live) list
+        let pages_promoted = gc.heap_pages_used();
+        gc.drop_handle(dead);
+        gc.collect(&mut ctx, false); // minor: cannot reclaim mature garbage
+        assert_eq!(gc.heap_pages_used(), pages_promoted);
+        gc.collect(&mut ctx, true); // major: reclaims it
+        assert!(gc.heap_pages_used() < pages_promoted);
+    }
+
+    #[test]
+    fn remembered_set_keeps_nursery_referents_alive() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let old = gc.alloc(&mut ctx, list_kind()).unwrap();
+        gc.collect(&mut ctx, false);
+        let young = gc.alloc(&mut ctx, list_kind()).unwrap();
+        gc.write_ref(&mut ctx, old, 0, Some(young));
+        assert!(gc.stats().barrier_records >= 1);
+        gc.drop_handle(young);
+        gc.collect(&mut ctx, false);
+        assert!(gc.read_ref(&mut ctx, old, 0).is_some());
+    }
+
+    #[test]
+    fn oom_when_live_set_exceeds_heap() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(192 << 10));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let mut held = Vec::new();
+        let mut oom = false;
+        for _ in 0..64 {
+            match gc.alloc(&mut ctx, AllocKind::DataArray { len: 1500 }) {
+                Ok(h) => held.push(h),
+                Err(_) => {
+                    oom = true;
+                    break;
+                }
+            }
+        }
+        assert!(oom, "384 KiB live cannot fit a 192 KiB heap");
+    }
+}

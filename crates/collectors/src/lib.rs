@@ -1,0 +1,118 @@
+//! The baseline garbage collectors of *Garbage Collection Without Paging*.
+//!
+//! The paper evaluates the bookmarking collector against five collectors
+//! shipped with Jikes RVM / MMTk (§5):
+//!
+//! | Collector | Structure |
+//! |-----------|-----------|
+//! | [`MarkSweep`]  | whole-heap, segregated-fit free lists |
+//! | [`SemiSpace`]  | whole-heap copying with a 2× copy reserve |
+//! | [`GenCopy`]    | Appel generational, copying mature space |
+//! | [`GenMs`]      | Appel generational, mark-sweep mature space |
+//! | [`CopyMs`]     | "a variant of GenMS which performs only whole-heap garbage collections" |
+//!
+//! The generational collectors also come in the fixed-size-nursery variants
+//! of §5.3.2 (4 MB nurseries) via
+//! [`NurseryPolicy::FIXED_4MB`](heap::NurseryPolicy::FIXED_4MB).
+//!
+//! All five are **VM-oblivious**: they never register for paging
+//! notifications and touch heap pages without regard to residency — the
+//! behaviour whose consequences the paper measures. They share the
+//! [`heap`] substrate (object model, spaces, roots, remsets) and implement
+//! the mutator-facing [`GcHeap`](heap::GcHeap) trait.
+
+#![warn(missing_docs)]
+
+pub(crate) mod common;
+mod copyms;
+mod gencopy;
+mod genms;
+mod marksweep;
+mod semispace;
+
+pub use copyms::CopyMs;
+pub use gencopy::GenCopy;
+pub use genms::GenMs;
+pub use marksweep::MarkSweep;
+pub use semispace::SemiSpace;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by the per-collector test modules.
+
+    use heap::{AllocKind, GcHeap, Handle, MemCtx};
+    use simtime::{Clock, CostModel};
+    use vmm::{ProcessId, Vmm, VmmConfig};
+
+    /// A VMM + clock + registered process for driving a collector.
+    pub struct TestEnv {
+        pub vmm: Vmm,
+        pub clock: Clock,
+        pub pid: ProcessId,
+    }
+
+    /// An environment with `memory_bytes` of physical memory (ample by
+    /// default so paging does not perturb algorithmic tests).
+    pub fn env(memory_bytes: usize) -> TestEnv {
+        let mut vmm = Vmm::new(
+            VmmConfig::with_memory_bytes(memory_bytes),
+            CostModel::default(),
+        );
+        let pid = vmm.register_process();
+        TestEnv {
+            vmm,
+            clock: Clock::new(),
+            pid,
+        }
+    }
+
+    /// A 3-word scalar whose first field links to the next node.
+    pub fn list_kind() -> AllocKind {
+        AllocKind::Scalar {
+            data_words: 3,
+            num_refs: 1,
+        }
+    }
+
+    /// Builds a singly linked list of `n` nodes, returning the rooted head.
+    pub fn make_list<G: GcHeap>(gc: &mut G, ctx: &mut MemCtx<'_>, n: usize, _tag: u32) -> Handle {
+        assert!(n >= 1);
+        let head = gc.alloc(ctx, list_kind()).expect("alloc list head");
+        let mut cur = gc.dup_handle(head);
+        for _ in 1..n {
+            let node = gc.alloc(ctx, list_kind()).expect("alloc list node");
+            gc.write_ref(ctx, cur, 0, Some(node));
+            gc.drop_handle(cur);
+            cur = node;
+        }
+        gc.drop_handle(cur);
+        head
+    }
+
+    /// Walks a list built by [`make_list`], returning its length.
+    pub fn list_len<G: GcHeap>(gc: &mut G, ctx: &mut MemCtx<'_>, head: Handle) -> usize {
+        let mut len = 1;
+        let mut cur = gc.dup_handle(head);
+        while let Some(next) = gc.read_ref(ctx, cur, 0) {
+            gc.drop_handle(cur);
+            cur = next;
+            len += 1;
+        }
+        gc.drop_handle(cur);
+        len
+    }
+}
+
+/// Convenience aliases matching the paper's collector names.
+pub mod names {
+    /// The paper calls [`crate::MarkSweep`] "MarkSweep".
+    pub const MARK_SWEEP: &str = "MarkSweep";
+    /// The paper calls [`crate::SemiSpace`] "SemiSpace".
+    pub const SEMI_SPACE: &str = "SemiSpace";
+    /// The paper calls [`crate::GenCopy`] "GenCopy".
+    pub const GEN_COPY: &str = "GenCopy";
+    /// The paper calls [`crate::GenMs`] `GenMS`.
+    pub const GEN_MS: &str = "GenMS";
+    /// The paper calls [`crate::CopyMs`] `CopyMS`.
+    pub const COPY_MS: &str = "CopyMS";
+}

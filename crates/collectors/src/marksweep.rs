@@ -1,0 +1,287 @@
+//! Whole-heap mark-sweep collection over segregated-fit superpages.
+
+use heap::object::HEADER_BYTES;
+use heap::{
+    Address, AllocKind, GcHeap, GcStats, Handle, HeapConfig, LargeObjectSpace, MemCtx, MsSpace,
+    OutOfMemory,
+};
+use simtime::{PauseKind, PauseLog};
+use vmm::Access;
+
+use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder};
+
+/// The paper's **MarkSweep** baseline: a single-generation, non-moving,
+/// free-list collector.
+///
+/// Every object lives in the segregated-fit [`MsSpace`] (or the large-object
+/// space). Collection marks from the roots and then sweeps every allocated
+/// cell — touching every superpage in the heap, which is why MarkSweep
+/// "can take hours to complete" under paging (§5.3.1).
+#[derive(Debug)]
+pub struct MarkSweep {
+    core: Core,
+    ms: MsSpace,
+    los: LargeObjectSpace,
+}
+
+impl MarkSweep {
+    /// Creates a MarkSweep heap with the given configuration.
+    pub fn new(config: HeapConfig) -> MarkSweep {
+        let l = config.layout;
+        MarkSweep {
+            core: Core::new(config),
+            ms: MsSpace::new(l.space_a.0, l.space_a.1),
+            los: LargeObjectSpace::new(l.los.0, l.los.1),
+        }
+    }
+
+    fn alloc_raw(&mut self, kind: AllocKind) -> Option<Address> {
+        let size = kind.size_bytes();
+        if is_large(kind) {
+            self.los.alloc(&mut self.core.pool, size)
+        } else {
+            let class = self.ms.classes().class_for(size).expect("small object").index;
+            let bk = if kind.object_kind().is_array() {
+                heap::BlockKind::Array
+            } else {
+                heap::BlockKind::Scalar
+            };
+            self.ms.alloc(&mut self.core.pool, class, bk)
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
+        for sp in self.ms.assigned_sps() {
+            let mut freed_any = false;
+            for cell in self.ms.allocated_cells(sp) {
+                if self.core.is_marked(ctx, cell) {
+                    self.core.clear_mark(ctx, cell);
+                } else {
+                    // The superpage may become empty and be released here.
+                    let _pages = self.ms.free_cell(&mut self.core.pool, cell);
+                    freed_any = true;
+                }
+            }
+            if freed_any && self.ms.info(sp).assignment.is_some() {
+                self.ms.note_partial(sp);
+            }
+        }
+        for (obj, _pages) in self.los.objects() {
+            if self.core.is_marked(ctx, obj) {
+                self.core.clear_mark(ctx, obj);
+            } else {
+                let _pages = self.los.free(&mut self.core.pool, obj);
+            }
+        }
+    }
+}
+
+impl Forwarder for MarkSweep {
+    fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    fn forward(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Address {
+        if self.core.try_mark(ctx, obj) {
+            self.core.queue.push(obj);
+        }
+        obj
+    }
+}
+
+impl GcHeap for MarkSweep {
+    fn alloc(&mut self, ctx: &mut MemCtx<'_>, kind: AllocKind) -> Result<Handle, OutOfMemory> {
+        let addr = match self.alloc_raw(kind) {
+            Some(a) => a,
+            None => {
+                self.collect(ctx, true);
+                self.alloc_raw(kind).ok_or(OutOfMemory {
+                    requested_bytes: kind.size_bytes(),
+                })?
+            }
+        };
+        self.core.init_object(ctx, addr, kind.object_kind());
+        // Whole-heap mark-sweep allocates straight from the segregated
+        // free lists; charge the bump-vs-freelist gap (see CostModel).
+        let extra = ctx.vmm.costs().alloc_freelist_extra;
+        ctx.clock.advance(extra);
+        Ok(self.core.roots.add(addr))
+    }
+
+    fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
+        let obj = self.core.roots.get(src);
+        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let slot = heap::object::field_addr(obj, field);
+        self.core.write_slot(ctx, slot, target);
+    }
+
+    fn read_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32) -> Option<Handle> {
+        let obj = self.core.roots.get(src);
+        let slot = heap::object::field_addr(obj, field);
+        let target = self.core.read_slot(ctx, slot);
+        (!target.is_null()).then(|| self.core.roots.add(target))
+    }
+
+    fn read_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        let size = self.core.header(ctx, addr).kind.size_bytes();
+        ctx.touch(&mut self.core.mem, addr, size, Access::Read);
+    }
+
+    fn write_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle) {
+        let addr = self.core.roots.get(obj);
+        let size = self.core.header(ctx, addr).kind.size_bytes();
+        ctx.touch(
+            &mut self.core.mem,
+            addr.offset(HEADER_BYTES),
+            size.saturating_sub(HEADER_BYTES).max(4),
+            Access::Write,
+        );
+    }
+
+    fn same_object(&self, a: Handle, b: Handle) -> bool {
+        self.core.roots.get(a) == self.core.roots.get(b)
+    }
+
+    fn dup_handle(&mut self, h: Handle) -> Handle {
+        let addr = self.core.roots.get(h);
+        self.core.roots.add(addr)
+    }
+
+    fn drop_handle(&mut self, h: Handle) {
+        self.core.roots.remove(h);
+    }
+
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, _full: bool) {
+        let start = self.core.begin_pause(ctx);
+        forward_roots(self, ctx);
+        drain_gray(self, ctx);
+        self.sweep(ctx);
+        self.core.stats.full_gcs += 1;
+        self.core.end_pause(ctx, start, PauseKind::Full);
+    }
+
+    fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
+        // VM-oblivious: never registered, so the queue is empty; drain it
+        // defensively anyway.
+        let _ = ctx.vmm.take_events(ctx.pid);
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.core.stats
+    }
+
+    fn pause_log(&self) -> &PauseLog {
+        &self.core.pauses
+    }
+
+    fn heap_pages_used(&self) -> usize {
+        self.core.pool.used()
+    }
+
+    fn name(&self) -> &'static str {
+        crate::names::MARK_SWEEP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{env, list_kind, list_len, make_list, TestEnv};
+
+    #[test]
+    fn survivors_survive_and_garbage_is_reclaimed() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let keep = make_list(&mut gc, &mut ctx, 100, 7);
+        let dead = make_list(&mut gc, &mut ctx, 100, 9);
+        gc.drop_handle(dead);
+        let used_before = gc.heap_pages_used();
+        gc.collect(&mut ctx, true);
+        assert!(gc.heap_pages_used() <= used_before);
+        assert_eq!(gc.stats().full_gcs, 1);
+        // The kept list is intact: walk it.
+        assert_eq!(list_len(&mut gc, &mut ctx, keep), 100);
+    }
+
+    #[test]
+    fn allocation_triggers_collection_when_full() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        // 256 KiB heap: filling it forces GCs.
+        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(256 << 10));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        for _ in 0..40 {
+            // 40 x 8 KiB of garbage needs at least one collection.
+            let h = gc
+                .alloc(&mut ctx, AllocKind::DataArray { len: 2000 })
+                .expect("allocation must succeed after GC");
+            gc.drop_handle(h);
+        }
+        assert!(gc.stats().full_gcs >= 1);
+    }
+
+    #[test]
+    fn unreclaimable_heap_reports_oom() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(64 << 10));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let mut held = Vec::new();
+        let mut oom = false;
+        for _ in 0..40 {
+            match gc.alloc(&mut ctx, AllocKind::DataArray { len: 2000 }) {
+                Ok(h) => held.push(h),
+                Err(e) => {
+                    assert_eq!(e.requested_bytes, 8008);
+                    oom = true;
+                    break;
+                }
+            }
+        }
+        assert!(oom, "a 64 KiB heap cannot hold 40 live 8 KiB arrays");
+    }
+
+    #[test]
+    fn large_objects_go_to_los_and_are_collected() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(4 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let big = gc
+            .alloc(&mut ctx, AllocKind::DataArray { len: 10_000 })
+            .unwrap();
+        let pages_with_big = gc.heap_pages_used();
+        gc.drop_handle(big);
+        gc.collect(&mut ctx, true);
+        assert!(gc.heap_pages_used() < pages_with_big);
+    }
+
+    #[test]
+    fn cyclic_garbage_is_reclaimed() {
+        let TestEnv {
+            mut vmm, mut clock, pid, ..
+        } = env(64 << 20);
+        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let a = gc.alloc(&mut ctx, list_kind()).unwrap();
+        let b = gc.alloc(&mut ctx, list_kind()).unwrap();
+        gc.write_ref(&mut ctx, a, 0, Some(b));
+        gc.write_ref(&mut ctx, b, 0, Some(a));
+        let pages_before_drop = gc.heap_pages_used();
+        gc.drop_handle(a);
+        gc.drop_handle(b);
+        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, true);
+        // The cycle is gone; a fresh allocation reuses its cells.
+        let c = gc.alloc(&mut ctx, list_kind()).unwrap();
+        assert!(gc.heap_pages_used() <= pages_before_drop);
+        gc.drop_handle(c);
+    }
+}

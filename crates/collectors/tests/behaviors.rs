@@ -1,0 +1,195 @@
+//! Collector-specific behavioural tests, including the paper's core claim
+//! about VM-oblivious collectors: their collections touch evicted pages and
+//! cascade into page faults.
+
+use collectors::{CopyMs, GenCopy, GenMs, MarkSweep, SemiSpace};
+use heap::{AllocKind, GcHeap, Handle, HeapConfig, MemCtx};
+use simtime::{Clock, CostModel};
+use vmm::{ProcessId, Vmm, VmmConfig};
+
+fn env(memory_bytes: usize) -> (Vmm, Clock, ProcessId, ProcessId) {
+    let mut config = VmmConfig::with_memory_bytes(memory_bytes);
+    config.low_watermark = 16;
+    config.high_watermark = 32;
+    let mut vmm = Vmm::new(config, CostModel::default());
+    let pid = vmm.register_process();
+    let hog = vmm.register_process();
+    (vmm, Clock::new(), pid, hog)
+}
+
+fn node() -> AllocKind {
+    AllocKind::Scalar {
+        data_words: 3,
+        num_refs: 1,
+    }
+}
+
+fn build_list<G: GcHeap>(gc: &mut G, ctx: &mut MemCtx<'_>, n: usize) -> Handle {
+    let head = gc.alloc(ctx, node()).unwrap();
+    let mut cur = gc.dup_handle(head);
+    for _ in 1..n {
+        let next = gc.alloc(ctx, node()).unwrap();
+        gc.write_ref(ctx, cur, 0, Some(next));
+        gc.drop_handle(cur);
+        cur = next;
+    }
+    gc.drop_handle(cur);
+    head
+}
+
+fn walk<G: GcHeap>(gc: &mut G, ctx: &mut MemCtx<'_>, head: Handle) -> usize {
+    let mut len = 1;
+    let mut cur = gc.dup_handle(head);
+    while let Some(next) = gc.read_ref(ctx, cur, 0) {
+        gc.drop_handle(cur);
+        cur = next;
+        len += 1;
+    }
+    gc.drop_handle(cur);
+    len
+}
+
+/// §1: "During full-heap collections, most existing garbage collectors
+/// touch pages without regard to which pages are resident in memory …
+/// visiting these pages during a collection triggers a cascade of page
+/// faults". MarkSweep's sweep must fault once its heap is partly evicted.
+#[test]
+fn oblivious_full_collection_faults_on_evicted_pages() {
+    let (mut vmm, mut clock, pid, hog) = env(2 << 20); // 512 frames
+    let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(1 << 20));
+    let head = {
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        build_list(&mut gc, &mut ctx, 15_000) // ~300 KiB across ~90 pages
+    };
+    // Squeeze: pin pages until the collector's heap is partially evicted.
+    let mut pinned = 0;
+    while vmm.stats(pid).evictions < 30 && vmm.free_frames() > 8 {
+        vmm.mlock(hog, vmm::VirtPage(pinned), &mut clock);
+        pinned += 1;
+        vmm.pump(&mut clock);
+    }
+    assert!(vmm.stats(pid).evictions >= 30, "never evicted enough");
+    let faults_before = vmm.stats(pid).major_faults;
+    {
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        gc.collect(&mut ctx, true);
+    }
+    let collector_faults = vmm.stats(pid).major_faults - faults_before;
+    assert!(
+        collector_faults >= 20,
+        "MarkSweep's collection should cascade into faults, saw {collector_faults}"
+    );
+    // Data intact regardless.
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+    assert_eq!(walk(&mut gc, &mut ctx, head), 15_000);
+}
+
+/// SemiSpace alternates directions: two flips return survivors to the
+/// original semispace region.
+#[test]
+fn semispace_flips_alternate_regions() {
+    let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
+    let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+    let head = build_list(&mut gc, &mut ctx, 100);
+    let moved0 = gc.stats().objects_moved;
+    gc.collect(&mut ctx, true);
+    let moved1 = gc.stats().objects_moved;
+    gc.collect(&mut ctx, true);
+    let moved2 = gc.stats().objects_moved;
+    // Each flip copies all 100 live objects.
+    assert_eq!(moved1 - moved0, 100);
+    assert_eq!(moved2 - moved1, 100);
+    assert_eq!(walk(&mut gc, &mut ctx, head), 100);
+}
+
+/// GenCopy's full collections evacuate the mature space (semispace style),
+/// unlike GenMS whose mature objects are marked in place.
+#[test]
+fn gencopy_major_moves_mature_objects_but_genms_does_not() {
+    let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
+    // GenCopy: promote, then a major GC moves the promoted objects again.
+    let mut gencopy = GenCopy::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+    let h1 = build_list(&mut gencopy, &mut ctx, 100);
+    gencopy.collect(&mut ctx, false); // promote
+    let after_minor = gencopy.stats().objects_moved;
+    gencopy.collect(&mut ctx, true); // mature semispace copy
+    assert_eq!(gencopy.stats().objects_moved, after_minor + 100);
+    assert_eq!(walk(&mut gencopy, &mut ctx, h1), 100);
+    // GenMS: a major GC marks mature objects in place (no further moves).
+    let pid2 = ctx.vmm.register_process();
+    drop(ctx);
+    let mut genms = GenMs::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid2);
+    let h2 = build_list(&mut genms, &mut ctx, 100);
+    genms.collect(&mut ctx, false);
+    let after_minor = genms.stats().objects_moved;
+    genms.collect(&mut ctx, true);
+    assert_eq!(genms.stats().objects_moved, after_minor);
+    assert_eq!(walk(&mut genms, &mut ctx, h2), 100);
+}
+
+/// CopyMS's copy space empties at every collection; repeated collections
+/// with a stable live set move nothing after the first.
+#[test]
+fn copyms_steady_state_stops_copying() {
+    let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
+    let mut gc = CopyMs::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+    let head = build_list(&mut gc, &mut ctx, 200);
+    gc.collect(&mut ctx, true);
+    let moved = gc.stats().objects_moved;
+    for _ in 0..3 {
+        gc.collect(&mut ctx, true);
+    }
+    assert_eq!(gc.stats().objects_moved, moved, "mature objects re-copied");
+    assert_eq!(walk(&mut gc, &mut ctx, head), 200);
+}
+
+/// Handle churn: thousands of dup/drop cycles neither leak roots nor
+/// confuse identity.
+#[test]
+fn handle_churn_is_stable() {
+    let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
+    let mut gc = GenMs::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+    let obj = gc.alloc(&mut ctx, node()).unwrap();
+    let mut dups = Vec::new();
+    for i in 0..10_000 {
+        dups.push(gc.dup_handle(obj));
+        if i % 3 == 0 {
+            let h = dups.swap_remove(0);
+            gc.drop_handle(h);
+        }
+        if i % 100 == 0 {
+            gc.collect(&mut ctx, i % 500 == 0);
+        }
+    }
+    for &d in &dups {
+        assert!(gc.same_object(d, obj));
+    }
+    for d in dups {
+        gc.drop_handle(d);
+    }
+    gc.drop_handle(obj);
+}
+
+/// Large objects keep their identity (LOS objects never move) while
+/// everything around them is copied.
+#[test]
+fn los_objects_are_pinned_across_copying_collections() {
+    let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
+    let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(8 << 20));
+    let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+    let big = gc.alloc(&mut ctx, AllocKind::RefArray { len: 4000 }).unwrap();
+    let small = gc.alloc(&mut ctx, node()).unwrap();
+    gc.write_ref(&mut ctx, big, 0, Some(small));
+    gc.write_ref(&mut ctx, big, 3999, Some(big)); // self-reference
+    for _ in 0..3 {
+        gc.collect(&mut ctx, true);
+    }
+    let loaded = gc.read_ref(&mut ctx, big, 3999).expect("self ref");
+    assert!(gc.same_object(loaded, big), "large object moved");
+    assert!(gc.read_ref(&mut ctx, big, 0).is_some());
+}

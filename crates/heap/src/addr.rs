@@ -1,0 +1,175 @@
+//! Simulated addresses and the fixed virtual-address-space layout.
+
+use core::fmt;
+use vmm::VirtPage;
+
+/// Bytes per machine word (the paper's testbed is 32-bit x86).
+pub const WORD: u32 = 4;
+/// Bytes per virtual-memory page.
+pub const BYTES_PER_PAGE: u32 = vmm::PAGE_BYTES as u32;
+/// Pages per superpage ("page-aligned groups of four contiguous pages", §3).
+pub const PAGES_PER_SUPERPAGE: u32 = 4;
+/// Bytes per superpage (16 KiB).
+pub const BYTES_PER_SUPERPAGE: u32 = BYTES_PER_PAGE * PAGES_PER_SUPERPAGE;
+
+/// A 32-bit simulated virtual address. `Address(0)` is null.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(pub u32);
+
+impl Address {
+    /// The null address.
+    pub const NULL: Address = Address(0);
+
+    /// Whether this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// This address plus `bytes`.
+    pub const fn offset(self, bytes: u32) -> Address {
+        Address(self.0 + bytes)
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> VirtPage {
+        VirtPage::containing(self.0)
+    }
+
+    /// Whether the address is word-aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD)
+    }
+
+    /// Rounds up to the next multiple of `align` (a power of two).
+    pub const fn align_up(self, align: u32) -> Address {
+        Address((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+/// Rounds a byte count up to whole words.
+pub(crate) const fn round_up_words(bytes: u32) -> u32 {
+    (bytes + WORD - 1) & !(WORD - 1)
+}
+
+/// The fixed region layout of a simulated process's heap address space.
+///
+/// Every collector draws its spaces from the same four regions so that the
+/// [`vmm`] page tables stay dense:
+///
+/// | Region    | Use                                                |
+/// |-----------|----------------------------------------------------|
+/// | `nursery` | bump-pointer nursery                               |
+/// | `space_a` | mature mark-sweep superpages, or semispace "from"  |
+/// | `space_b` | semispace "to" (copying collectors only)           |
+/// | `los`     | page-granular large object space                   |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Nursery region `[base, limit)`.
+    pub nursery: (Address, Address),
+    /// First mature region.
+    pub space_a: (Address, Address),
+    /// Second mature region (copy reserve).
+    pub space_b: (Address, Address),
+    /// Large object region.
+    pub los: (Address, Address),
+}
+
+impl Layout {
+    /// The layout constants used by every collector in this reproduction.
+    pub const fn standard() -> Layout {
+        Layout {
+            nursery: (Address(0x0040_0000), Address(0x1040_0000)), // 256 MiB
+            space_a: (Address(0x1040_0000), Address(0x5040_0000)), // 1 GiB
+            space_b: (Address(0x5040_0000), Address(0x9040_0000)), // 1 GiB
+            los: (Address(0x9040_0000), Address(0xB040_0000)),     // 512 MiB
+        }
+    }
+
+    /// Which region an address falls into, if any.
+    pub fn region_of(&self, addr: Address) -> Option<Region> {
+        let a = addr.0;
+        if a >= self.nursery.0 .0 && a < self.nursery.1 .0 {
+            Some(Region::Nursery)
+        } else if a >= self.space_a.0 .0 && a < self.space_a.1 .0 {
+            Some(Region::SpaceA)
+        } else if a >= self.space_b.0 .0 && a < self.space_b.1 .0 {
+            Some(Region::SpaceB)
+        } else if a >= self.los.0 .0 && a < self.los.1 .0 {
+            Some(Region::Los)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Layout {
+        Layout::standard()
+    }
+}
+
+/// One of the four fixed address regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// The nursery.
+    Nursery,
+    /// First mature region.
+    SpaceA,
+    /// Second mature region.
+    SpaceB,
+    /// The large object space.
+    Los,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_and_alignment() {
+        assert!(Address::NULL.is_null());
+        assert!(!Address(4).is_null());
+        assert!(Address(8).is_word_aligned());
+        assert!(!Address(9).is_word_aligned());
+        assert_eq!(Address(13).align_up(8), Address(16));
+        assert_eq!(Address(16).align_up(8), Address(16));
+        assert_eq!(round_up_words(1), 4);
+        assert_eq!(round_up_words(4), 4);
+        assert_eq!(round_up_words(5), 8);
+    }
+
+    #[test]
+    fn page_of_address() {
+        assert_eq!(Address(0).page(), VirtPage(0));
+        assert_eq!(Address(4095).page(), VirtPage(0));
+        assert_eq!(Address(4096).page(), VirtPage(1));
+    }
+
+    #[test]
+    fn standard_layout_regions_are_disjoint_and_classified() {
+        let l = Layout::standard();
+        assert_eq!(l.region_of(Address(0x0040_0000)), Some(Region::Nursery));
+        assert_eq!(l.region_of(Address(0x1040_0000)), Some(Region::SpaceA));
+        assert_eq!(l.region_of(Address(0x5040_0000)), Some(Region::SpaceB));
+        assert_eq!(l.region_of(Address(0x9040_0000)), Some(Region::Los));
+        assert_eq!(l.region_of(Address(0x0000_1000)), None);
+        assert_eq!(l.region_of(Address(0xF000_0000)), None);
+        // Contiguity: each region ends where the next begins.
+        assert_eq!(l.nursery.1, l.space_a.0);
+        assert_eq!(l.space_a.1, l.space_b.0);
+        assert_eq!(l.space_b.1, l.los.0);
+    }
+
+    #[test]
+    fn superpage_constants_match_the_paper() {
+        // §3: "superpages, page-aligned groups of four contiguous pages (16K)".
+        assert_eq!(BYTES_PER_SUPERPAGE, 16 * 1024);
+        assert_eq!(PAGES_PER_SUPERPAGE, 4);
+    }
+}

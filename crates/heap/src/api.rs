@@ -1,0 +1,219 @@
+//! The mutator-facing collector interface.
+//!
+//! Workload programs drive any collector through [`GcHeap`]: they hold
+//! [`Handle`]s (never raw addresses), allocate with [`GcHeap::alloc`], and
+//! read/write reference fields through the collector so that write barriers
+//! fire and paging costs are charged.
+
+use core::fmt;
+use std::error::Error;
+
+use simtime::PauseLog;
+
+use crate::addr::Layout;
+use crate::ctx::MemCtx;
+use crate::object::ObjectKind;
+use crate::roots::Handle;
+use crate::stats::GcStats;
+
+/// What the mutator asks to allocate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AllocKind {
+    /// A fixed-shape object with `data_words` payload words, the first
+    /// `num_refs` of which are reference fields.
+    Scalar {
+        /// Payload words (header excluded).
+        data_words: u16,
+        /// Leading reference fields.
+        num_refs: u16,
+    },
+    /// An array of `len` reference elements.
+    RefArray {
+        /// Element count.
+        len: u32,
+    },
+    /// An array of `len` non-reference words.
+    DataArray {
+        /// Element count.
+        len: u32,
+    },
+}
+
+impl AllocKind {
+    /// The object-model shape for this request.
+    pub fn object_kind(&self) -> ObjectKind {
+        match *self {
+            AllocKind::Scalar {
+                data_words,
+                num_refs,
+            } => ObjectKind::scalar(data_words, num_refs),
+            AllocKind::RefArray { len } => ObjectKind::Array { len, refs: true },
+            AllocKind::DataArray { len } => ObjectKind::Array { len, refs: false },
+        }
+    }
+
+    /// Total size in bytes, header included.
+    pub fn size_bytes(&self) -> u32 {
+        self.object_kind().size_bytes()
+    }
+}
+
+/// The heap is exhausted: even after full collection (and, for BC, the
+/// completeness fail-safe) the allocation cannot be satisfied within the
+/// configured heap size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// The request that failed, in bytes.
+    pub requested_bytes: u32,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heap exhausted allocating {} bytes",
+            self.requested_bytes
+        )
+    }
+}
+
+impl Error for OutOfMemory {}
+
+/// Nursery sizing policy (§5.3.2 compares Appel-style variable nurseries
+/// against 4 MB fixed nurseries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NurseryPolicy {
+    /// Appel-style: the nursery gets half of the currently free heap.
+    Appel,
+    /// A fixed-size nursery (the paper's fixed variants use 4 MB).
+    Fixed {
+        /// Nursery size in bytes.
+        bytes: u32,
+    },
+}
+
+impl NurseryPolicy {
+    /// The paper's fixed-nursery configuration (4 MB).
+    pub const FIXED_4MB: NurseryPolicy = NurseryPolicy::Fixed {
+        bytes: 4 * 1024 * 1024,
+    };
+}
+
+/// Static configuration for one collector instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Total heap budget in bytes (the experiments' "heap size").
+    pub heap_bytes: usize,
+    /// Nursery sizing (ignored by the single-generation collectors).
+    pub nursery: NurseryPolicy,
+    /// Address-space layout.
+    pub layout: Layout,
+}
+
+impl HeapConfig {
+    /// A configuration with the given heap size and Appel nursery.
+    pub fn with_heap_bytes(heap_bytes: usize) -> HeapConfig {
+        HeapConfig {
+            heap_bytes,
+            nursery: NurseryPolicy::Appel,
+            layout: Layout::standard(),
+        }
+    }
+}
+
+/// The interface every collector implements; the mutator's only view of
+/// the heap.
+///
+/// Handles remain valid across collections (moving collectors update the
+/// root table); raw addresses must never be held across a call that may
+/// collect.
+pub trait GcHeap {
+    /// Allocates an object, collecting as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the heap budget cannot satisfy the
+    /// request even after full collection.
+    fn alloc(&mut self, ctx: &mut MemCtx<'_>, kind: AllocKind) -> Result<Handle, OutOfMemory>;
+
+    /// Stores `val` (or null) into reference field `field` of `src`,
+    /// through the write barrier.
+    fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>);
+
+    /// Loads reference field `field` of `src`, returning a fresh handle (or
+    /// `None` for null). The caller owns the handle and must
+    /// [`drop_handle`](GcHeap::drop_handle) it.
+    fn read_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32) -> Option<Handle>;
+
+    /// Touches the whole object (a read of its payload) — models mutator
+    /// data accesses for locality/paging purposes.
+    fn read_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle);
+
+    /// Touches the whole object with a write.
+    fn write_data(&mut self, ctx: &mut MemCtx<'_>, obj: Handle);
+
+    /// Whether two handles currently denote the same object (reference
+    /// equality, stable across moving collections).
+    fn same_object(&self, a: Handle, b: Handle) -> bool;
+
+    /// Duplicates a handle (a second independent root to the same object).
+    fn dup_handle(&mut self, h: Handle) -> Handle;
+
+    /// Releases a handle; the object may become unreachable.
+    fn drop_handle(&mut self, h: Handle);
+
+    /// Forces a collection (`full` requests a full-heap collection).
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool);
+
+    /// Processes queued virtual-memory notifications (eviction notices,
+    /// residency changes, protection faults). Called by the engine after
+    /// every mutator step; only the bookmarking collector reacts.
+    fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>);
+
+    /// Collector counters.
+    fn stats(&self) -> &GcStats;
+
+    /// Stop-the-world pause log.
+    fn pause_log(&self) -> &PauseLog;
+
+    /// Heap pages currently charged against the budget.
+    fn heap_pages_used(&self) -> usize;
+
+    /// Short collector name ("BC", "GenMS", …) for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_kind_sizes() {
+        assert_eq!(
+            AllocKind::Scalar {
+                data_words: 4,
+                num_refs: 2
+            }
+            .size_bytes(),
+            8 + 16
+        );
+        assert_eq!(AllocKind::RefArray { len: 10 }.size_bytes(), 8 + 40);
+        assert_eq!(AllocKind::DataArray { len: 0 }.size_bytes(), 8);
+    }
+
+    #[test]
+    fn out_of_memory_displays_request() {
+        let e = OutOfMemory {
+            requested_bytes: 64,
+        };
+        assert_eq!(e.to_string(), "heap exhausted allocating 64 bytes");
+    }
+
+    #[test]
+    fn fixed_nursery_constant_is_4mb() {
+        match NurseryPolicy::FIXED_4MB {
+            NurseryPolicy::Fixed { bytes } => assert_eq!(bytes, 4 << 20),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The card table used by write-buffer filtering (§3.1).
+//!
+//! When a write buffer fills, entries whose source lies in the mature space
+//! are converted into a mark on the *source object's card*; nursery
+//! collection then scans "only those objects whose cards are marked".
+
+use crate::addr::Address;
+
+/// Bytes covered by one card.
+pub const CARD_BYTES: u32 = 512;
+
+/// A bitmap of dirty cards over a contiguous address range.
+#[derive(Clone, Debug)]
+pub struct CardTable {
+    base: Address,
+    bits: Vec<u64>,
+    cards: u32,
+}
+
+impl CardTable {
+    /// A clean table covering `[base, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the bounds are card-aligned.
+    pub fn new(base: Address, limit: Address) -> CardTable {
+        assert_eq!(base.0 % CARD_BYTES, 0);
+        assert_eq!(limit.0 % CARD_BYTES, 0);
+        let cards = (limit.0 - base.0) / CARD_BYTES;
+        CardTable {
+            base,
+            bits: vec![0; cards.div_ceil(64) as usize],
+            cards,
+        }
+    }
+
+    fn card_of(&self, addr: Address) -> Option<u32> {
+        addr.0
+            .checked_sub(self.base.0)
+            .map(|off| off / CARD_BYTES)
+            .filter(|&c| c < self.cards)
+    }
+
+    /// Marks the card containing `addr` dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the covered range.
+    pub fn mark(&mut self, addr: Address) {
+        let c = self.card_of(addr).expect("address outside card table");
+        self.bits[(c / 64) as usize] |= 1 << (c % 64);
+    }
+
+    /// Whether the card containing `addr` is dirty.
+    pub fn is_marked(&self, addr: Address) -> bool {
+        self.card_of(addr)
+            .map(|c| self.bits[(c / 64) as usize] & (1 << (c % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// The base addresses of all dirty cards, ascending.
+    pub fn dirty_cards(&self) -> Vec<Address> {
+        let mut out = Vec::new();
+        for (w, &bits) in self.bits.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push(Address(self.base.0 + (w as u32 * 64 + b) * CARD_BYTES));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Clears every mark (after a nursery collection consumes them).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Number of dirty cards.
+    pub fn dirty_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The span of addresses one dirty card covers.
+    pub fn card_range(card_base: Address) -> (Address, Address) {
+        (card_base, card_base.offset(CARD_BYTES))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let mut t = CardTable::new(Address(0x1000), Address(0x3000));
+        t.mark(Address(0x1234));
+        assert!(t.is_marked(Address(0x1200)));
+        assert!(t.is_marked(Address(0x13FF)));
+        assert!(!t.is_marked(Address(0x1400)));
+        assert_eq!(t.dirty_count(), 1);
+    }
+
+    #[test]
+    fn dirty_cards_are_sorted_bases() {
+        let mut t = CardTable::new(Address(0), Address(0x10000));
+        t.mark(Address(0x5000));
+        t.mark(Address(0x200));
+        t.mark(Address(0x5100)); // same card as 0x5000
+        let dirty = t.dirty_cards();
+        assert_eq!(dirty, vec![Address(0x200 & !511), Address(0x5000)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = CardTable::new(Address(0), Address(0x1000));
+        t.mark(Address(0));
+        t.clear();
+        assert_eq!(t.dirty_count(), 0);
+        assert!(!t.is_marked(Address(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside card table")]
+    fn out_of_range_mark_panics() {
+        let mut t = CardTable::new(Address(0x1000), Address(0x2000));
+        t.mark(Address(0x2000));
+    }
+
+    #[test]
+    fn out_of_range_query_is_false() {
+        let t = CardTable::new(Address(0x1000), Address(0x2000));
+        assert!(!t.is_marked(Address(0)));
+        assert!(!t.is_marked(Address(0x9000)));
+    }
+}

@@ -1,0 +1,373 @@
+//! Machinery shared by every collector: charged object access, the tracing
+//! driver, nursery bookkeeping, and pause accounting.
+//!
+//! Both the baseline collectors (the `collectors` crate) and the bookmarking
+//! collector (the `bookmarking` crate) are built on this module: a [`Core`]
+//! bundles the per-collector state (simulated memory, page budget, roots,
+//! statistics, pause log, gray queue), and the [`Forwarder`] trait plus
+//! [`forward_roots`]/[`drain_gray`] implement the generic tracing loop over
+//! whatever forwarding policy a collector supplies (mark, copy, or BC's
+//! residency-aware mark).
+
+use crate::addr::{Address, WORD};
+use crate::api::{AllocKind, HeapConfig, NurseryPolicy};
+use crate::ctx::MemCtx;
+use crate::mem::SimMemory;
+use crate::object::{field_addr, Header, ObjectKind, HEADER_BYTES};
+use crate::pool::PagePool;
+use crate::roots::RootSet;
+use crate::stats::GcStats;
+use crate::tracer::MarkQueue;
+use simtime::{Nanos, PauseKind, PauseLog};
+use vmm::Access;
+
+/// Minimum Appel nursery before a full collection is forced (256 KiB).
+pub const MIN_NURSERY_BYTES: u32 = 256 * 1024;
+
+/// State common to all collectors.
+#[derive(Debug)]
+pub struct Core {
+    /// The collector's static configuration.
+    pub config: HeapConfig,
+    /// The simulated backing memory.
+    pub mem: SimMemory,
+    /// The heap budget, in pages.
+    pub pool: PagePool,
+    /// The mutator's root table.
+    pub roots: RootSet,
+    /// Collector counters.
+    pub stats: GcStats,
+    /// Stop-the-world pause log.
+    pub pauses: PauseLog,
+    /// The gray-object worklist.
+    pub queue: MarkQueue,
+    /// Set when a collection could not reclaim enough memory.
+    pub oom: bool,
+}
+
+impl Core {
+    /// Creates the shared state for a fresh collector instance.
+    pub fn new(config: HeapConfig) -> Core {
+        Core {
+            mem: SimMemory::new(),
+            pool: PagePool::with_bytes(config.heap_bytes),
+            roots: RootSet::new(),
+            stats: GcStats::default(),
+            pauses: PauseLog::new(),
+            queue: MarkQueue::new(),
+            oom: false,
+            config,
+        }
+    }
+
+    /// Reads an object's header (charged).
+    pub fn header(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Header {
+        ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Read);
+        Header::decode(self.mem.read_word(obj), self.mem.read_word(obj.offset(WORD)))
+    }
+
+    /// Reads a header that may be a forwarding stub (charged).
+    pub fn header_or_forward(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        obj: Address,
+    ) -> Result<Header, Address> {
+        ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Read);
+        Header::decode_forwarded(self.mem.read_word(obj), self.mem.read_word(obj.offset(WORD)))
+    }
+
+    /// Writes an object's header (charged).
+    pub fn write_header(&mut self, ctx: &mut MemCtx<'_>, obj: Address, h: Header) {
+        ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Write);
+        let (w0, w1) = h.encode();
+        self.mem.write_word(obj, w0);
+        self.mem.write_word(obj.offset(WORD), w1);
+    }
+
+    /// Atomically tests and sets the mark bit; `true` if newly marked.
+    pub fn try_mark(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> bool {
+        ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Write);
+        let w0 = self.mem.read_word(obj);
+        if Header::is_marked(w0) {
+            false
+        } else {
+            self.mem.write_word(obj, Header::with_mark(w0, true));
+            true
+        }
+    }
+
+    /// Whether the object is marked (charged header read).
+    pub fn is_marked(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> bool {
+        ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Read);
+        Header::is_marked(self.mem.read_word(obj))
+    }
+
+    /// Clears the mark bit (charged).
+    pub fn clear_mark(&mut self, ctx: &mut MemCtx<'_>, obj: Address) {
+        ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Write);
+        let w0 = self.mem.read_word(obj);
+        self.mem.write_word(obj, Header::with_mark(w0, false));
+    }
+
+    /// Initializes a fresh object: zeroes its cell, writes the header, and
+    /// charges allocation cost.
+    pub fn init_object(&mut self, ctx: &mut MemCtx<'_>, obj: Address, kind: ObjectKind) {
+        let size = kind.size_bytes();
+        ctx.touch(&mut self.mem, obj, size, Access::Write);
+        self.mem.zero(obj, size);
+        let (w0, w1) = Header::new(kind).encode();
+        self.mem.write_word(obj, w0);
+        self.mem.write_word(obj.offset(WORD), w1);
+        let costs = ctx.vmm.costs().clone();
+        ctx.clock
+            .advance(costs.alloc_object + costs.ram_word * (size / WORD) as u64);
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += size as u64;
+    }
+
+    /// Reads the reference fields of `obj`, returning `(slot, target)` for
+    /// each non-null one, charging the scan.
+    pub fn scan_refs(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Vec<(Address, Address)> {
+        let h = self.header(ctx, obj);
+        let n = h.kind.num_ref_fields();
+        let costs = ctx.vmm.costs().clone();
+        ctx.clock
+            .advance(costs.scan_object + costs.scan_ref * n as u64);
+        if n == 0 {
+            return Vec::new();
+        }
+        // One touch for the whole referenced span, then raw reads.
+        ctx.touch(&mut self.mem, obj.offset(HEADER_BYTES), n * WORD, Access::Read);
+        let mut out = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let slot = field_addr(obj, i);
+            let target = Address(self.mem.read_word(slot));
+            if !target.is_null() {
+                out.push((slot, target));
+            }
+        }
+        out
+    }
+
+    /// Copies an object's `size` bytes from `from` to `to` and leaves a
+    /// forwarding stub at `from` (charged).
+    pub fn copy_object(&mut self, ctx: &mut MemCtx<'_>, from: Address, to: Address, size: u32) {
+        ctx.touch(&mut self.mem, from, size, Access::Read);
+        ctx.touch(&mut self.mem, to, size, Access::Write);
+        self.mem.copy(from, to, size);
+        let (w0, w1) = Header::forwarding_stub(to);
+        self.mem.write_word(from, w0);
+        self.mem.write_word(from.offset(WORD), w1);
+        let costs = ctx.vmm.costs().clone();
+        ctx.clock.advance(costs.copy_byte * size as u64);
+        self.stats.objects_moved += 1;
+        self.stats.bytes_moved += size as u64;
+    }
+
+    /// Writes a reference slot (charged raw word write, no barrier).
+    pub fn write_slot(&mut self, ctx: &mut MemCtx<'_>, slot: Address, val: Address) {
+        ctx.write_word(&mut self.mem, slot, val.0);
+    }
+
+    /// Reads a reference slot (charged).
+    pub fn read_slot(&mut self, ctx: &mut MemCtx<'_>, slot: Address) -> Address {
+        Address(ctx.read_word(&mut self.mem, slot))
+    }
+
+    /// Starts a stop-the-world pause; pair with [`Core::end_pause`].
+    pub fn begin_pause(&mut self, ctx: &mut MemCtx<'_>) -> (Nanos, u64) {
+        let costs = ctx.vmm.costs().clone();
+        ctx.clock.advance(costs.gc_setup);
+        (ctx.clock.now(), ctx.major_faults())
+    }
+
+    /// Finishes a pause and logs it.
+    pub fn end_pause(&mut self, ctx: &mut MemCtx<'_>, start: (Nanos, u64), kind: PauseKind) {
+        let duration = ctx.clock.now() - start.0;
+        let faults = ctx.major_faults() - start.1;
+        self.pauses.record(start.0, duration, kind, faults);
+    }
+}
+
+/// A collector that can forward (mark or copy) one object reference.
+pub trait Forwarder {
+    /// Shared state.
+    fn core_mut(&mut self) -> &mut Core;
+
+    /// Processes one edge: marks or copies `obj` as the collection requires,
+    /// enqueues it for scanning on first visit, and returns its (possibly
+    /// new) address.
+    fn forward(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Address;
+}
+
+/// Forwards every root slot.
+pub fn forward_roots<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
+    let mut roots = std::mem::take(&mut f.core_mut().roots);
+    let mut slots: Vec<Address> = roots.iter().collect();
+    for slot in &mut slots {
+        *slot = f.forward(ctx, *slot);
+    }
+    // Write back in the same order.
+    let mut it = slots.into_iter();
+    roots.for_each_slot_mut(|s| *s = it.next().expect("root count changed during trace"));
+    f.core_mut().roots = roots;
+}
+
+/// Drains the gray queue: scans each pending object and forwards its
+/// outgoing references, updating fields that moved.
+pub fn drain_gray<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
+    while let Some(obj) = f.core_mut().queue.pop() {
+        f.core_mut().stats.objects_traced += 1;
+        let refs = f.core_mut().scan_refs(ctx, obj);
+        for (slot, target) in refs {
+            let new = f.forward(ctx, target);
+            if new != target {
+                let core = f.core_mut();
+                core.mem.write_word(slot, new.0); // page already touched by scan
+            }
+        }
+    }
+}
+
+/// Appel-style nursery sizing shared by the generational collectors.
+#[derive(Clone, Copy, Debug)]
+pub struct NurserySizer {
+    policy: NurseryPolicy,
+}
+
+impl NurserySizer {
+    /// A sizer following `policy`.
+    pub fn new(policy: NurseryPolicy) -> NurserySizer {
+        NurserySizer { policy }
+    }
+
+    /// The nursery budget given the bytes that would be free if the nursery
+    /// were empty, after subtracting the collector's copy reserve.
+    pub fn limit(&self, free_minus_reserve_bytes: u32) -> u32 {
+        match self.policy {
+            NurseryPolicy::Appel => (free_minus_reserve_bytes / 2).max(MIN_NURSERY_BYTES),
+            NurseryPolicy::Fixed { bytes } => bytes,
+        }
+    }
+
+    /// Whether a full collection should be forced because the nursery has
+    /// shrunk to its minimum (Appel) or the reserve is exhausted (fixed).
+    pub fn full_gc_needed(&self, free_minus_reserve_bytes: u32) -> bool {
+        match self.policy {
+            NurseryPolicy::Appel => free_minus_reserve_bytes / 2 < MIN_NURSERY_BYTES,
+            NurseryPolicy::Fixed { bytes } => free_minus_reserve_bytes < bytes,
+        }
+    }
+}
+
+/// Decides cell-vs-LOS placement for an allocation request.
+pub fn is_large(kind: AllocKind) -> bool {
+    kind.size_bytes() > crate::object::MAX_SMALL_OBJECT_BYTES
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{Clock, CostModel};
+    use vmm::{Vmm, VmmConfig};
+
+    fn setup() -> (Core, Vmm, Clock) {
+        let mut vmm = Vmm::new(VmmConfig::with_frames(1024), CostModel::default());
+        let pid = vmm.register_process();
+        assert_eq!(pid.0, 0);
+        (
+            Core::new(HeapConfig::with_heap_bytes(1 << 20)),
+            vmm,
+            Clock::new(),
+        )
+    }
+
+    #[test]
+    fn init_and_header_round_trip() {
+        let (mut core, mut vmm, mut clock) = setup();
+        let pid = vmm::ProcessId(0);
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+        let kind = ObjectKind::scalar(4, 2);
+        let obj = Address(0x1040_0000);
+        core.init_object(&mut ctx, obj, kind);
+        let h = core.header(&mut ctx, obj);
+        assert_eq!(h.kind, kind);
+        assert!(!h.mark && !h.bookmark);
+        assert_eq!(core.stats.objects_allocated, 1);
+        assert_eq!(core.stats.bytes_allocated, 24);
+    }
+
+    #[test]
+    fn try_mark_marks_once() {
+        let (mut core, mut vmm, mut clock) = setup();
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId(0));
+        let obj = Address(0x1040_0000);
+        core.init_object(&mut ctx, obj, ObjectKind::scalar(1, 0));
+        assert!(core.try_mark(&mut ctx, obj));
+        assert!(!core.try_mark(&mut ctx, obj));
+        assert!(core.is_marked(&mut ctx, obj));
+        core.clear_mark(&mut ctx, obj);
+        assert!(!core.is_marked(&mut ctx, obj));
+    }
+
+    #[test]
+    fn scan_refs_returns_nonnull_slots() {
+        let (mut core, mut vmm, mut clock) = setup();
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId(0));
+        let obj = Address(0x1040_0000);
+        core.init_object(&mut ctx, obj, ObjectKind::scalar(4, 3));
+        // Set fields 0 and 2.
+        core.write_slot(&mut ctx, field_addr(obj, 0), Address(0x2000));
+        core.write_slot(&mut ctx, field_addr(obj, 2), Address(0x3000));
+        let refs = core.scan_refs(&mut ctx, obj);
+        assert_eq!(
+            refs,
+            vec![
+                (field_addr(obj, 0), Address(0x2000)),
+                (field_addr(obj, 2), Address(0x3000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn copy_object_leaves_forwarding_stub() {
+        let (mut core, mut vmm, mut clock) = setup();
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId(0));
+        let from = Address(0x1040_0000);
+        let to = Address(0x5040_0000);
+        let kind = ObjectKind::scalar(2, 1);
+        core.init_object(&mut ctx, from, kind);
+        core.write_slot(&mut ctx, field_addr(from, 0), Address(0xABCD_0000));
+        core.copy_object(&mut ctx, from, to, kind.size_bytes());
+        assert_eq!(core.header_or_forward(&mut ctx, from), Err(to));
+        let h = core.header(&mut ctx, to);
+        assert_eq!(h.kind, kind);
+        assert_eq!(core.read_slot(&mut ctx, field_addr(to, 0)), Address(0xABCD_0000));
+        assert_eq!(core.stats.objects_moved, 1);
+    }
+
+    #[test]
+    fn nursery_sizer_appel_halves_free_space() {
+        let s = NurserySizer::new(NurseryPolicy::Appel);
+        assert_eq!(s.limit(40 << 20), 20 << 20);
+        assert_eq!(s.limit(100), MIN_NURSERY_BYTES);
+        assert!(s.full_gc_needed(100));
+        assert!(!s.full_gc_needed(10 << 20));
+    }
+
+    #[test]
+    fn nursery_sizer_fixed_is_constant() {
+        let s = NurserySizer::new(NurseryPolicy::FIXED_4MB);
+        assert_eq!(s.limit(100 << 20), 4 << 20);
+        assert_eq!(s.limit(0), 4 << 20);
+        assert!(s.full_gc_needed(3 << 20));
+        assert!(!s.full_gc_needed(5 << 20));
+    }
+
+    #[test]
+    fn is_large_matches_paper_threshold() {
+        assert!(!is_large(AllocKind::DataArray { len: 2043 })); // 8180 bytes
+        assert!(is_large(AllocKind::DataArray { len: 2044 })); // 8184 bytes
+    }
+}

@@ -1,0 +1,165 @@
+//! The byte-addressable simulated memory backing a process's heap.
+//!
+//! Pages are materialized lazily on first write. Contents survive simulated
+//! eviction (as they would on a swap device); a page discarded via
+//! `madvise(MADV_DONTNEED)` must be re-zeroed by the caller, which is what
+//! [`MemCtx`](crate::MemCtx) does when the VMM reports a demand-zero fill.
+//!
+//! `SimMemory` performs **no cost accounting**: it is raw storage. All
+//! charged access goes through [`MemCtx`](crate::MemCtx).
+
+use crate::addr::{Address, BYTES_PER_PAGE};
+
+const PAGE: usize = BYTES_PER_PAGE as usize;
+
+/// A sparse, page-granular byte store over the 32-bit simulated space.
+#[derive(Default)]
+pub struct SimMemory {
+    pages: Vec<Option<Box<[u32; PAGE / 4]>>>,
+}
+
+impl core::fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("materialized_pages", &self.pages.iter().filter(|p| p.is_some()).count())
+            .finish()
+    }
+}
+
+impl SimMemory {
+    /// Creates an empty memory; every page reads as zero.
+    pub fn new() -> SimMemory {
+        SimMemory::default()
+    }
+
+    fn page_mut(&mut self, idx: usize) -> &mut [u32; PAGE / 4] {
+        if idx >= self.pages.len() {
+            self.pages.resize_with(idx + 1, || None);
+        }
+        self.pages[idx].get_or_insert_with(|| Box::new([0; PAGE / 4]))
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn read_word(&self, addr: Address) -> u32 {
+        assert!(addr.is_word_aligned(), "unaligned read at {addr}");
+        let idx = (addr.0 as usize) / PAGE;
+        match self.pages.get(idx) {
+            Some(Some(p)) => p[(addr.0 as usize % PAGE) / 4],
+            _ => 0,
+        }
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn write_word(&mut self, addr: Address, value: u32) {
+        assert!(addr.is_word_aligned(), "unaligned write at {addr}");
+        let idx = (addr.0 as usize) / PAGE;
+        self.page_mut(idx)[(addr.0 as usize % PAGE) / 4] = value;
+    }
+
+    /// Zeroes `[addr, addr + bytes)` (word-aligned on both ends).
+    pub fn zero(&mut self, addr: Address, bytes: u32) {
+        assert!(addr.is_word_aligned() && bytes.is_multiple_of(4));
+        let mut a = addr;
+        let end = addr.offset(bytes);
+        while a < end {
+            // Fast path: whole pages.
+            if a.0.is_multiple_of(BYTES_PER_PAGE) && end.0 - a.0 >= BYTES_PER_PAGE {
+                let idx = (a.0 / BYTES_PER_PAGE) as usize;
+                if idx < self.pages.len() {
+                    if let Some(p) = &mut self.pages[idx] {
+                        p.fill(0);
+                    }
+                }
+                a = a.offset(BYTES_PER_PAGE);
+            } else {
+                self.write_word(a, 0);
+                a = a.offset(4);
+            }
+        }
+    }
+
+    /// Copies `bytes` (word multiple) from `src` to `dst`. Ranges must not
+    /// overlap.
+    pub fn copy(&mut self, src: Address, dst: Address, bytes: u32) {
+        assert!(src.is_word_aligned() && dst.is_word_aligned() && bytes.is_multiple_of(4));
+        debug_assert!(
+            src.0 + bytes <= dst.0 || dst.0 + bytes <= src.0,
+            "overlapping copy {src}..+{bytes} -> {dst}"
+        );
+        for off in (0..bytes).step_by(4) {
+            let w = self.read_word(src.offset(off));
+            self.write_word(dst.offset(off), w);
+        }
+    }
+
+    /// Number of pages that have ever been written (for diagnostics).
+    pub fn materialized_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = SimMemory::new();
+        assert_eq!(mem.read_word(Address(0)), 0);
+        assert_eq!(mem.read_word(Address(0x4000_0000)), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut mem = SimMemory::new();
+        mem.write_word(Address(4096), 0xDEAD_BEEF);
+        mem.write_word(Address(4100), 42);
+        assert_eq!(mem.read_word(Address(4096)), 0xDEAD_BEEF);
+        assert_eq!(mem.read_word(Address(4100)), 42);
+        assert_eq!(mem.read_word(Address(4104)), 0);
+        assert_eq!(mem.materialized_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        let mem = SimMemory::new();
+        mem.read_word(Address(2));
+    }
+
+    #[test]
+    fn zero_clears_partial_and_full_pages() {
+        let mut mem = SimMemory::new();
+        for off in (0..12288).step_by(4) {
+            mem.write_word(Address(off), 7);
+        }
+        // Zero [2048, 10240): a partial page, a whole page, a partial page.
+        mem.zero(Address(2048), 8192);
+        assert_eq!(mem.read_word(Address(2044)), 7);
+        assert_eq!(mem.read_word(Address(2048)), 0);
+        assert_eq!(mem.read_word(Address(4096)), 0);
+        assert_eq!(mem.read_word(Address(8192)), 0);
+        assert_eq!(mem.read_word(Address(10236)), 0);
+        assert_eq!(mem.read_word(Address(10240)), 7);
+    }
+
+    #[test]
+    fn copy_moves_words() {
+        let mut mem = SimMemory::new();
+        for i in 0..16u32 {
+            mem.write_word(Address(i * 4), i + 100);
+        }
+        mem.copy(Address(0), Address(0x1000), 64);
+        for i in 0..16u32 {
+            assert_eq!(mem.read_word(Address(0x1000 + i * 4)), i + 100);
+        }
+    }
+}

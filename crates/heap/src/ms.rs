@@ -1,0 +1,638 @@
+//! The segregated-fit mark-sweep space over superpages (§3).
+//!
+//! The mature space is divided into **superpages**: page-aligned groups of
+//! four contiguous 4 KiB pages. Objects of different size classes are
+//! allocated onto different superpages; completely empty superpages can be
+//! reassigned to any size class. Each superpage stores its metadata in a
+//! small header at its base — "this placement permits constant-time access
+//! by bit-masking … while storing the metadata in the superpage header
+//! prevents BC from evicting one-fourth of the pages, it reduces memory
+//! overhead and simplifies the memory layout" (§3.4).
+//!
+//! Superpages are additionally segregated by *block kind* (scalar vs.
+//! array), mirroring §4's fix for Jikes RVM header placement: "we solve
+//! this problem by further segmenting our allocation to allow superpages to
+//! hold either only scalars or only arrays".
+
+use vmm::VirtPage;
+
+use crate::addr::{Address, BYTES_PER_PAGE, BYTES_PER_SUPERPAGE, PAGES_PER_SUPERPAGE};
+use crate::pool::PagePool;
+use crate::sizeclass::{SizeClasses, SUPERPAGE_METADATA_BYTES};
+
+/// Index of a superpage within the mature region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpIndex(pub u32);
+
+/// Whether a superpage holds scalars or arrays (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Scalars only.
+    Scalar,
+    /// Arrays only.
+    Array,
+}
+
+/// Public snapshot of one superpage's header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuperpageInfo {
+    /// Assigned size class and block kind; `None` for a free superpage.
+    pub assignment: Option<(u8, BlockKind)>,
+    /// "The number of evicted pages pointing to objects on a given
+    /// superpage" (§3.4).
+    pub incoming_bookmarks: u32,
+    /// Allocated (live-or-unswept) cells.
+    pub live_cells: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct SpState {
+    assignment: Option<(u8, BlockKind)>,
+    incoming_bookmarks: u32,
+    alloc_bits: Vec<u64>,
+    live_cells: u32,
+    /// First-free search hint.
+    hint: u32,
+}
+
+impl SpState {
+    fn is_allocated(&self, cell: u32) -> bool {
+        self.alloc_bits
+            .get((cell / 64) as usize)
+            .map(|w| w & (1 << (cell % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    fn set_allocated(&mut self, cell: u32, on: bool) {
+        let w = &mut self.alloc_bits[(cell / 64) as usize];
+        if on {
+            *w |= 1 << (cell % 64);
+        } else {
+            *w &= !(1 << (cell % 64));
+        }
+    }
+}
+
+/// The segregated-fit mark-sweep space.
+#[derive(Debug)]
+pub struct MsSpace {
+    base: Address,
+    region_limit: Address,
+    classes: SizeClasses,
+    sps: Vec<SpState>,
+    /// Superpages carved out of the region so far.
+    extent_sps: u32,
+    /// Fully free superpages (memory still mapped, budget released).
+    free_sps: Vec<u32>,
+    /// Per (class, kind): superpages with at least one free cell.
+    partial: Vec<Vec<u32>>,
+}
+
+impl MsSpace {
+    /// An empty space over `[base, region_limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the bounds are superpage-aligned.
+    pub fn new(base: Address, region_limit: Address) -> MsSpace {
+        assert_eq!(base.0 % BYTES_PER_SUPERPAGE, 0);
+        assert_eq!(region_limit.0 % BYTES_PER_SUPERPAGE, 0);
+        let classes = SizeClasses::new();
+        let n_classes = classes.iter().count();
+        MsSpace {
+            base,
+            region_limit,
+            classes,
+            sps: Vec::new(),
+            extent_sps: 0,
+            free_sps: Vec::new(),
+            partial: vec![Vec::new(); n_classes * 2],
+        }
+    }
+
+    /// The size-class table.
+    pub fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    fn partial_idx(class: u8, kind: BlockKind) -> usize {
+        class as usize * 2 + if kind == BlockKind::Array { 1 } else { 0 }
+    }
+
+    /// Allocates one cell of `class` for `kind`, drawing new superpages from
+    /// `pool` as needed. Returns `None` when the pool (or region) is
+    /// exhausted.
+    pub fn alloc(&mut self, pool: &mut PagePool, class: u8, kind: BlockKind) -> Option<Address> {
+        let pidx = Self::partial_idx(class, kind);
+        loop {
+            let Some(&sp) = self.partial[pidx].last() else {
+                break;
+            };
+            if let Some(addr) = self.alloc_in_sp(SpIndex(sp), class) {
+                return Some(addr);
+            }
+            self.partial[pidx].pop();
+        }
+        // Need a fresh superpage: reuse a free one or extend the region.
+        let sp = self.take_free_superpage(pool)?;
+        self.assign(sp, class, kind);
+        self.partial[pidx].push(sp.0);
+        self.alloc_in_sp(sp, class)
+    }
+
+    /// Like [`alloc`](MsSpace::alloc), but overruns the pool budget rather
+    /// than failing (collectors copying survivors into this space must not
+    /// fail mid-collection). Still fails when the region is exhausted.
+    pub fn alloc_forced(&mut self, pool: &mut PagePool, class: u8, kind: BlockKind) -> Option<Address> {
+        if let Some(addr) = self.alloc(pool, class, kind) {
+            return Some(addr);
+        }
+        let sp = if let Some(sp) = self.free_sps.pop() {
+            pool.force_acquire(PAGES_PER_SUPERPAGE as usize);
+            SpIndex(sp)
+        } else {
+            let next_base = self.base.0 + self.extent_sps * BYTES_PER_SUPERPAGE;
+            if next_base + BYTES_PER_SUPERPAGE > self.region_limit.0 {
+                return None;
+            }
+            pool.force_acquire(PAGES_PER_SUPERPAGE as usize);
+            let sp = self.extent_sps;
+            self.extent_sps += 1;
+            self.sps.push(SpState::default());
+            SpIndex(sp)
+        };
+        self.assign(sp, class, kind);
+        self.partial[Self::partial_idx(class, kind)].push(sp.0);
+        self.alloc_in_sp(sp, class)
+    }
+
+    /// Acquires a completely free superpage (budget charged to `pool`),
+    /// without assigning it.
+    pub fn take_free_superpage(&mut self, pool: &mut PagePool) -> Option<SpIndex> {
+        if let Some(sp) = self.free_sps.last().copied() {
+            if !pool.acquire(PAGES_PER_SUPERPAGE as usize) {
+                return None;
+            }
+            self.free_sps.pop();
+            return Some(SpIndex(sp));
+        }
+        // Extend the region.
+        let next_base = self.base.0 + self.extent_sps * BYTES_PER_SUPERPAGE;
+        if next_base + BYTES_PER_SUPERPAGE > self.region_limit.0 {
+            return None;
+        }
+        if !pool.acquire(PAGES_PER_SUPERPAGE as usize) {
+            return None;
+        }
+        let sp = self.extent_sps;
+        self.extent_sps += 1;
+        self.sps.push(SpState::default());
+        Some(SpIndex(sp))
+    }
+
+    fn assign(&mut self, sp: SpIndex, class: u8, kind: BlockKind) {
+        let cells = self.classes.class(class).cells_per_superpage;
+        let st = &mut self.sps[sp.0 as usize];
+        debug_assert!(st.assignment.is_none() && st.live_cells == 0);
+        st.assignment = Some((class, kind));
+        st.alloc_bits = vec![0; cells.div_ceil(64) as usize];
+        st.live_cells = 0;
+        st.hint = 0;
+    }
+
+    /// Allocates a cell within a specific superpage (used by compaction to
+    /// fill target superpages). Returns `None` when the superpage is full.
+    pub fn alloc_in_sp(&mut self, sp: SpIndex, class: u8) -> Option<Address> {
+        let cell_bytes = self.classes.class(class).cell_bytes;
+        let cells = self.classes.class(class).cells_per_superpage;
+        let st = &mut self.sps[sp.0 as usize];
+        debug_assert_eq!(st.assignment.map(|(c, _)| c), Some(class));
+        let mut cell = st.hint;
+        while cell < cells && st.is_allocated(cell) {
+            cell += 1;
+        }
+        if cell >= cells {
+            // Wrap once in case earlier cells were freed (the hint is kept
+            // at-or-below the first free cell, so this is defensive).
+            cell = 0;
+            while cell < st.hint && st.is_allocated(cell) {
+                cell += 1;
+            }
+            if cell >= st.hint {
+                return None; // superpage full
+            }
+        }
+        st.set_allocated(cell, true);
+        st.live_cells += 1;
+        st.hint = cell + 1;
+        Some(self.cell_addr(sp, cell, cell_bytes))
+    }
+
+    fn cell_addr(&self, sp: SpIndex, cell: u32, cell_bytes: u32) -> Address {
+        Address(self.base.0 + sp.0 * BYTES_PER_SUPERPAGE + SUPERPAGE_METADATA_BYTES + cell * cell_bytes)
+    }
+
+    /// The superpage containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the space's extent.
+    pub fn sp_of(&self, addr: Address) -> SpIndex {
+        assert!(self.region_contains(addr), "{addr} outside MS region");
+        let sp = (addr.0 - self.base.0) / BYTES_PER_SUPERPAGE;
+        assert!(sp < self.extent_sps, "{addr} beyond MS extent");
+        SpIndex(sp)
+    }
+
+    /// Base address of a superpage (where its 12-byte header lives).
+    pub fn sp_base(&self, sp: SpIndex) -> Address {
+        Address(self.base.0 + sp.0 * BYTES_PER_SUPERPAGE)
+    }
+
+    /// The page holding a superpage's header ("superpage headers ... are
+    /// always resident", §3.4 — BC rescues this page from eviction).
+    pub fn header_page(&self, sp: SpIndex) -> VirtPage {
+        self.sp_base(sp).page()
+    }
+
+    /// Whether `addr` is within the region managed by this space.
+    pub fn region_contains(&self, addr: Address) -> bool {
+        addr >= self.base && addr < self.region_limit
+    }
+
+    /// Frees the cell at `addr`. If the superpage becomes empty it is
+    /// unassigned and its budget returned to `pool`; the superpage's pages
+    /// are returned so the caller may discard them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not an allocated cell boundary.
+    pub fn free_cell(&mut self, pool: &mut PagePool, addr: Address) -> Option<[VirtPage; 4]> {
+        let sp = self.sp_of(addr);
+        let (class, _) = self.sps[sp.0 as usize].assignment.expect("free in unassigned sp");
+        let cell_bytes = self.classes.class(class).cell_bytes;
+        let off = addr.0 - self.sp_base(sp).0 - SUPERPAGE_METADATA_BYTES;
+        assert_eq!(off % cell_bytes, 0, "{addr} is not a cell boundary");
+        let cell = off / cell_bytes;
+        let st = &mut self.sps[sp.0 as usize];
+        assert!(st.is_allocated(cell), "double free of {addr}");
+        st.set_allocated(cell, false);
+        st.live_cells -= 1;
+        if cell < st.hint {
+            st.hint = cell;
+        }
+        if st.live_cells == 0 {
+            self.release_sp(pool, sp);
+            Some(self.sp_pages(sp))
+        } else {
+            None
+        }
+    }
+
+    /// Unassigns a superpage outright (compaction frees whole source
+    /// superpages), returning budget to `pool`.
+    pub fn release_sp(&mut self, pool: &mut PagePool, sp: SpIndex) {
+        let st = &mut self.sps[sp.0 as usize];
+        debug_assert!(st.assignment.is_some());
+        st.assignment = None;
+        st.alloc_bits.clear();
+        st.live_cells = 0;
+        st.incoming_bookmarks = 0;
+        st.hint = 0;
+        self.free_sps.push(sp.0);
+        // Remove from any partial list lazily: partial lists are pruned in
+        // alloc when alloc_in_sp fails, and assignment changes invalidate
+        // stale entries there.
+        for list in &mut self.partial {
+            list.retain(|&s| s != sp.0);
+        }
+        pool.release(PAGES_PER_SUPERPAGE as usize);
+    }
+
+    /// Registers an assigned superpage as having free cells again (sweep
+    /// re-lists partially filled superpages).
+    pub fn note_partial(&mut self, sp: SpIndex) {
+        if let Some((class, kind)) = self.sps[sp.0 as usize].assignment {
+            let pidx = Self::partial_idx(class, kind);
+            if !self.partial[pidx].contains(&sp.0) {
+                self.partial[pidx].push(sp.0);
+            }
+        }
+    }
+
+    /// The four pages of a superpage.
+    pub fn sp_pages(&self, sp: SpIndex) -> [VirtPage; 4] {
+        let base = self.sp_base(sp);
+        [
+            base.page(),
+            base.offset(BYTES_PER_PAGE).page(),
+            base.offset(2 * BYTES_PER_PAGE).page(),
+            base.offset(3 * BYTES_PER_PAGE).page(),
+        ]
+    }
+
+    /// Snapshot of a superpage's header.
+    pub fn info(&self, sp: SpIndex) -> SuperpageInfo {
+        let st = &self.sps[sp.0 as usize];
+        SuperpageInfo {
+            assignment: st.assignment,
+            incoming_bookmarks: st.incoming_bookmarks,
+            live_cells: st.live_cells,
+        }
+    }
+
+    /// Increments the incoming-bookmark counter (§3.4).
+    pub fn inc_incoming_bookmarks(&mut self, sp: SpIndex) {
+        self.sps[sp.0 as usize].incoming_bookmarks += 1;
+    }
+
+    /// Decrements the incoming-bookmark counter, returning the new value
+    /// (§3.4.2: when it drops to zero the superpage's bookmarks can be
+    /// cleared). Saturating: the mutator may overwrite a reloaded page's
+    /// pointers before the clearing scan runs, so decrements can be
+    /// asymmetric; saturation errs toward keeping bookmarks (safe).
+    pub fn dec_incoming_bookmarks(&mut self, sp: SpIndex) -> u32 {
+        let c = &mut self.sps[sp.0 as usize].incoming_bookmarks;
+        *c = c.saturating_sub(1);
+        *c
+    }
+
+    /// Sets the counter directly (fail-safe collection resets state, §3.5).
+    pub fn reset_incoming_bookmarks(&mut self, sp: SpIndex) {
+        self.sps[sp.0 as usize].incoming_bookmarks = 0;
+    }
+
+    /// Whether `addr` is an allocated cell start.
+    pub fn is_allocated_cell(&self, addr: Address) -> bool {
+        if !self.region_contains(addr) {
+            return false;
+        }
+        let sp = (addr.0 - self.base.0) / BYTES_PER_SUPERPAGE;
+        if sp >= self.extent_sps {
+            return false;
+        }
+        let st = &self.sps[sp as usize];
+        let Some((class, _)) = st.assignment else {
+            return false;
+        };
+        let cell_bytes = self.classes.class(class).cell_bytes;
+        let Some(off) = (addr.0 - self.base.0 - sp * BYTES_PER_SUPERPAGE).checked_sub(SUPERPAGE_METADATA_BYTES)
+        else {
+            return false;
+        };
+        off % cell_bytes == 0 && st.is_allocated(off / cell_bytes)
+    }
+
+    /// Indices of all assigned superpages.
+    pub fn assigned_sps(&self) -> Vec<SpIndex> {
+        (0..self.extent_sps)
+            .filter(|&i| self.sps[i as usize].assignment.is_some())
+            .map(SpIndex)
+            .collect()
+    }
+
+    /// Indices of all free (unassigned, still mapped) superpages.
+    pub fn free_sps(&self) -> Vec<SpIndex> {
+        self.free_sps.iter().map(|&i| SpIndex(i)).collect()
+    }
+
+    /// Superpages carved from the region so far.
+    pub fn extent_superpages(&self) -> u32 {
+        self.extent_sps
+    }
+
+    /// Addresses of all allocated cells in a superpage, ascending.
+    pub fn allocated_cells(&self, sp: SpIndex) -> Vec<Address> {
+        let st = &self.sps[sp.0 as usize];
+        let Some((class, _)) = st.assignment else {
+            return Vec::new();
+        };
+        let c = self.classes.class(class);
+        (0..c.cells_per_superpage)
+            .filter(|&i| st.is_allocated(i))
+            .map(|i| self.cell_addr(sp, i, c.cell_bytes))
+            .collect()
+    }
+
+    /// Addresses of allocated cells overlapping one page of a superpage
+    /// (`page_in_sp` ∈ 0..4). Used by the eviction-time bookmark scan, which
+    /// processes "each object on the victim page" (§3.4) — including cells
+    /// that merely straddle into it.
+    pub fn cells_overlapping_page(&self, sp: SpIndex, page_in_sp: u32) -> Vec<Address> {
+        debug_assert!(page_in_sp < PAGES_PER_SUPERPAGE);
+        self.cells_overlapping_bytes(
+            sp,
+            page_in_sp * BYTES_PER_PAGE,
+            (page_in_sp + 1) * BYTES_PER_PAGE,
+        )
+    }
+
+    /// Addresses of allocated cells overlapping the byte range
+    /// `[start, end)` of a superpage (offsets relative to the superpage
+    /// base). Used by card scanning (§3.1) and the bookmark machinery.
+    pub fn cells_overlapping_bytes(&self, sp: SpIndex, start: u32, end: u32) -> Vec<Address> {
+        debug_assert!(start < end && end <= BYTES_PER_SUPERPAGE);
+        let st = &self.sps[sp.0 as usize];
+        let Some((class, _)) = st.assignment else {
+            return Vec::new();
+        };
+        let c = self.classes.class(class);
+        // Cell i spans [12 + i*cell, 12 + (i+1)*cell).
+        let first = start.saturating_sub(SUPERPAGE_METADATA_BYTES) / c.cell_bytes;
+        let last = (end - 1).saturating_sub(SUPERPAGE_METADATA_BYTES) / c.cell_bytes;
+        (first..=last.min(c.cells_per_superpage - 1))
+            .filter(|&i| st.is_allocated(i))
+            .map(|i| self.cell_addr(sp, i, c.cell_bytes))
+            .collect()
+    }
+
+    /// Marks every *free* cell overlapping the byte range `[start, end)` of
+    /// a superpage as allocated, so the allocator never hands out a cell on
+    /// an evicted page. Returns the reserved cell addresses.
+    ///
+    /// The reservation is undone naturally: the cells count as unmarked
+    /// allocated cells, so the first sweep that sees their pages resident
+    /// frees them. Meanwhile compaction counts them as live — exactly the
+    /// paper's "reserve space for every possible object on the evicted
+    /// pages" (§3.4.1).
+    pub fn reserve_free_cells_in_bytes(&mut self, sp: SpIndex, start: u32, end: u32) -> Vec<Address> {
+        debug_assert!(start < end && end <= BYTES_PER_SUPERPAGE);
+        let Some((class, _)) = self.sps[sp.0 as usize].assignment else {
+            return Vec::new();
+        };
+        let c = self.classes.class(class);
+        let first = start.saturating_sub(SUPERPAGE_METADATA_BYTES) / c.cell_bytes;
+        let last = (end - 1).saturating_sub(SUPERPAGE_METADATA_BYTES) / c.cell_bytes;
+        let st = &mut self.sps[sp.0 as usize];
+        let mut reserved = Vec::new();
+        for i in first..=last.min(c.cells_per_superpage - 1) {
+            if !st.is_allocated(i) {
+                st.set_allocated(i, true);
+                st.live_cells += 1;
+                reserved.push(Address(
+                    self.base.0 + sp.0 * BYTES_PER_SUPERPAGE + SUPERPAGE_METADATA_BYTES + i * c.cell_bytes,
+                ));
+            }
+        }
+        reserved
+    }
+
+    /// Decomposes a page-aligned address into (superpage, page-within-sp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the space's extent.
+    pub fn page_within_sp(&self, page_base: Address) -> (SpIndex, u32) {
+        let sp = self.sp_of(page_base);
+        let off = (page_base.0 - self.sp_base(sp).0) / BYTES_PER_PAGE;
+        (sp, off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> (MsSpace, PagePool) {
+        (
+            MsSpace::new(Address(0x1040_0000), Address(0x1140_0000)),
+            PagePool::new(4096),
+        )
+    }
+
+    #[test]
+    fn alloc_fills_one_superpage_before_taking_another() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(64).unwrap().index;
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let b = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        assert_eq!(ms.sp_of(a), ms.sp_of(b));
+        assert_eq!(b.0 - a.0, 64);
+        assert_eq!(pool.used(), 4);
+        // First cell starts after the 12-byte header.
+        assert_eq!(a.0 % BYTES_PER_SUPERPAGE, SUPERPAGE_METADATA_BYTES);
+    }
+
+    #[test]
+    fn different_kinds_use_different_superpages() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(32).unwrap().index;
+        let s = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let a = ms.alloc(&mut pool, class, BlockKind::Array).unwrap();
+        assert_ne!(ms.sp_of(s), ms.sp_of(a), "scalar/array segregation (§4)");
+    }
+
+    #[test]
+    fn superpage_exhaustion_extends_the_space() {
+        let (mut ms, mut pool) = space();
+        let sc = ms.classes().class_for(8184).unwrap();
+        assert_eq!(sc.cells_per_superpage, 2);
+        let mut addrs = Vec::new();
+        for _ in 0..5 {
+            addrs.push(ms.alloc(&mut pool, sc.index, BlockKind::Array).unwrap());
+        }
+        assert_eq!(ms.extent_superpages(), 3);
+        assert_eq!(pool.used(), 12);
+    }
+
+    #[test]
+    fn free_cell_empties_and_releases_superpage() {
+        let (mut ms, mut pool) = space();
+        let sc = ms.classes().class_for(8184).unwrap();
+        let a = ms.alloc(&mut pool, sc.index, BlockKind::Scalar).unwrap();
+        let b = ms.alloc(&mut pool, sc.index, BlockKind::Scalar).unwrap();
+        assert!(ms.free_cell(&mut pool, a).is_none());
+        let pages = ms.free_cell(&mut pool, b).expect("superpage now empty");
+        assert_eq!(pages.len(), 4);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(ms.free_sps().len(), 1);
+        // The free superpage is reused for a different class.
+        let tiny = ms.classes().class_for(8).unwrap().index;
+        let c = ms.alloc(&mut pool, tiny, BlockKind::Scalar).unwrap();
+        assert_eq!(ms.sp_of(c), ms.sp_of(a), "empty superpage reassigned");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(8).unwrap().index;
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        // Keep a second cell live so the superpage stays assigned.
+        let _b = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let _ = ms.free_cell(&mut pool, a);
+        let _ = ms.free_cell(&mut pool, a);
+    }
+
+    #[test]
+    fn allocated_cells_round_trip() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(100).unwrap().index;
+        let mut addrs: Vec<Address> = (0..10)
+            .map(|_| ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap())
+            .collect();
+        let sp = ms.sp_of(addrs[0]);
+        addrs.sort();
+        assert_eq!(ms.allocated_cells(sp), addrs);
+        for &a in &addrs {
+            assert!(ms.is_allocated_cell(a));
+            assert!(!ms.is_allocated_cell(a.offset(4)));
+        }
+    }
+
+    #[test]
+    fn cells_overlapping_page_includes_straddlers() {
+        let (mut ms, mut pool) = space();
+        // 5456-byte cells: cell 0 at 12, cell 1 at 5468, cell 2 at 10924.
+        let sc = ms.classes().class_for(5000).unwrap();
+        assert_eq!(sc.cell_bytes, 5456);
+        for _ in 0..3 {
+            ms.alloc(&mut pool, sc.index, BlockKind::Scalar).unwrap();
+        }
+        let sp = SpIndex(0);
+        // Page 1 covers [4096, 8192): overlaps cell 0 (ends 5468) and cell 1.
+        let cells = ms.cells_overlapping_page(sp, 1);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].0 % BYTES_PER_SUPERPAGE, 12);
+        // Page 3 covers [12288, 16384): overlaps cell 2 only.
+        let cells = ms.cells_overlapping_page(sp, 3);
+        assert_eq!(cells.len(), 1);
+    }
+
+    #[test]
+    fn bookmark_counters_inc_dec() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(8).unwrap().index;
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let sp = ms.sp_of(a);
+        assert_eq!(ms.info(sp).incoming_bookmarks, 0);
+        ms.inc_incoming_bookmarks(sp);
+        ms.inc_incoming_bookmarks(sp);
+        assert_eq!(ms.info(sp).incoming_bookmarks, 2);
+        assert_eq!(ms.dec_incoming_bookmarks(sp), 1);
+        assert_eq!(ms.dec_incoming_bookmarks(sp), 0);
+    }
+
+    #[test]
+    fn hint_reuses_freed_cells() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(8).unwrap().index;
+        let addrs: Vec<Address> = (0..5)
+            .map(|_| ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap())
+            .collect();
+        assert!(ms.free_cell(&mut pool, addrs[1]).is_none());
+        let again = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        assert_eq!(again, addrs[1], "freed cell is reused first");
+    }
+
+    #[test]
+    fn header_page_is_first_page_of_superpage() {
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(8).unwrap().index;
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let sp = ms.sp_of(a);
+        let pages = ms.sp_pages(sp);
+        assert_eq!(ms.header_page(sp), pages[0]);
+        assert_eq!(pages[3].0 - pages[0].0, 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! The heap-size budget, accounted in pages.
+//!
+//! Experiments fix a *heap size* per run (e.g. "a 77 MB heap", Figure 7);
+//! all spaces of one collector draw pages from a shared `PagePool` whose
+//! budget is that heap size. Exhausting the pool is what triggers
+//! collection, and — for BC under memory pressure — the pool budget is what
+//! shrinks when the collector gives pages back to the operating system
+//! (§3.3.3: "BC tries not to grow at the expense of paging, but instead
+//! limits the heap to the current footprint").
+
+/// A page-granular budget shared by a collector's spaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagePool {
+    budget: usize,
+    used: usize,
+}
+
+impl PagePool {
+    /// A pool with a budget of `budget` pages.
+    pub fn new(budget: usize) -> PagePool {
+        PagePool { budget, used: 0 }
+    }
+
+    /// A pool sized in bytes (rounded down to whole pages).
+    pub fn with_bytes(bytes: usize) -> PagePool {
+        PagePool::new(bytes / crate::BYTES_PER_PAGE as usize)
+    }
+
+    /// Tries to reserve `pages`; returns whether the budget allowed it.
+    #[must_use]
+    pub fn acquire(&mut self, pages: usize) -> bool {
+        if self.used + pages <= self.budget {
+            self.used += pages;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reserves `pages` unconditionally, allowing a temporary budget
+    /// overrun. Collectors use this mid-collection when refusing would leave
+    /// the heap inconsistent; callers should check
+    /// [`over_budget`](PagePool::over_budget) afterwards and report
+    /// out-of-memory if usage stays above budget.
+    pub fn force_acquire(&mut self, pages: usize) {
+        self.used += pages;
+    }
+
+    /// Returns `pages` to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more pages are released than were acquired.
+    pub fn release(&mut self, pages: usize) {
+        assert!(pages <= self.used, "releasing {pages} of {} used", self.used);
+        self.used -= pages;
+    }
+
+    /// Pages currently in use.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Pages still available under the budget.
+    pub fn available(&self) -> usize {
+        self.budget - self.used
+    }
+
+    /// The budget, in pages.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget * crate::BYTES_PER_PAGE as usize
+    }
+
+    /// Shrinks (or grows) the budget. Shrinking below current usage is
+    /// allowed: the pool simply refuses further acquisitions until usage
+    /// falls back under budget (this is how BC pins its heap to the current
+    /// footprint under pressure).
+    pub fn set_budget(&mut self, pages: usize) {
+        self.budget = pages;
+    }
+
+    /// Whether usage currently exceeds budget (possible after a shrink).
+    pub fn over_budget(&self) -> bool {
+        self.used > self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_within_budget() {
+        let mut pool = PagePool::new(10);
+        assert!(pool.acquire(4));
+        assert!(pool.acquire(6));
+        assert!(!pool.acquire(1));
+        assert_eq!(pool.used(), 10);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn release_restores_budget() {
+        let mut pool = PagePool::new(10);
+        assert!(pool.acquire(10));
+        pool.release(3);
+        assert_eq!(pool.available(), 3);
+        assert!(pool.acquire(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut pool = PagePool::new(10);
+        assert!(pool.acquire(2));
+        pool.release(3);
+    }
+
+    #[test]
+    fn shrink_below_usage_blocks_acquisition() {
+        let mut pool = PagePool::new(10);
+        assert!(pool.acquire(8));
+        pool.set_budget(5);
+        assert!(pool.over_budget());
+        assert!(!pool.acquire(1));
+        pool.release(4);
+        assert!(!pool.over_budget());
+        assert!(pool.acquire(1));
+    }
+
+    #[test]
+    fn byte_constructor_rounds_down() {
+        let pool = PagePool::with_bytes(10_000);
+        assert_eq!(pool.budget(), 2);
+        assert_eq!(pool.budget_bytes(), 8192);
+    }
+}

@@ -1,0 +1,68 @@
+//! Collector statistics.
+
+/// Counters every collector maintains; experiments read these alongside the
+/// [`vmm::VmStats`] paging counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Objects allocated.
+    pub objects_allocated: u64,
+    /// Bytes allocated (requested sizes, headers included).
+    pub bytes_allocated: u64,
+    /// Nursery (minor) collections.
+    pub nursery_gcs: u64,
+    /// Full-heap collections.
+    pub full_gcs: u64,
+    /// Full-heap *compacting* collections (BC §3.2, SemiSpace copies).
+    pub compacting_gcs: u64,
+    /// Completeness fail-safe collections (BC §3.5).
+    pub failsafe_gcs: u64,
+    /// Objects marked/copied live across all collections.
+    pub objects_traced: u64,
+    /// Objects moved by copying/compacting collections.
+    pub objects_moved: u64,
+    /// Bytes moved by copying/compacting collections.
+    pub bytes_moved: u64,
+    /// Write-barrier records taken.
+    pub barrier_records: u64,
+    /// Bookmarks set on objects (BC §3.4).
+    pub bookmarks_set: u64,
+    /// Bookmarks cleared when reloaded pages drained their superpage
+    /// counters (BC §3.4.2).
+    pub bookmarks_cleared: u64,
+    /// Pages scanned for outgoing pointers before eviction (BC §3.4).
+    pub pages_bookmark_scanned: u64,
+    /// Empty pages discarded via `madvise` (BC §3.3.2).
+    pub pages_discarded: u64,
+    /// Pages surrendered via `vm_relinquish` (BC §3.4).
+    pub pages_relinquished: u64,
+    /// Times the heap budget was shrunk in response to pressure (§3.3.3).
+    pub heap_shrinks: u64,
+    /// Times the heap budget was grown back after pressure abated (the §7
+    /// future-work extension; zero for the paper's evaluated collectors).
+    pub heap_regrows: u64,
+    /// Pointer-rich victim pages vetoed by the §7 victim-selection
+    /// extension (zero under the default kernel-choice policy).
+    pub victims_vetoed: u64,
+}
+
+impl GcStats {
+    /// Total collections of any kind.
+    pub fn total_gcs(&self) -> u64 {
+        self.nursery_gcs + self.full_gcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_minor_and_full() {
+        let stats = GcStats {
+            nursery_gcs: 10,
+            full_gcs: 3,
+            ..GcStats::default()
+        };
+        assert_eq!(stats.total_gcs(), 13);
+    }
+}

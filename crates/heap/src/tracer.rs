@@ -1,0 +1,70 @@
+//! The shared tracing worklist.
+
+use crate::addr::Address;
+
+/// A LIFO gray-object worklist used by every tracing collector.
+///
+/// Deduplication is the caller's job (mark bits / forwarding stubs); the
+/// queue only stores pending addresses.
+#[derive(Clone, Debug, Default)]
+pub struct MarkQueue {
+    work: Vec<Address>,
+}
+
+impl MarkQueue {
+    /// An empty queue.
+    pub fn new() -> MarkQueue {
+        MarkQueue::default()
+    }
+
+    /// Enqueues an object for scanning.
+    pub fn push(&mut self, addr: Address) {
+        debug_assert!(!addr.is_null());
+        self.work.push(addr);
+    }
+
+    /// Dequeues the next object, if any.
+    pub fn pop(&mut self) -> Option<Address> {
+        self.work.pop()
+    }
+
+    /// Whether any work remains.
+    pub fn is_empty(&self) -> bool {
+        self.work.is_empty()
+    }
+
+    /// Pending entries.
+    pub fn len(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Discards all pending work (fail-safe restarts).
+    pub fn clear(&mut self) {
+        self.work.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut q = MarkQueue::new();
+        q.push(Address(4));
+        q.push(Address(8));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(Address(8)));
+        assert_eq!(q.pop(), Some(Address(4)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_discards_work() {
+        let mut q = MarkQueue::new();
+        q.push(Address(4));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

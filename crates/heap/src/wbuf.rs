@@ -1,0 +1,99 @@
+//! Page-sized write buffers (§3.1).
+//!
+//! "Like all generational collectors, BC must remember pointers from the
+//! older to the younger generation. It normally stores these pointers in
+//! page-sized write buffers that provide fast storage and processing but may
+//! demand unbounded amounts of space. To limit space overhead, BC processes
+//! buffers when they fill."
+
+use crate::addr::Address;
+
+/// Slots per buffer: one 4 KiB page of 4-byte slot addresses.
+pub const BUFFER_SLOTS: usize = 1024;
+
+/// A sequential store buffer of pointer-store slot addresses.
+#[derive(Clone, Debug, Default)]
+pub struct WriteBuffer {
+    slots: Vec<Address>,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> WriteBuffer {
+        WriteBuffer {
+            slots: Vec::with_capacity(BUFFER_SLOTS),
+        }
+    }
+
+    /// Records a pointer store into `slot`. Returns `true` when the buffer
+    /// has just filled and should be processed (§3.1 filtering).
+    #[must_use]
+    pub fn record(&mut self, slot: Address) -> bool {
+        self.slots.push(slot);
+        self.slots.len() >= BUFFER_SLOTS
+    }
+
+    /// Takes every recorded slot, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<Address> {
+        std::mem::take(&mut self.slots)
+    }
+
+    /// Replaces the contents with `kept` (the §3.1 compaction of entries
+    /// that survive filtering).
+    pub fn retain_entries(&mut self, kept: Vec<Address>) {
+        debug_assert!(kept.len() <= BUFFER_SLOTS);
+        self.slots = kept;
+    }
+
+    /// Recorded entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no stores are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates the recorded slots.
+    pub fn iter(&self) -> impl Iterator<Item = Address> + '_ {
+        self.slots.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_at_page_capacity() {
+        let mut buf = WriteBuffer::new();
+        for i in 0..BUFFER_SLOTS - 1 {
+            assert!(!buf.record(Address(i as u32 * 4)));
+        }
+        assert!(buf.record(Address(0xFFFC)), "1024th record signals full");
+        assert_eq!(buf.len(), BUFFER_SLOTS);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut buf = WriteBuffer::new();
+        let _ = buf.record(Address(4));
+        let _ = buf.record(Address(8));
+        let drained = buf.drain();
+        assert_eq!(drained, vec![Address(4), Address(8)]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn retain_keeps_filtered_entries() {
+        let mut buf = WriteBuffer::new();
+        let _ = buf.record(Address(4));
+        let _ = buf.record(Address(8));
+        let _ = buf.record(Address(12));
+        let kept: Vec<Address> = buf.drain().into_iter().filter(|a| a.0 != 8).collect();
+        buf.retain_entries(kept);
+        assert_eq!(buf.len(), 2);
+        assert!(buf.iter().all(|a| a.0 != 8));
+    }
+}

@@ -1,0 +1,198 @@
+//! Bounded mutator utilization (BMU) curves — Figure 6 of the paper.
+//!
+//! *Mutator utilization* over a time window is the fraction of that window
+//! during which the mutator (rather than the collector) ran. The paper adopts
+//! the *bounded* variant of Sachindran, Moss & Berger: the BMU for a window
+//! size `w` is the minimum mutator utilization over all windows of size `w`
+//! **or greater**, which makes the curve monotone and readable.
+
+use crate::{Nanos, PauseRecord};
+
+/// One point of a BMU/MMU curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BmuPoint {
+    /// Window size.
+    pub window: Nanos,
+    /// Utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Exact minimum mutator utilization (MMU) for one window size.
+///
+/// The minimizing window either starts at a pause start or ends at a pause
+/// end, so it suffices to evaluate those candidates (plus the run
+/// boundaries). `pauses` must be chronological and non-overlapping;
+/// `total` is the full execution time.
+fn mmu_at(pauses: &[PauseRecord], total: Nanos, window: Nanos) -> f64 {
+    let w = window.as_nanos().min(total.as_nanos());
+    if w == 0 {
+        return 0.0;
+    }
+    // Prefix sums of pause durations for O(log n) range queries.
+    let starts: Vec<u64> = pauses.iter().map(|p| p.start.as_nanos()).collect();
+    let ends: Vec<u64> = pauses.iter().map(|p| p.end().as_nanos()).collect();
+    let mut prefix = Vec::with_capacity(pauses.len() + 1);
+    prefix.push(0u64);
+    for p in pauses {
+        prefix.push(prefix.last().unwrap() + p.duration.as_nanos());
+    }
+    // Total pause time intersecting [a, a+w].
+    let paused_in = |a: u64| -> u64 {
+        let b = a + w;
+        // First pause whose end is after `a`.
+        let lo = ends.partition_point(|&e| e <= a);
+        // First pause whose start is >= b.
+        let hi = starts.partition_point(|&s| s < b);
+        if lo >= hi {
+            return 0;
+        }
+        let mut sum = prefix[hi] - prefix[lo];
+        // Trim the partially overlapping first and last pauses.
+        sum -= a.saturating_sub(starts[lo]).min(pauses[lo].duration.as_nanos());
+        sum -= ends[hi - 1].saturating_sub(b).min(pauses[hi - 1].duration.as_nanos());
+        sum
+    };
+    let mut worst: u64 = 0;
+    let mut consider = |a: u64| {
+        if a + w <= total.as_nanos() {
+            worst = worst.max(paused_in(a));
+        }
+    };
+    consider(0);
+    consider(total.as_nanos().saturating_sub(w));
+    for p in pauses {
+        consider(p.start.as_nanos());
+        consider(p.end().as_nanos().saturating_sub(w));
+    }
+    1.0 - worst as f64 / w as f64
+}
+
+/// Computes an MMU curve over logarithmically spaced window sizes.
+///
+/// `pauses` must be chronological and non-overlapping (as produced by a
+/// [`PauseLog`](crate::PauseLog)); `total` is the execution time;
+/// `points` is the number of window sizes, spaced between 1 µs and `total`.
+pub fn mmu_curve(pauses: &[PauseRecord], total: Nanos, points: usize) -> Vec<BmuPoint> {
+    log_windows(total, points)
+        .map(|w| BmuPoint {
+            window: w,
+            utilization: mmu_at(pauses, total, w),
+        })
+        .collect()
+}
+
+/// Computes a BMU curve (monotone envelope of the MMU curve).
+///
+/// For each window size `w`, utilization is the minimum MMU over every
+/// evaluated window of size `>= w`. The result is non-decreasing in `w`
+/// and its right endpoint equals overall utilization
+/// `(total - total_pause) / total`.
+///
+/// # Example
+///
+/// ```
+/// use simtime::{bmu_curve, Nanos, PauseKind, PauseLog};
+///
+/// let mut log = PauseLog::new();
+/// log.record(Nanos::from_millis(10), Nanos::from_millis(5), PauseKind::Full, 0);
+/// let curve = bmu_curve(log.records(), Nanos::from_millis(100), 16);
+/// assert!(curve.windows(2).all(|p| p[0].utilization <= p[1].utilization + 1e-12));
+/// ```
+pub fn bmu_curve(pauses: &[PauseRecord], total: Nanos, points: usize) -> Vec<BmuPoint> {
+    let mut curve = mmu_curve(pauses, total, points);
+    // Suffix-minimum pass makes the curve "bounded" (monotone).
+    let mut min_so_far = f64::INFINITY;
+    for point in curve.iter_mut().rev() {
+        min_so_far = min_so_far.min(point.utilization);
+        point.utilization = min_so_far;
+    }
+    curve
+}
+
+fn log_windows(total: Nanos, points: usize) -> impl Iterator<Item = Nanos> {
+    let lo = 1_000f64; // 1 us
+    let hi = (total.as_nanos().max(2_000)) as f64;
+    let n = points.max(2);
+    (0..n).map(move |i| {
+        let t = i as f64 / (n - 1) as f64;
+        Nanos((lo * (hi / lo).powf(t)).round() as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PauseKind;
+
+    fn pause(start: u64, dur: u64) -> PauseRecord {
+        PauseRecord {
+            start: Nanos(start),
+            duration: Nanos(dur),
+            kind: PauseKind::Full,
+            major_faults: 0,
+        }
+    }
+
+    #[test]
+    fn no_pauses_is_full_utilization() {
+        let curve = bmu_curve(&[], Nanos::from_secs(1), 8);
+        assert!(curve.iter().all(|p| (p.utilization - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn window_equal_to_pause_has_zero_utilization() {
+        let pauses = [pause(1_000_000, 500_000)];
+        let u = mmu_at(&pauses, Nanos::from_secs(1), Nanos(500_000));
+        assert_eq!(u, 0.0);
+        let u = mmu_at(&pauses, Nanos::from_secs(1), Nanos(250_000));
+        assert_eq!(u, 0.0, "window inside the pause is fully stopped");
+    }
+
+    #[test]
+    fn whole_run_window_matches_overall_utilization() {
+        let total = Nanos::from_secs(1);
+        let pauses = [pause(0, 100_000_000), pause(500_000_000, 100_000_000)];
+        let u = mmu_at(&pauses, total, total);
+        assert!((u - 0.8).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn bmu_is_monotone_even_when_mmu_is_not() {
+        // Dense small pauses early, one huge pause late: the raw MMU curve
+        // dips at large windows; BMU must not.
+        let mut pauses: Vec<_> = (0..50).map(|i| pause(i * 2_000_000, 1_000_000)).collect();
+        pauses.push(pause(800_000_000, 150_000_000));
+        let curve = bmu_curve(&pauses, Nanos::from_secs(1), 40);
+        for pair in curve.windows(2) {
+            assert!(pair[0].utilization <= pair[1].utilization + 1e-12);
+        }
+        // Right endpoint = overall utilization.
+        let total_pause: u64 = pauses.iter().map(|p| p.duration.as_nanos()).sum();
+        let overall = 1.0 - total_pause as f64 / 1e9;
+        let last = curve.last().unwrap().utilization;
+        assert!((last - overall).abs() < 1e-9, "{last} vs {overall}");
+    }
+
+    #[test]
+    fn partial_overlap_is_trimmed() {
+        // Pause [100, 200); window [150, 250) of size 100 overlaps 50.
+        let pauses = [pause(100, 100)];
+        let got = mmu_at(&pauses, Nanos(1_000), Nanos(100));
+        // The worst window fully contains the pause.
+        assert_eq!(got, 0.0);
+        // With window 400, worst overlap is the whole pause: 100/400.
+        let got = mmu_at(&pauses, Nanos(1_000), Nanos(400));
+        assert!((got - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_windows_are_log_spaced_and_bounded() {
+        let curve = mmu_curve(&[], Nanos::from_secs(10), 10);
+        assert_eq!(curve.len(), 10);
+        assert_eq!(curve[0].window, Nanos(1_000));
+        assert_eq!(curve[9].window, Nanos::from_secs(10));
+        for pair in curve.windows(2) {
+            assert!(pair[0].window < pair[1].window);
+        }
+    }
+}

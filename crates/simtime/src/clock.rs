@@ -1,0 +1,252 @@
+//! A deterministic simulated clock measured in nanoseconds.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span or instant of simulated time, in nanoseconds.
+///
+/// `Nanos` is used both for durations (costs charged by the
+/// [`CostModel`](crate::CostModel)) and for instants (readings of a
+/// [`Clock`]). It is a thin newtype over `u64`, so a simulation can run for
+/// roughly 584 simulated years before overflow.
+///
+/// # Example
+///
+/// ```
+/// use simtime::Nanos;
+///
+/// let pause = Nanos::from_millis(380);
+/// assert_eq!(pause.as_micros(), 380_000);
+/// assert_eq!(format!("{pause}"), "380ms");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero nanoseconds.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// The span in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The span in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; clamps at zero instead of underflowing.
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Nanos {
+        Nanos(ns)
+    }
+}
+
+impl fmt::Display for Nanos {
+    /// Renders with an adaptive unit: `12ns`, `3.4us`, `56ms`, `7.8s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.1}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            let ms = ns as f64 / 1e6;
+            if ms < 100.0 {
+                write!(f, "{ms:.1}ms")
+            } else {
+                write!(f, "{ms:.0}ms")
+            }
+        } else {
+            write!(f, "{:.2}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// Each simulated process (a JVM instance, the `signalmem` pressure driver)
+/// owns a `Clock`; the discrete-event engine in the `simulate` crate
+/// interleaves processes by least local time.
+///
+/// # Example
+///
+/// ```
+/// use simtime::{Clock, Nanos};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(Nanos(40));
+/// clock.advance(Nanos(2));
+/// assert_eq!(clock.now(), Nanos(42));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Nanos,
+}
+
+impl Clock {
+    /// Creates a clock reading zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `span`.
+    pub fn advance(&mut self, span: Nanos) {
+        self.now += span;
+    }
+
+    /// Resets the clock to zero (used between benchmark iterations, mirroring
+    /// the paper's compile-and-reset methodology in §5.1).
+    pub fn reset(&mut self) {
+        self.now = Nanos::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_conversions_round_trip() {
+        assert_eq!(Nanos::from_secs(3).as_millis(), 3_000);
+        assert_eq!(Nanos::from_millis(5).as_micros(), 5_000);
+        assert_eq!(Nanos::from_micros(7).as_nanos(), 7_000);
+        assert!((Nanos::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanos_arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(30);
+        assert_eq!(a + b, Nanos(130));
+        assert_eq!(a - b, Nanos(70));
+        assert_eq!(a * 3, Nanos(300));
+        assert_eq!(a / 4, Nanos(25));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Nanos = [a, b, Nanos(1)].into_iter().sum();
+        assert_eq!(total, Nanos(131));
+    }
+
+    #[test]
+    fn display_picks_adaptive_units() {
+        assert_eq!(Nanos(17).to_string(), "17ns");
+        assert_eq!(Nanos(2_500).to_string(), "2.5us");
+        assert_eq!(Nanos::from_millis(42).to_string(), "42.0ms");
+        assert_eq!(Nanos::from_millis(380).to_string(), "380ms");
+        assert_eq!(Nanos::from_secs(9).to_string(), "9.00s");
+    }
+
+    #[test]
+    fn clock_advances_and_resets() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Nanos::ZERO);
+        c.advance(Nanos::from_micros(3));
+        c.advance(Nanos(9));
+        assert_eq!(c.now(), Nanos(3_009));
+        c.reset();
+        assert_eq!(c.now(), Nanos::ZERO);
+    }
+}

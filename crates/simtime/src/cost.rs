@@ -1,0 +1,150 @@
+//! The memory-hierarchy cost model.
+
+use crate::Nanos;
+
+/// Simulated cost of every chargeable event in the system.
+///
+/// The defaults model the paper's testbed (§5.1: 1.6 GHz Pentium M, 1 GB RAM,
+/// local swap) at the granularity the paper's argument needs: resident memory
+/// operations cost nanoseconds while a major fault costs milliseconds — the
+/// *"approximately six orders of magnitude"* gap of §1 that makes paging
+/// catastrophic.
+///
+/// All costs are plain public fields so experiments can build ablated models
+/// (e.g. a faster SSD-like swap device) by mutating a default:
+///
+/// ```
+/// use simtime::{CostModel, Nanos};
+///
+/// let mut ssd = CostModel::default();
+/// ssd.major_fault = Nanos::from_micros(100); // ~50x faster than disk
+/// assert!(ssd.major_fault < CostModel::default().major_fault);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// One word (4 B) access in resident RAM — mutator or collector.
+    pub ram_word: Nanos,
+    /// Fixed overhead of allocating one object (bump or free-list pop),
+    /// excluding the per-word touch of its memory.
+    pub alloc_object: Nanos,
+    /// Fixed overhead of the collector visiting one object during tracing
+    /// (mark test + enqueue), excluding per-reference work.
+    pub scan_object: Nanos,
+    /// Cost of processing one reference slot during tracing.
+    pub scan_ref: Nanos,
+    /// Copy/compact cost per byte moved.
+    pub copy_byte: Nanos,
+    /// Write-barrier bookkeeping per recorded pointer store.
+    pub barrier: Nanos,
+    /// Fixed cost of starting/finishing one collection (stack scan, flip).
+    pub gc_setup: Nanos,
+    /// A minor (protection/soft) fault: kernel upcall + signal delivery.
+    pub minor_fault: Nanos,
+    /// A major fault: page read from the swap device. The paper's premise is
+    /// that this dwarfs `ram_word` by ~10⁶.
+    pub major_fault: Nanos,
+    /// Synchronous share of evicting one dirty page (write-back setup).
+    /// The device-level transfer itself is overlapped, as in Linux.
+    pub evict_dirty: Nanos,
+    /// Synchronous share of evicting one clean page (unmap only).
+    pub evict_clean: Nanos,
+    /// Handling one eviction/residency notification (signal handler entry),
+    /// excluding any page scanning the handler performs.
+    pub notification: Nanos,
+    /// One system call (`madvise`, `mprotect`, `vm_relinquish`, `mlock`).
+    pub syscall: Nanos,
+    /// Application compute between allocations (charged per allocation by
+    /// the workload generators). Calibrated so a full-scale pseudoJBB run
+    /// takes tens of simulated seconds, as on the paper's testbed.
+    pub mutator_work: Nanos,
+    /// Extra per-allocation cost of a non-generational free-list allocator
+    /// over bump allocation: free-list search plus the mutator-locality gap
+    /// the paper observes for whole-heap mark-sweep ("MarkSweep averages a
+    /// 20% slowdown", §5.2). Charged only by collectors that allocate
+    /// directly into the segregated-fit space.
+    pub alloc_freelist_extra: Nanos,
+}
+
+impl CostModel {
+    /// The ratio between a major fault and a resident word access.
+    ///
+    /// The paper's premise (§1) is that this is roughly 10⁶.
+    pub fn fault_to_ram_ratio(&self) -> f64 {
+        self.major_fault.as_nanos() as f64 / self.ram_word.as_nanos().max(1) as f64
+    }
+
+    /// A cost model in which paging is free.
+    ///
+    /// Useful for isolating algorithmic costs in tests: with zero-cost faults
+    /// every collector degenerates to its no-pressure behaviour.
+    pub fn free_paging() -> CostModel {
+        CostModel {
+            minor_fault: Nanos::ZERO,
+            major_fault: Nanos::ZERO,
+            evict_dirty: Nanos::ZERO,
+            evict_clean: Nanos::ZERO,
+            ..CostModel::default()
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            ram_word: Nanos(2),
+            alloc_object: Nanos(40),
+            scan_object: Nanos(300),
+            scan_ref: Nanos(30),
+            copy_byte: Nanos(3),
+            barrier: Nanos(8),
+            gc_setup: Nanos::from_micros(200),
+            minor_fault: Nanos::from_micros(3),
+            major_fault: Nanos::from_millis(5),
+            evict_dirty: Nanos::from_micros(40),
+            evict_clean: Nanos::from_micros(4),
+            notification: Nanos::from_micros(2),
+            syscall: Nanos::from_micros(1),
+            mutator_work: Nanos::from_micros(3),
+            alloc_freelist_extra: Nanos(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preserves_six_orders_of_magnitude() {
+        // §1: "disk accesses are approximately six orders of magnitude more
+        // expensive than main memory accesses".
+        let m = CostModel::default();
+        let ratio = m.fault_to_ram_ratio();
+        assert!(
+            (1e5..=1e7).contains(&ratio),
+            "fault/ram ratio {ratio} outside the paper's premise"
+        );
+    }
+
+    #[test]
+    fn free_paging_zeroes_only_paging_costs() {
+        let m = CostModel::free_paging();
+        assert_eq!(m.major_fault, Nanos::ZERO);
+        assert_eq!(m.minor_fault, Nanos::ZERO);
+        assert_eq!(m.evict_dirty, Nanos::ZERO);
+        assert_eq!(m.evict_clean, Nanos::ZERO);
+        assert_eq!(m.ram_word, CostModel::default().ram_word);
+        assert_eq!(m.scan_object, CostModel::default().scan_object);
+    }
+
+    #[test]
+    fn faults_dwarf_collection_work() {
+        // One major fault must exceed the cost of scanning thousands of
+        // objects, otherwise BC's scan-instead-of-fault trade (§3.4.1:
+        // "scanning every object is often much smaller than the cost of even
+        // a single page fault") would not hold in the simulation.
+        let m = CostModel::default();
+        let scan_4k_objects = (m.scan_object + m.scan_ref * 2) * 4096;
+        assert!(m.major_fault > scan_4k_objects);
+    }
+}

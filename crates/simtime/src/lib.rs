@@ -1,0 +1,43 @@
+//! Simulated time for the bookmarking-collector reproduction.
+//!
+//! The evaluation in *Garbage Collection Without Paging* (PLDI 2005) was run
+//! on a 1.6 GHz Pentium M with 1 GB of RAM and a local swap disk. This crate
+//! replaces wall-clock measurement with a **deterministic simulated clock**:
+//! every memory access, fault, collection step, and mutator operation charges
+//! a configurable number of simulated nanoseconds to a [`Clock`].
+//!
+//! The single property the paper's argument needs from the hardware is that
+//! disk accesses are *"approximately six orders of magnitude more expensive
+//! than main memory accesses"* (§1). The default [`CostModel`] preserves that
+//! ratio (2 ns RAM word access vs. 5 ms major fault).
+//!
+//! The crate also provides the measurement tools the paper uses:
+//!
+//! * [`PauseLog`] — per-collection pause records (average/maximum pause,
+//!   Figures 3b, 4, 7b),
+//! * [`bmu_curve`] — *bounded mutator utilization* curves (Figure 6), following
+//!   Cheng & Blelloch as adapted by Sachindran, Moss & Berger (MC²).
+//!
+//! # Example
+//!
+//! ```
+//! use simtime::{Clock, CostModel, Nanos};
+//!
+//! let costs = CostModel::default();
+//! let mut clock = Clock::new();
+//! clock.advance(costs.ram_word);        // a resident memory access
+//! clock.advance(costs.major_fault);     // a page fault: ~6 orders costlier
+//! assert!(clock.now() > Nanos(5_000_000));
+//! ```
+
+#![warn(missing_docs)]
+
+mod bmu;
+mod clock;
+mod cost;
+mod pause;
+
+pub use bmu::{bmu_curve, mmu_curve, BmuPoint};
+pub use clock::{Clock, Nanos};
+pub use cost::CostModel;
+pub use pause::{PauseKind, PauseLog, PausePercentiles, PauseRecord, PauseStats};

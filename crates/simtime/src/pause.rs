@@ -1,0 +1,284 @@
+//! Garbage-collection pause records and summary statistics.
+
+use crate::Nanos;
+
+/// What kind of collection produced a pause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PauseKind {
+    /// A nursery (minor) collection.
+    Nursery,
+    /// A full-heap mark-sweep (or whole-heap copying) collection.
+    Full,
+    /// A full-heap *compacting* collection (BC §3.2, or semispace copy).
+    Compacting,
+    /// BC's completeness fail-safe: a full collection that may touch
+    /// evicted pages after discarding all bookmarks (§3.5).
+    FailSafe,
+}
+
+/// One stop-the-world pause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PauseRecord {
+    /// Simulated instant at which the mutator stopped.
+    pub start: Nanos,
+    /// Pause duration, including any page-fault stalls taken by the
+    /// collector while tracing.
+    pub duration: Nanos,
+    /// The collection kind.
+    pub kind: PauseKind,
+    /// Major faults incurred *by the collector* during this pause.
+    pub major_faults: u64,
+}
+
+impl PauseRecord {
+    /// The instant the mutator resumed.
+    pub fn end(&self) -> Nanos {
+        self.start + self.duration
+    }
+}
+
+/// Summary statistics over a pause log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PauseStats {
+    /// Number of pauses.
+    pub count: u64,
+    /// Total stopped time.
+    pub total: Nanos,
+    /// Mean pause (zero if no pauses).
+    pub mean: Nanos,
+    /// Longest pause.
+    pub max: Nanos,
+    /// Total collector-incurred major faults.
+    pub major_faults: u64,
+}
+
+/// An append-only log of stop-the-world pauses for one process.
+///
+/// The experiment harness reads average and maximum pause times from here
+/// (Figures 3b, 4, 7b) and feeds the intervals to [`bmu_curve`] for the
+/// utilization curves of Figure 6.
+///
+/// [`bmu_curve`]: crate::bmu_curve
+///
+/// # Example
+///
+/// ```
+/// use simtime::{Nanos, PauseKind, PauseLog};
+///
+/// let mut log = PauseLog::new();
+/// log.record(Nanos(100), Nanos(40), PauseKind::Nursery, 0);
+/// log.record(Nanos(500), Nanos(60), PauseKind::Full, 2);
+/// let stats = log.stats();
+/// assert_eq!(stats.count, 2);
+/// assert_eq!(stats.mean, Nanos(50));
+/// assert_eq!(stats.max, Nanos(60));
+/// assert_eq!(stats.major_faults, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PauseLog {
+    records: Vec<PauseRecord>,
+}
+
+impl PauseLog {
+    /// Creates an empty log.
+    pub fn new() -> PauseLog {
+        PauseLog::default()
+    }
+
+    /// Appends a pause.
+    pub fn record(&mut self, start: Nanos, duration: Nanos, kind: PauseKind, major_faults: u64) {
+        self.records.push(PauseRecord {
+            start,
+            duration,
+            kind,
+            major_faults,
+        });
+    }
+
+    /// All pauses, in chronological order.
+    pub fn records(&self) -> &[PauseRecord] {
+        &self.records
+    }
+
+    /// Whether no pause has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of recorded pauses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Summary statistics over every pause.
+    pub fn stats(&self) -> PauseStats {
+        self.stats_filtered(|_| true)
+    }
+
+    /// Summary statistics over pauses of one kind.
+    pub fn stats_for(&self, kind: PauseKind) -> PauseStats {
+        self.stats_filtered(|r| r.kind == kind)
+    }
+
+    /// Count of full-heap (non-nursery) collections.
+    pub fn full_collections(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind != PauseKind::Nursery)
+            .count() as u64
+    }
+
+    /// Clears the log (between benchmark iterations).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    fn stats_filtered(&self, mut keep: impl FnMut(&PauseRecord) -> bool) -> PauseStats {
+        let mut stats = PauseStats::default();
+        for r in self.records.iter().filter(|r| keep(r)) {
+            stats.count += 1;
+            stats.total += r.duration;
+            stats.max = stats.max.max(r.duration);
+            stats.major_faults += r.major_faults;
+        }
+        if stats.count > 0 {
+            stats.mean = stats.total / stats.count;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> PauseLog {
+        let mut log = PauseLog::new();
+        log.record(Nanos(0), Nanos(10), PauseKind::Nursery, 0);
+        log.record(Nanos(100), Nanos(30), PauseKind::Nursery, 0);
+        log.record(Nanos(200), Nanos(200), PauseKind::Full, 5);
+        log.record(Nanos(900), Nanos(400), PauseKind::Compacting, 1);
+        log
+    }
+
+    #[test]
+    fn empty_log_has_zero_stats() {
+        let log = PauseLog::new();
+        assert!(log.is_empty());
+        let s = log.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, Nanos::ZERO);
+        assert_eq!(s.max, Nanos::ZERO);
+    }
+
+    #[test]
+    fn stats_aggregate_all_kinds() {
+        let s = sample_log().stats();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.total, Nanos(640));
+        assert_eq!(s.mean, Nanos(160));
+        assert_eq!(s.max, Nanos(400));
+        assert_eq!(s.major_faults, 6);
+    }
+
+    #[test]
+    fn stats_for_filters_by_kind() {
+        let log = sample_log();
+        let nursery = log.stats_for(PauseKind::Nursery);
+        assert_eq!(nursery.count, 2);
+        assert_eq!(nursery.mean, Nanos(20));
+        let full = log.stats_for(PauseKind::Full);
+        assert_eq!(full.count, 1);
+        assert_eq!(full.major_faults, 5);
+        assert_eq!(log.full_collections(), 2);
+    }
+
+    #[test]
+    fn record_end_is_start_plus_duration() {
+        let r = PauseRecord {
+            start: Nanos(7),
+            duration: Nanos(5),
+            kind: PauseKind::Full,
+            major_faults: 0,
+        };
+        assert_eq!(r.end(), Nanos(12));
+    }
+
+    #[test]
+    fn clear_empties_the_log() {
+        let mut log = sample_log();
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+    }
+}
+
+/// Percentile view over a pause log (p50/p90/p99/max), the standard way
+/// latency-oriented GC evaluations summarize pause distributions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PausePercentiles {
+    /// Median pause.
+    pub p50: Nanos,
+    /// 90th percentile.
+    pub p90: Nanos,
+    /// 99th percentile.
+    pub p99: Nanos,
+    /// Longest pause.
+    pub max: Nanos,
+}
+
+impl PauseLog {
+    /// Computes pause percentiles (nearest-rank). Zero everywhere for an
+    /// empty log.
+    pub fn percentiles(&self) -> PausePercentiles {
+        if self.records.is_empty() {
+            return PausePercentiles::default();
+        }
+        let mut durations: Vec<Nanos> = self.records.iter().map(|r| r.duration).collect();
+        durations.sort_unstable();
+        let rank = |p: f64| -> Nanos {
+            let n = durations.len();
+            let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+            durations[idx]
+        };
+        PausePercentiles {
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            max: *durations.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod percentile_tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_has_zero_percentiles() {
+        assert_eq!(PauseLog::new().percentiles(), PausePercentiles::default());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut log = PauseLog::new();
+        for i in 1..=100u64 {
+            log.record(Nanos(i * 1000), Nanos(i), PauseKind::Full, 0);
+        }
+        let p = log.percentiles();
+        assert_eq!(p.p50, Nanos(50));
+        assert_eq!(p.p90, Nanos(90));
+        assert_eq!(p.p99, Nanos(99));
+        assert_eq!(p.max, Nanos(100));
+    }
+
+    #[test]
+    fn single_pause_fills_every_percentile() {
+        let mut log = PauseLog::new();
+        log.record(Nanos(0), Nanos(7), PauseKind::Nursery, 0);
+        let p = log.percentiles();
+        assert_eq!(p.p50, Nanos(7));
+        assert_eq!(p.p99, Nanos(7));
+        assert_eq!(p.max, Nanos(7));
+    }
+}

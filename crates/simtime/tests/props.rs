@@ -1,0 +1,63 @@
+//! Property tests for the BMU computation (Figure 6's metric).
+
+use proptest::prelude::*;
+use simtime::{bmu_curve, mmu_curve, Nanos, PauseKind, PauseLog};
+
+/// Builds a chronological, non-overlapping pause log from (gap, duration)
+/// pairs.
+fn log_from(pairs: &[(u64, u64)]) -> (PauseLog, Nanos) {
+    let mut log = PauseLog::new();
+    let mut t = 0u64;
+    for &(gap, dur) in pairs {
+        t += gap;
+        log.record(Nanos(t), Nanos(dur), PauseKind::Full, 0);
+        t += dur;
+    }
+    (log, Nanos(t + 1_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BMU is within [0,1], monotone non-decreasing, bounded above by the
+    /// raw MMU pointwise, and ends at overall utilization.
+    #[test]
+    fn bmu_is_sane(pairs in proptest::collection::vec((1_000u64..5_000_000, 1u64..2_000_000), 0..40)) {
+        let (log, total) = log_from(&pairs);
+        let bmu = bmu_curve(log.records(), total, 32);
+        let mmu = mmu_curve(log.records(), total, 32);
+        for (b, m) in bmu.iter().zip(&mmu) {
+            prop_assert!((0.0..=1.0).contains(&b.utilization));
+            prop_assert!(b.utilization <= m.utilization + 1e-12);
+        }
+        for w in bmu.windows(2) {
+            prop_assert!(w[0].utilization <= w[1].utilization + 1e-12);
+        }
+        let total_pause: u64 = pairs.iter().map(|&(_, d)| d).sum();
+        let overall = 1.0 - total_pause as f64 / total.as_nanos() as f64;
+        let last = bmu.last().unwrap().utilization;
+        prop_assert!((last - overall).abs() < 1e-9,
+            "right endpoint {last} vs overall {overall}");
+    }
+
+    /// More pausing never improves BMU: adding a pause can only lower the
+    /// curve (pointwise, on the shared window grid).
+    #[test]
+    fn extra_pause_never_helps(pairs in proptest::collection::vec((10_000u64..1_000_000, 1u64..200_000), 1..20),
+                               extra in 0usize..20) {
+        let (log, total) = log_from(&pairs);
+        let base = bmu_curve(log.records(), total, 24);
+        let mut more = pairs.clone();
+        let i = extra % more.len();
+        more[i].1 += 50_000; // lengthen one pause
+        let (log2, total2) = log_from(&more);
+        // Compare on the same absolute total (use the longer).
+        let t = total.max(total2);
+        let base2 = bmu_curve(log.records(), t, 24);
+        let worse = bmu_curve(log2.records(), t, 24);
+        let _ = base;
+        for (b, w) in base2.iter().zip(&worse) {
+            prop_assert!(w.utilization <= b.utilization + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The deterministic discrete-event engine.
+
+use heap::{GcHeap, MemCtx, OutOfMemory};
+use simtime::{Clock, Nanos};
+use vmm::{ProcessId, Vmm};
+
+use crate::program::{Program, ProgramStatus};
+use crate::signalmem::Signalmem;
+
+/// One simulated JVM: a collector plus the program driving it.
+pub struct JvmProcess {
+    /// The process id in the shared VMM.
+    pub pid: ProcessId,
+    /// The collector under test.
+    pub gc: Box<dyn GcHeap>,
+    /// The benchmark program.
+    pub program: Box<dyn Program>,
+    /// This process's clock.
+    pub clock: Clock,
+    /// Set when the program finished (successfully or not).
+    pub finished: bool,
+    /// Set when the heap was exhausted.
+    pub failed: Option<OutOfMemory>,
+    /// Completion instant, if finished successfully.
+    pub finish_time: Option<Nanos>,
+}
+
+impl core::fmt::Debug for JvmProcess {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("JvmProcess")
+            .field("pid", &self.pid)
+            .field("collector", &self.gc.name())
+            .field("program", &self.program.name())
+            .field("now", &self.clock.now())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl JvmProcess {
+    /// Assembles a JVM process.
+    pub fn new(pid: ProcessId, gc: Box<dyn GcHeap>, program: Box<dyn Program>) -> JvmProcess {
+        JvmProcess {
+            pid,
+            gc,
+            program,
+            clock: Clock::new(),
+            finished: false,
+            failed: None,
+            finish_time: None,
+        }
+    }
+}
+
+/// The discrete-event loop: at each iteration the runnable process with the
+/// least local time takes one step. JVM steps are one bounded batch of
+/// mutator work followed by notification handling and a VMM reclaim pump;
+/// signalmem steps pin the next memory increment.
+pub struct Engine {
+    /// The shared virtual memory manager.
+    pub vmm: Vmm,
+    /// The JVM processes.
+    pub jvms: Vec<JvmProcess>,
+    /// The optional pressure driver.
+    pub signalmem: Option<Signalmem>,
+    /// Abort knob: a run exceeding this many engine steps is reported as
+    /// timed out (pathological thrashing would otherwise run unboundedly).
+    pub max_steps: u64,
+    steps: u64,
+    timed_out: bool,
+}
+
+impl core::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("jvms", &self.jvms)
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over `vmm`.
+    pub fn new(vmm: Vmm) -> Engine {
+        Engine {
+            vmm,
+            jvms: Vec::new(),
+            signalmem: None,
+            max_steps: 200_000_000,
+            steps: 0,
+            timed_out: false,
+        }
+    }
+
+    /// Whether the run hit the step limit.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Engine steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs until every JVM finishes (or the step limit is hit).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Delivers queued paging notifications to every live JVM immediately —
+    /// the paper's real-time signals preempt the application (§4.1:
+    /// "these signals cannot be lost"), so handlers run as soon as the
+    /// kernel raises them, not at the process's next scheduling quantum.
+    fn deliver_signals(&mut self) {
+        for jvm in &mut self.jvms {
+            if !jvm.finished && self.vmm.has_events(jvm.pid) {
+                let mut ctx = MemCtx::new(&mut self.vmm, &mut jvm.clock, jvm.pid);
+                jvm.gc.handle_vm_events(&mut ctx);
+            }
+        }
+    }
+
+    /// Executes one event; returns whether more work remains.
+    pub fn step(&mut self) -> bool {
+        if self.steps >= self.max_steps {
+            self.timed_out = true;
+            return false;
+        }
+        self.steps += 1;
+        // Pick the runnable actor with the least local time.
+        let jvm_next = self
+            .jvms
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.finished)
+            .min_by_key(|(_, j)| j.clock.now())
+            .map(|(i, j)| (i, j.clock.now()));
+        let sm_next = self
+            .signalmem
+            .as_ref()
+            .filter(|sm| !sm.done())
+            .map(|sm| sm.now());
+        match (jvm_next, sm_next) {
+            (None, _) => false, // every JVM done: ignore remaining pressure
+            (Some((_, jt)), Some(st)) if st <= jt => {
+                let sm = self.signalmem.as_mut().unwrap();
+                sm.step(&mut self.vmm);
+                self.deliver_signals();
+                true
+            }
+            (Some((i, _)), _) => {
+                let jvm = &mut self.jvms[i];
+                let mut ctx = MemCtx::new(&mut self.vmm, &mut jvm.clock, jvm.pid);
+                match jvm.program.step(jvm.gc.as_mut(), &mut ctx) {
+                    Ok(ProgramStatus::Running) => {}
+                    Ok(ProgramStatus::Finished) => {
+                        jvm.finished = true;
+                        jvm.finish_time = Some(jvm.clock.now());
+                    }
+                    Err(oom) => {
+                        jvm.finished = true;
+                        jvm.failed = Some(oom);
+                    }
+                }
+                // Let kswapd work, then deliver any notifications it (or
+                // this step's faults) raised — to every instance.
+                self.vmm.pump(&mut jvm.clock);
+                self.deliver_signals();
+                self.jvms.iter().any(|j| !j.finished)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signalmem::{Signalmem, SignalmemConfig};
+    use crate::{CollectorKind, Program};
+    use heap::AllocKind;
+    use simtime::CostModel;
+    use vmm::VmmConfig;
+
+    /// Allocates `n` objects, dropping each immediately.
+    struct Mill {
+        left: usize,
+    }
+
+    impl Program for Mill {
+        fn step(
+            &mut self,
+            gc: &mut dyn GcHeap,
+            ctx: &mut MemCtx<'_>,
+        ) -> Result<ProgramStatus, OutOfMemory> {
+            for _ in 0..50 {
+                if self.left == 0 {
+                    return Ok(ProgramStatus::Finished);
+                }
+                let h = gc.alloc(
+                    ctx,
+                    AllocKind::Scalar {
+                        data_words: 4,
+                        num_refs: 0,
+                    },
+                )?;
+                gc.drop_handle(h);
+                self.left -= 1;
+            }
+            Ok(ProgramStatus::Running)
+        }
+
+        fn name(&self) -> &str {
+            "mill"
+        }
+
+        fn progress(&self) -> f64 {
+            0.0
+        }
+    }
+
+    fn engine_with(n_jvms: usize, memory: usize) -> Engine {
+        let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(memory), CostModel::default());
+        let mut jvms = Vec::new();
+        for _ in 0..n_jvms {
+            let pid = vmm.register_process();
+            let gc = CollectorKind::Bc.build(4 << 20, &mut vmm, pid);
+            jvms.push(JvmProcess::new(pid, gc, Box::new(Mill { left: 2_000 })));
+        }
+        let mut engine = Engine::new(vmm);
+        engine.jvms = jvms;
+        engine
+    }
+
+    #[test]
+    fn engine_runs_single_jvm_to_completion() {
+        let mut e = engine_with(1, 64 << 20);
+        e.run_to_completion();
+        assert!(e.jvms[0].finished);
+        assert!(e.jvms[0].failed.is_none());
+        assert!(e.jvms[0].finish_time.is_some());
+        assert!(!e.timed_out());
+        assert!(e.steps() >= 2_000 / 50);
+    }
+
+    #[test]
+    fn engine_interleaves_jvms_by_local_time() {
+        let mut e = engine_with(2, 64 << 20);
+        e.run_to_completion();
+        assert!(e.jvms.iter().all(|j| j.finished));
+        // Identical workloads on a calm machine finish at identical times.
+        assert_eq!(e.jvms[0].finish_time, e.jvms[1].finish_time);
+    }
+
+    #[test]
+    fn step_limit_reports_timeout() {
+        let mut e = engine_with(1, 64 << 20);
+        e.max_steps = 3;
+        e.run_to_completion();
+        assert!(e.timed_out());
+        assert!(!e.jvms[0].finished);
+    }
+
+    #[test]
+    fn signalmem_is_scheduled_between_jvm_steps() {
+        let mut e = engine_with(1, 16 << 20);
+        let sm_pid = e.vmm.register_process();
+        e.signalmem = Some(Signalmem::new(
+            SignalmemConfig {
+                initial_pages: 64,
+                step_pages: 16,
+                interval: simtime::Nanos::from_micros(50),
+                total_pages: 512,
+                start_at: simtime::Nanos::ZERO,
+            },
+            sm_pid,
+        ));
+        e.run_to_completion();
+        assert!(e.jvms[0].finished);
+        assert!(e.vmm.stats(sm_pid).locked > 0, "signalmem never pinned");
+    }
+}

@@ -1,0 +1,103 @@
+//! Parameter sweeps reproducing the paper's experiments (§5).
+//!
+//! Each function runs one experimental condition and returns raw
+//! [`RunResult`]s; the `bench` crate's `figures` binary formats them into
+//! the tables and series the paper plots. Workload construction is left to
+//! a caller-supplied factory so these harnesses work with any benchmark
+//! from the `workloads` crate.
+
+use simtime::Nanos;
+
+use crate::program::Program;
+use crate::runner::{run, run_multi, MultiRunResult, RunConfig, RunResult};
+use crate::signalmem::SignalmemConfig;
+use crate::CollectorKind;
+
+/// A workload factory: builds a fresh instance of the benchmark program.
+pub type MakeProgram<'a> = &'a dyn Fn() -> Box<dyn Program>;
+
+/// One point of a heap-size sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The heap size of this run.
+    pub heap_bytes: usize,
+    /// The run's metrics.
+    pub result: RunResult,
+}
+
+/// Figure 2: execution time as a function of heap size, without memory
+/// pressure (physical memory is ample).
+pub fn no_pressure_sweep(
+    collector: CollectorKind,
+    heaps: &[usize],
+    memory_bytes: usize,
+    make: MakeProgram<'_>,
+) -> Vec<SweepPoint> {
+    heaps
+        .iter()
+        .map(|&heap_bytes| {
+            let config = RunConfig::new(collector, heap_bytes, memory_bytes);
+            SweepPoint {
+                heap_bytes,
+                result: run(&config, make()),
+            }
+        })
+        .collect()
+}
+
+/// Figure 3: steady memory pressure. Signalmem immediately pins
+/// `pin_fraction` of the heap size (the paper pins 60 %), simulating
+/// another process's working set.
+pub fn steady_pressure(
+    collector: CollectorKind,
+    heap_bytes: usize,
+    memory_bytes: usize,
+    pin_fraction: f64,
+    make: MakeProgram<'_>,
+) -> RunResult {
+    let pinned = (heap_bytes as f64 * pin_fraction) as usize;
+    let mut config = RunConfig::new(collector, heap_bytes, memory_bytes);
+    config.pressure = Some(SignalmemConfig::steady(pinned, Nanos::from_millis(1)));
+    run(&config, make())
+}
+
+/// Figures 4–6: dynamic memory pressure. Signalmem pins 30 MB (scaled by
+/// `scale`), then 1 MB (scaled) per 100 ms, until available memory falls to
+/// `target_available_bytes`.
+pub fn dynamic_pressure(
+    collector: CollectorKind,
+    heap_bytes: usize,
+    memory_bytes: usize,
+    target_available_bytes: usize,
+    scale: f64,
+    make: MakeProgram<'_>,
+) -> RunResult {
+    let total = memory_bytes.saturating_sub(target_available_bytes);
+    let mut pressure = SignalmemConfig::dynamic(total, Nanos::from_millis(1));
+    // The ramp scales with the workload: at `scale` volume the run is
+    // `scale` times shorter, so the 30 MB + 1 MB/100 ms shape shrinks by
+    // the same factor to hit the same phase of execution.
+    pressure.initial_pages = ((pressure.initial_pages as f64) * scale) as usize;
+    pressure.step_pages = ((pressure.step_pages as f64) * scale).max(1.0) as usize;
+    // (The extra 0.2 matches the simulator's shorter calm-run times: the
+    // ramp completes in the first half of a calm-speed run, as in the
+    // paper, so every collector faces the same end-state pressure for a
+    // substantial fraction of its execution.)
+    pressure.interval = Nanos((pressure.interval.as_nanos() as f64 * scale * 0.2) as u64);
+    let mut config = RunConfig::new(collector, heap_bytes, memory_bytes);
+    config.pressure = Some(pressure);
+    run(&config, make())
+}
+
+/// Figure 7: two JVM instances running simultaneously, each with its own
+/// heap of `heap_bytes`, with physical memory restricted to
+/// `memory_bytes`.
+pub fn multi_jvm(
+    collector: CollectorKind,
+    heap_bytes: usize,
+    memory_bytes: usize,
+    make: MakeProgram<'_>,
+) -> MultiRunResult {
+    let config = RunConfig::new(collector, heap_bytes, memory_bytes);
+    run_multi(&config, vec![make(), make()])
+}

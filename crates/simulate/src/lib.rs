@@ -1,0 +1,35 @@
+//! The execution engine and experiment harnesses for *Garbage Collection
+//! Without Paging*.
+//!
+//! This crate ties the pieces together:
+//!
+//! * [`Program`] — the mutator interface workload generators implement;
+//! * [`CollectorKind`] — a registry of every collector the paper evaluates
+//!   (the five baselines, their fixed-nursery variants, BC, and the
+//!   resizing-only BC ablation);
+//! * [`Signalmem`] — the paper's memory-pressure driver (§5.1): it maps,
+//!   touches and `mlock`s memory at a configurable initial size, rate, and
+//!   target;
+//! * [`Engine`] — a deterministic discrete-event loop interleaving any
+//!   number of JVM processes and pressure drivers over one shared
+//!   [`vmm::Vmm`], by least simulated time;
+//! * [`run`]/[`RunConfig`]/[`RunResult`] — one benchmark execution with
+//!   full metrics (execution time, pause statistics, paging counters, GC
+//!   counters, BMU inputs);
+//! * [`min_heap_search`] — the Table 1 minimum-heap measurement;
+//! * [`experiments`] — parameter sweeps reproducing each figure.
+
+#![warn(missing_docs)]
+
+mod collector_kind;
+mod engine;
+pub mod experiments;
+mod program;
+mod runner;
+mod signalmem;
+
+pub use collector_kind::CollectorKind;
+pub use engine::{Engine, JvmProcess};
+pub use program::{Program, ProgramStatus};
+pub use runner::{min_heap_search, run, run_multi, MultiRunResult, RunConfig, RunResult};
+pub use signalmem::{Signalmem, SignalmemConfig};

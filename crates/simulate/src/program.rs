@@ -1,0 +1,41 @@
+//! The mutator-program interface.
+
+use heap::{GcHeap, MemCtx, OutOfMemory};
+
+/// Outcome of one bounded step of mutator work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramStatus {
+    /// More work remains.
+    Running,
+    /// The program completed its workload.
+    Finished,
+}
+
+/// A benchmark program driving a collector through the [`GcHeap`] API.
+///
+/// Programs perform a *bounded* batch of work per [`step`](Program::step)
+/// (a few hundred allocations), so the engine can interleave processes and
+/// pump the virtual memory manager between steps. Programs must hold only
+/// [`heap::Handle`]s across steps — raw addresses do not survive moving
+/// collections.
+pub trait Program {
+    /// Performs one batch of work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OutOfMemory`] when the heap cannot satisfy an
+    /// allocation; the runner reports the run as failed (used by the
+    /// minimum-heap search).
+    fn step(
+        &mut self,
+        gc: &mut dyn GcHeap,
+        ctx: &mut MemCtx<'_>,
+    ) -> Result<ProgramStatus, OutOfMemory>;
+
+    /// The benchmark's name (for reports).
+    fn name(&self) -> &str;
+
+    /// Fraction of the workload completed, in `[0, 1]` (progress display
+    /// and sanity checks).
+    fn progress(&self) -> f64;
+}

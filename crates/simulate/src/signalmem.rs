@@ -1,0 +1,162 @@
+//! The `signalmem` memory-pressure driver (§5.1).
+//!
+//! "We then use an external process we call signalmem. … Once alerted,
+//! signalmem uses mmap to allocate a large array, touches these pages, and
+//! then pins them in memory with mlock. The initial amount of memory, total
+//! amount of memory, and rate at which this memory is pinned are specified
+//! via command-line parameters."
+
+use simtime::{Clock, Nanos};
+use vmm::{ProcessId, VirtPage, Vmm};
+
+/// Configuration for a [`Signalmem`] process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SignalmemConfig {
+    /// Pages pinned immediately when the driver starts.
+    pub initial_pages: usize,
+    /// Pages pinned per interval thereafter.
+    pub step_pages: usize,
+    /// Interval between increments (the paper uses 1 MB / 100 ms).
+    pub interval: Nanos,
+    /// Total pages to pin.
+    pub total_pages: usize,
+    /// Simulated instant at which pinning begins.
+    pub start_at: Nanos,
+}
+
+impl SignalmemConfig {
+    /// The paper's dynamic-pressure shape (§5.3.2): 30 MB immediately,
+    /// then 1 MB every 100 ms until `total_bytes` are pinned.
+    pub fn dynamic(total_bytes: usize, start_at: Nanos) -> SignalmemConfig {
+        SignalmemConfig {
+            initial_pages: (30 << 20) / vmm::PAGE_BYTES,
+            step_pages: (1 << 20) / vmm::PAGE_BYTES,
+            interval: Nanos::from_millis(100),
+            total_pages: total_bytes / vmm::PAGE_BYTES,
+            start_at,
+        }
+    }
+
+    /// Steady pressure (§5.3.1): pin everything at once at `start_at`.
+    pub fn steady(total_bytes: usize, start_at: Nanos) -> SignalmemConfig {
+        SignalmemConfig {
+            initial_pages: total_bytes / vmm::PAGE_BYTES,
+            step_pages: 0,
+            interval: Nanos::from_millis(100),
+            total_pages: total_bytes / vmm::PAGE_BYTES,
+            start_at,
+        }
+    }
+}
+
+/// The pressure-driver process.
+#[derive(Debug)]
+pub struct Signalmem {
+    config: SignalmemConfig,
+    pid: ProcessId,
+    clock: Clock,
+    pinned: usize,
+    started: bool,
+}
+
+impl Signalmem {
+    /// Creates a driver owning `pid` in the shared VMM.
+    pub fn new(config: SignalmemConfig, pid: ProcessId) -> Signalmem {
+        let mut clock = Clock::new();
+        clock.advance(config.start_at);
+        Signalmem {
+            config,
+            pid,
+            clock,
+            pinned: 0,
+            started: false,
+        }
+    }
+
+    /// The driver's local clock (for engine scheduling).
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Whether the driver has pinned its full target.
+    pub fn done(&self) -> bool {
+        self.pinned >= self.config.total_pages
+    }
+
+    /// Pages pinned so far.
+    pub fn pinned_pages(&self) -> usize {
+        self.pinned
+    }
+
+    /// Performs the next pinning increment, advancing the local clock to
+    /// the following one.
+    pub fn step(&mut self, vmm: &mut Vmm) {
+        debug_assert!(!self.done());
+        let batch = if self.started {
+            self.config.step_pages
+        } else {
+            self.started = true;
+            self.config.initial_pages.max(1)
+        };
+        let batch = batch.min(self.config.total_pages - self.pinned);
+        let mut locked = 0;
+        for i in 0..batch {
+            // The kernel will not hand out its emergency reserve: mlock
+            // stalls once free frames reach the reclaim watermark, and the
+            // driver retries the remainder at the next interval (after
+            // kswapd has had a chance to free memory).
+            if vmm.free_frames() <= vmm.config().low_watermark {
+                break;
+            }
+            vmm.mlock(self.pid, VirtPage((self.pinned + i) as u32), &mut self.clock);
+            locked += 1;
+        }
+        self.pinned += locked;
+        self.clock.advance(self.config.interval);
+        vmm.pump(&mut self.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::CostModel;
+    use vmm::VmmConfig;
+
+    #[test]
+    fn dynamic_shape_matches_the_paper() {
+        let c = SignalmemConfig::dynamic(100 << 20, Nanos::ZERO);
+        assert_eq!(c.initial_pages, 7680); // 30 MB
+        assert_eq!(c.step_pages, 256); // 1 MB
+        assert_eq!(c.interval, Nanos::from_millis(100));
+        assert_eq!(c.total_pages, 25600);
+    }
+
+    #[test]
+    fn pins_initial_then_rate() {
+        let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+        let pid = vmm.register_process();
+        let mut sm = Signalmem::new(
+            SignalmemConfig {
+                initial_pages: 100,
+                step_pages: 10,
+                interval: Nanos::from_millis(100),
+                total_pages: 130,
+                start_at: Nanos::from_millis(5),
+            },
+            pid,
+        );
+        assert_eq!(sm.now(), Nanos::from_millis(5));
+        sm.step(&mut vmm);
+        assert_eq!(sm.pinned_pages(), 100);
+        assert_eq!(vmm.stats(pid).locked, 100);
+        assert!(!sm.done());
+        sm.step(&mut vmm);
+        sm.step(&mut vmm);
+        sm.step(&mut vmm);
+        assert!(sm.done());
+        assert_eq!(vmm.stats(pid).locked, 130);
+        // Clock advanced one interval per step.
+        assert!(sm.now() >= Nanos::from_millis(405));
+    }
+}

@@ -1,0 +1,105 @@
+//! Tunables of the simulated virtual memory manager.
+
+use crate::PAGE_BYTES;
+
+/// Configuration for a [`Vmm`](crate::Vmm).
+///
+/// Defaults mirror the Linux 2.4 reclaim behaviour the paper built on:
+/// reclaim begins when free frames fall under a low watermark and proceeds in
+/// `SWAP_CLUSTER`-sized batches until a high watermark is reached, "to hide
+/// disk latency" (§3.4.3: "the virtual memory manager schedules page
+/// evictions in large batches ... the size of available memory can fluctuate
+/// wildly").
+///
+/// # Example
+///
+/// ```
+/// use vmm::VmmConfig;
+///
+/// let config = VmmConfig::with_memory_bytes(143 * 1024 * 1024); // Fig. 6a
+/// assert_eq!(config.frames, 143 * 256);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VmmConfig {
+    /// Number of physical frames (each [`PAGE_BYTES`] large).
+    pub frames: usize,
+    /// Background reclaim starts when free frames drop below this.
+    pub low_watermark: usize,
+    /// Reclaim continues until this many frames are free (or scheduled).
+    pub high_watermark: usize,
+    /// Pages evicted per reclaim batch (Linux's `SWAP_CLUSTER_MAX`).
+    pub batch: usize,
+    /// Maximum active-list pages scanned per clock pass.
+    pub clock_scan_limit: usize,
+}
+
+impl VmmConfig {
+    /// A configuration with `frames` physical frames and proportional
+    /// watermarks (low = max(8, frames/64), high = 2×low).
+    pub fn with_frames(frames: usize) -> VmmConfig {
+        let low = (frames / 64).max(8);
+        VmmConfig {
+            frames,
+            low_watermark: low,
+            high_watermark: low * 2,
+            batch: 32,
+            clock_scan_limit: 256,
+        }
+    }
+
+    /// A configuration sized in bytes of physical memory (rounded down to
+    /// whole frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is smaller than one page.
+    pub fn with_memory_bytes(bytes: usize) -> VmmConfig {
+        assert!(bytes >= PAGE_BYTES, "physical memory below one page");
+        VmmConfig::with_frames(bytes / PAGE_BYTES)
+    }
+
+    /// Total physical memory, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.frames * PAGE_BYTES
+    }
+}
+
+impl Default for VmmConfig {
+    /// 1 GiB of physical memory, matching the paper's testbed (§5.1).
+    fn default() -> VmmConfig {
+        VmmConfig::with_memory_bytes(1 << 30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_one_gigabyte() {
+        let c = VmmConfig::default();
+        assert_eq!(c.memory_bytes(), 1 << 30);
+        assert_eq!(c.frames, 262_144);
+    }
+
+    #[test]
+    fn watermarks_scale_with_frames() {
+        let c = VmmConfig::with_frames(64_000);
+        assert_eq!(c.low_watermark, 1_000);
+        assert_eq!(c.high_watermark, 2_000);
+        assert!(c.low_watermark < c.high_watermark);
+    }
+
+    #[test]
+    fn small_memories_keep_minimum_watermarks() {
+        let c = VmmConfig::with_frames(64);
+        assert_eq!(c.low_watermark, 8);
+        assert_eq!(c.high_watermark, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "below one page")]
+    fn sub_page_memory_is_rejected() {
+        let _ = VmmConfig::with_memory_bytes(100);
+    }
+}

@@ -1,0 +1,81 @@
+//! Kernel-to-runtime notifications.
+//!
+//! The paper's kernel extension delivers notifications as **queued Linux
+//! real-time signals**, chosen because "unlike other notification methods,
+//! these signals cannot be lost due to other process activity" (§4.1). The
+//! simulator models each registered process's signal queue as an unbounded
+//! FIFO drained by [`Vmm::take_events`](crate::Vmm::take_events).
+
+use crate::VirtPage;
+
+/// One queued notification from the virtual memory manager to a registered
+/// runtime. All events refer to pages of the receiving process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmEvent {
+    /// A page has been scheduled for eviction from the inactive list
+    /// ("the kernel notifies the runtime system just before any page is
+    /// scheduled for eviction ... whenever its corresponding page table
+    /// entry is unmapped", §4.1).
+    ///
+    /// The runtime may rescue the page by touching it, free memory instead
+    /// by discarding an empty page, or bookmark the page's outgoing
+    /// references and surrender it via `vm_relinquish`. If it does nothing,
+    /// the page is evicted at the next reclaim pass.
+    EvictionScheduled {
+        /// The victim page.
+        page: VirtPage,
+    },
+    /// A page was evicted without a prior grace period because the reclaim
+    /// scan could not otherwise free enough frames (the kernel "operates
+    /// asynchronously from the collector, meaning that it can run ahead of
+    /// the collector and evict a page before BC can even be scheduled to run
+    /// and process the page", §3.4.3).
+    Evicted {
+        /// The evicted page.
+        page: VirtPage,
+    },
+    /// An evicted page was loaded back into memory (§3.3.2: signals are sent
+    /// when a page is "scheduled for eviction or loaded back into memory").
+    /// BC clears bookmarks in response (§3.4.2).
+    MadeResident {
+        /// The reloaded page.
+        page: VirtPage,
+    },
+    /// A protected page was touched. BC protects relinquished pages so that
+    /// a touch before the eviction completes cannot go unnoticed (§3.4);
+    /// the protection has been removed by the time this event is observed.
+    ProtectionFault {
+        /// The faulting page.
+        page: VirtPage,
+    },
+}
+
+impl VmEvent {
+    /// The page this event refers to.
+    pub fn page(&self) -> VirtPage {
+        match *self {
+            VmEvent::EvictionScheduled { page }
+            | VmEvent::Evicted { page }
+            | VmEvent::MadeResident { page }
+            | VmEvent::ProtectionFault { page } => page,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_page_accessor_covers_all_variants() {
+        let p = VirtPage(9);
+        for ev in [
+            VmEvent::EvictionScheduled { page: p },
+            VmEvent::Evicted { page: p },
+            VmEvent::MadeResident { page: p },
+            VmEvent::ProtectionFault { page: p },
+        ] {
+            assert_eq!(ev.page(), p);
+        }
+    }
+}

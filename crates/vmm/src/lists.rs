@@ -1,0 +1,124 @@
+//! The two LRU lists of the Linux 2.4 replacement policy.
+//!
+//! "User pages are either kept in the active list (managed by the clock
+//! algorithm) or the inactive list (a FIFO queue)" (§4.1). Both lists here
+//! use lazy deletion: entries are validated against the page table's list
+//! tag when popped, so mid-list removals (page discarded, promoted, locked)
+//! are O(1).
+
+use std::collections::VecDeque;
+
+use crate::page::PageKey;
+
+/// A FIFO of page keys with lazy deletion.
+///
+/// Pushing the same page twice is allowed; stale entries are skipped when
+/// popping, using a caller-supplied validity check (typically "the page
+/// table still tags this page as being on this list").
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LazyQueue {
+    queue: VecDeque<PageKey>,
+}
+
+impl LazyQueue {
+    pub fn new() -> LazyQueue {
+        LazyQueue::default()
+    }
+
+    /// Number of entries, *including* stale ones. An upper bound on live
+    /// entries; used only for scan budgeting.
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub fn raw_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn push_back(&mut self, key: PageKey) {
+        self.queue.push_back(key);
+    }
+
+    /// Pops the oldest entry for which `valid` holds, discarding stale
+    /// entries along the way.
+    pub fn pop_front_valid(&mut self, mut valid: impl FnMut(PageKey) -> bool) -> Option<PageKey> {
+        while let Some(key) = self.queue.pop_front() {
+            if valid(key) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Re-inserts a popped entry at the back (clock "second chance").
+    pub fn rotate_to_back(&mut self, key: PageKey) {
+        self.queue.push_back(key);
+    }
+
+    /// Drops every entry (used on reset only).
+    #[cfg(test)]
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{ProcessId, VirtPage};
+
+    fn key(n: u32) -> PageKey {
+        PageKey {
+            pid: ProcessId(0),
+            page: VirtPage(n),
+        }
+    }
+
+    #[test]
+    fn pops_in_fifo_order() {
+        let mut q = LazyQueue::new();
+        q.push_back(key(1));
+        q.push_back(key(2));
+        q.push_back(key(3));
+        assert_eq!(q.pop_front_valid(|_| true), Some(key(1)));
+        assert_eq!(q.pop_front_valid(|_| true), Some(key(2)));
+        assert_eq!(q.pop_front_valid(|_| true), Some(key(3)));
+        assert_eq!(q.pop_front_valid(|_| true), None);
+    }
+
+    #[test]
+    fn skips_stale_entries() {
+        let mut q = LazyQueue::new();
+        q.push_back(key(1));
+        q.push_back(key(2));
+        q.push_back(key(1)); // duplicate: the first entry is now stale
+        let mut first_seen = false;
+        let got = q.pop_front_valid(|k| {
+            if k == key(1) && !first_seen {
+                first_seen = true;
+                false // treat the first copy as stale
+            } else {
+                true
+            }
+        });
+        assert_eq!(got, Some(key(2)));
+        assert_eq!(q.raw_len(), 1);
+    }
+
+    #[test]
+    fn rotate_gives_second_chance() {
+        let mut q = LazyQueue::new();
+        q.push_back(key(1));
+        q.push_back(key(2));
+        let first = q.pop_front_valid(|_| true).unwrap();
+        q.rotate_to_back(first);
+        assert_eq!(q.pop_front_valid(|_| true), Some(key(2)));
+        assert_eq!(q.pop_front_valid(|_| true), Some(key(1)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = LazyQueue::new();
+        q.push_back(key(1));
+        q.clear();
+        assert_eq!(q.raw_len(), 0);
+        assert_eq!(q.pop_front_valid(|_| true), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Page identities and per-page state.
+
+use core::fmt;
+
+/// Size of one virtual-memory page, in bytes (4 KiB, as on the paper's
+/// x86 testbed).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Identifies one simulated process sharing the physical memory.
+///
+/// The multi-JVM experiment (Figure 7) runs two JVM processes plus the
+/// `signalmem` pressure driver against one [`Vmm`](crate::Vmm).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u8);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A virtual page number within one process's address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtPage(pub u32);
+
+impl VirtPage {
+    /// The page containing byte address `addr`.
+    pub const fn containing(addr: u32) -> VirtPage {
+        VirtPage(addr / PAGE_BYTES as u32)
+    }
+
+    /// The first byte address of this page.
+    pub const fn base_addr(self) -> u32 {
+        self.0 * PAGE_BYTES as u32
+    }
+}
+
+impl From<u32> for VirtPage {
+    fn from(n: u32) -> VirtPage {
+        VirtPage(n)
+    }
+}
+
+impl fmt::Display for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Globally unique page identity: `(process, virtual page)`.
+///
+/// The simulated kernel carries the paper's reverse-mapping patch (§4.1,
+/// "to maintain information about process ownership of pages"), so every
+/// physical page knows its owner; `PageKey` is that mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageKey {
+    /// Owning process.
+    pub pid: ProcessId,
+    /// Virtual page within the owner's address space.
+    pub page: VirtPage,
+}
+
+impl fmt::Display for PageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.pid, self.page)
+    }
+}
+
+/// Kind of memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A load; leaves the page clean if it was clean.
+    Read,
+    /// A store; marks the page dirty (dirty pages cost more to evict).
+    Write,
+}
+
+/// Residency state of a virtual page.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PageState {
+    /// Never touched (or discarded): the next touch is a demand-zero fill.
+    #[default]
+    Unmapped,
+    /// Backed by a physical frame.
+    Resident,
+    /// Swapped out; contents preserved on the swap device. The next touch
+    /// is a major fault.
+    Evicted,
+}
+
+/// What happened during a [`Vmm::touch`](crate::Vmm::touch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// The page was read back from swap (a major fault was charged).
+    pub major_fault: bool,
+    /// The page was freshly demand-zero mapped; the caller's backing store
+    /// for it must be zeroed (contents of a discarded page do not survive).
+    pub zero_filled: bool,
+    /// The page was protected; a [`VmEvent::ProtectionFault`] was queued for
+    /// the owner and the protection was removed.
+    ///
+    /// [`VmEvent::ProtectionFault`]: crate::VmEvent::ProtectionFault
+    pub protection_fault: bool,
+    /// Events were queued for the owning process during this touch (the
+    /// caller should pump the runtime's signal handler).
+    pub events_queued: bool,
+}
+
+/// Which LRU list a page currently believes it is on (lazy-deletion tag).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum ListTag {
+    #[default]
+    None,
+    Active,
+    Inactive,
+}
+
+/// Full bookkeeping for one virtual page.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PageInfo {
+    pub state: PageState,
+    /// Clock-algorithm referenced bit.
+    pub referenced: bool,
+    /// Needs write-back if evicted.
+    pub dirty: bool,
+    /// `mlock`ed: never considered for eviction (signalmem uses this).
+    pub locked: bool,
+    /// `mprotect`ed: the next touch raises a protection fault upcall.
+    pub protected: bool,
+    /// Scheduled for eviction; a notice has been queued to the owner and the
+    /// page will be evicted at the next reclaim pass unless rescued.
+    pub pending_eviction: bool,
+    /// Voluntarily surrendered via `vm_relinquish`: evict without notice.
+    pub relinquished: bool,
+    pub list: ListTag,
+}
+
+impl PageInfo {
+    pub(crate) fn is_resident(&self) -> bool {
+        self.state == PageState::Resident
+    }
+
+    /// Whether the reclaim scan may evict this page right now.
+    pub(crate) fn evictable(&self) -> bool {
+        self.is_resident() && !self.locked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_page_address_round_trip() {
+        let p = VirtPage::containing(8192);
+        assert_eq!(p, VirtPage(2));
+        assert_eq!(p.base_addr(), 8192);
+        assert_eq!(VirtPage::containing(8191), VirtPage(1));
+        assert_eq!(VirtPage::containing(0), VirtPage(0));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        let key = PageKey {
+            pid: ProcessId(1),
+            page: VirtPage(42),
+        };
+        assert_eq!(key.to_string(), "pid1/p42");
+    }
+
+    #[test]
+    fn default_page_is_unmapped_and_unlisted() {
+        let info = PageInfo::default();
+        assert_eq!(info.state, PageState::Unmapped);
+        assert!(!info.is_resident());
+        assert!(!info.evictable());
+        assert_eq!(info.list, ListTag::None);
+    }
+
+    #[test]
+    fn locked_pages_are_not_evictable() {
+        let info = PageInfo {
+            state: PageState::Resident,
+            locked: true,
+            ..PageInfo::default()
+        };
+        assert!(!info.evictable());
+        let unlocked = PageInfo {
+            locked: false,
+            ..info
+        };
+        assert!(unlocked.evictable());
+    }
+}

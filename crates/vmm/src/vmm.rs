@@ -1,0 +1,1015 @@
+//! The virtual memory manager proper.
+
+use std::collections::VecDeque;
+
+use simtime::{Clock, CostModel};
+
+use crate::config::VmmConfig;
+use crate::events::VmEvent;
+use crate::lists::LazyQueue;
+use crate::page::{Access, ListTag, PageInfo, PageKey, PageState, ProcessId, TouchOutcome, VirtPage};
+use crate::stats::VmStats;
+
+/// One simulated process known to the manager.
+#[derive(Debug, Default)]
+struct Process {
+    /// Dense page table indexed by virtual page number.
+    pages: Vec<PageInfo>,
+    /// Whether this process registered for paging notifications (§4.1:
+    /// "When the application begins, it registers itself with the operating
+    /// system so that it will receive notification of paging events").
+    notify: bool,
+    /// The queued real-time-signal mailbox.
+    events: VecDeque<VmEvent>,
+    stats: VmStats,
+}
+
+impl Process {
+    fn page(&mut self, page: VirtPage) -> &mut PageInfo {
+        let idx = page.0 as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize(idx + 1, PageInfo::default());
+        }
+        &mut self.pages[idx]
+    }
+
+    fn page_ref(&self, page: VirtPage) -> Option<&PageInfo> {
+        self.pages.get(page.0 as usize)
+    }
+}
+
+/// The simulated virtual memory manager.
+///
+/// See the [crate docs](crate) for the model. All state mutation goes through
+/// a small set of entry points — [`touch`](Vmm::touch), [`pump`](Vmm::pump),
+/// and the cooperation system calls — each of which charges simulated time to
+/// the caller's [`Clock`].
+#[derive(Debug)]
+pub struct Vmm {
+    config: VmmConfig,
+    costs: CostModel,
+    processes: Vec<Process>,
+    free_frames: usize,
+    active: LazyQueue,
+    inactive: LazyQueue,
+    /// Live-entry counts (the lazy queues may hold stale duplicates).
+    active_count: usize,
+    inactive_count: usize,
+    /// Pages awaiting eviction after a notice, with the pump sequence number
+    /// at which the notice was sent; they get one full pump of grace.
+    pending: VecDeque<(PageKey, u64)>,
+    /// Pages surrendered via `vm_relinquish`: first in line for eviction.
+    relinquish_queue: VecDeque<PageKey>,
+    pump_seq: u64,
+}
+
+impl Vmm {
+    /// Creates a manager with `config.frames` physical frames, all free.
+    pub fn new(config: VmmConfig, costs: CostModel) -> Vmm {
+        Vmm {
+            free_frames: config.frames,
+            config,
+            costs,
+            processes: Vec::new(),
+            active: LazyQueue::new(),
+            inactive: LazyQueue::new(),
+            active_count: 0,
+            inactive_count: 0,
+            pending: VecDeque::new(),
+            relinquish_queue: VecDeque::new(),
+            pump_seq: 0,
+        }
+    }
+
+    /// Registers a new process and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 255 processes.
+    pub fn register_process(&mut self) -> ProcessId {
+        assert!(self.processes.len() < u8::MAX as usize, "too many processes");
+        self.processes.push(Process::default());
+        ProcessId((self.processes.len() - 1) as u8)
+    }
+
+    /// Opts `pid` into paging-event notifications (eviction notices,
+    /// residency notices, protection faults). The bookmarking collector
+    /// registers; the oblivious baseline collectors do not.
+    pub fn register_notifications(&mut self, pid: ProcessId) {
+        self.processes[pid.0 as usize].notify = true;
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &VmmConfig {
+        &self.config
+    }
+
+    /// Currently free physical frames.
+    pub fn free_frames(&self) -> usize {
+        self.free_frames
+    }
+
+    /// Whether background reclaim would run at the next [`pump`](Vmm::pump).
+    pub fn under_pressure(&self) -> bool {
+        self.free_frames < self.config.low_watermark
+    }
+
+    /// Paging statistics for `pid`.
+    pub fn stats(&self, pid: ProcessId) -> &VmStats {
+        &self.processes[pid.0 as usize].stats
+    }
+
+    /// Residency state of a page.
+    pub fn page_state(&self, pid: ProcessId, page: VirtPage) -> PageState {
+        self.processes[pid.0 as usize]
+            .page_ref(page)
+            .map(|p| p.state)
+            .unwrap_or(PageState::Unmapped)
+    }
+
+    /// Whether a page is backed by a physical frame (the `mincore` analogue).
+    pub fn is_resident(&self, pid: ProcessId, page: VirtPage) -> bool {
+        self.page_state(pid, page) == PageState::Resident
+    }
+
+    /// Drains the queued notifications for `pid`.
+    pub fn take_events(&mut self, pid: ProcessId) -> Vec<VmEvent> {
+        self.processes[pid.0 as usize].events.drain(..).collect()
+    }
+
+    /// Whether `pid` has notifications waiting.
+    pub fn has_events(&self, pid: ProcessId) -> bool {
+        !self.processes[pid.0 as usize].events.is_empty()
+    }
+
+    /// Touches one page, simulating the MMU and fault paths.
+    ///
+    /// * Unmapped page: demand-zero fill (minor fault; the caller must zero
+    ///   its backing store — see [`TouchOutcome::zero_filled`]).
+    /// * Evicted page: major fault, ~5 ms by default; queues
+    ///   [`VmEvent::MadeResident`] for notifying owners.
+    /// * Protected page: queues [`VmEvent::ProtectionFault`], removes the
+    ///   protection, and proceeds.
+    /// * Pending-eviction page: the touch rescues it ("BC touches the page
+    ///   that has been scheduled in order to prevent its eviction", §3.4).
+    ///
+    /// The touch sets the referenced bit and, for writes, the dirty bit, and
+    /// promotes inactive pages to the active list.
+    pub fn touch(
+        &mut self,
+        pid: ProcessId,
+        page: VirtPage,
+        access: Access,
+        clock: &mut Clock,
+    ) -> TouchOutcome {
+        let mut outcome = TouchOutcome::default();
+        let state = self.processes[pid.0 as usize].page(page).state;
+        match state {
+            PageState::Resident => {}
+            PageState::Unmapped => {
+                self.acquire_frame(clock);
+                let proc = &mut self.processes[pid.0 as usize];
+                proc.page(page).state = PageState::Resident;
+                proc.stats.minor_faults += 1;
+                proc.stats.note_resident();
+                clock.advance(self.costs.minor_fault);
+                outcome.zero_filled = true;
+            }
+            PageState::Evicted => {
+                self.acquire_frame(clock);
+                let proc = &mut self.processes[pid.0 as usize];
+                let info = proc.page(page);
+                info.state = PageState::Resident;
+                info.dirty = false;
+                proc.stats.major_faults += 1;
+                proc.stats.note_resident();
+                clock.advance(self.costs.major_fault);
+                outcome.major_fault = true;
+                if proc.notify {
+                    proc.events.push_back(VmEvent::MadeResident { page });
+                }
+            }
+        }
+        {
+            let proc = &mut self.processes[pid.0 as usize];
+            if proc.page(page).protected {
+                proc.page(page).protected = false;
+                proc.stats.minor_faults += 1;
+                clock.advance(self.costs.minor_fault);
+                outcome.protection_fault = true;
+                if proc.notify {
+                    proc.events.push_back(VmEvent::ProtectionFault { page });
+                }
+            }
+        }
+        let key = PageKey { pid, page };
+        let info = self.processes[pid.0 as usize].page(page);
+        info.referenced = true;
+        if access == Access::Write {
+            info.dirty = true;
+        }
+        // A touch rescues a page from any scheduled eviction.
+        info.pending_eviction = false;
+        info.relinquished = false;
+        let locked = info.locked;
+        match info.list {
+            ListTag::Active => {}
+            ListTag::Inactive => {
+                info.list = ListTag::Active;
+                self.inactive_count -= 1;
+                self.active_count += 1;
+                self.active.push_back(key);
+            }
+            ListTag::None => {
+                if !locked {
+                    info.list = ListTag::Active;
+                    self.active_count += 1;
+                    self.active.push_back(key);
+                }
+            }
+        }
+        clock.advance(self.costs.ram_word);
+        outcome.events_queued = !self.processes[pid.0 as usize].events.is_empty();
+        outcome
+    }
+
+    /// Touches every page overlapping `[addr, addr + len)`.
+    ///
+    /// Returns the combined outcome (fields OR-ed together).
+    pub fn touch_range(
+        &mut self,
+        pid: ProcessId,
+        addr: u32,
+        len: u32,
+        access: Access,
+        clock: &mut Clock,
+    ) -> TouchOutcome {
+        debug_assert!(len > 0);
+        let first = VirtPage::containing(addr).0;
+        let last = VirtPage::containing(addr + len - 1).0;
+        let mut combined = TouchOutcome::default();
+        for p in first..=last {
+            let o = self.touch(pid, VirtPage(p), access, clock);
+            combined.major_fault |= o.major_fault;
+            combined.zero_filled |= o.zero_filled;
+            combined.protection_fault |= o.protection_fault;
+            combined.events_queued |= o.events_queued;
+        }
+        combined
+    }
+
+    /// `madvise(MADV_DONTNEED)`: discards pages without write-back.
+    ///
+    /// Resident frames are freed immediately; evicted copies are dropped.
+    /// The contents do not survive — the next touch is a demand-zero fill.
+    /// This is how collectors return empty heap pages to the system (§3.3.2).
+    /// Locked pages are skipped.
+    pub fn madvise_dontneed(&mut self, pid: ProcessId, pages: &[VirtPage], clock: &mut Clock) {
+        clock.advance(self.costs.syscall);
+        for &page in pages {
+            let (was_resident, was_locked, list) = {
+                let info = self.processes[pid.0 as usize].page(page);
+                (info.is_resident(), info.locked, info.list)
+            };
+            if was_locked {
+                continue;
+            }
+            match list {
+                ListTag::Active => self.active_count -= 1,
+                ListTag::Inactive => self.inactive_count -= 1,
+                ListTag::None => {}
+            }
+            let proc = &mut self.processes[pid.0 as usize];
+            *proc.page(page) = PageInfo::default();
+            proc.stats.discards += 1;
+            if was_resident {
+                proc.stats.note_nonresident();
+                self.free_frames += 1;
+            }
+        }
+    }
+
+    /// `mlock`: makes a page resident and pins it (never evicted).
+    ///
+    /// Used by the `signalmem` pressure driver (§5.1: it maps a large array,
+    /// touches the pages, "and then pins them in memory with mlock").
+    pub fn mlock(&mut self, pid: ProcessId, page: VirtPage, clock: &mut Clock) {
+        clock.advance(self.costs.syscall);
+        self.touch(pid, page, Access::Write, clock);
+        let info = self.processes[pid.0 as usize].page(page);
+        if !info.locked {
+            info.locked = true;
+            // Locked pages live on neither LRU list.
+            let list = info.list;
+            info.list = ListTag::None;
+            match list {
+                ListTag::Active => self.active_count -= 1,
+                ListTag::Inactive => self.inactive_count -= 1,
+                ListTag::None => {}
+            }
+            self.processes[pid.0 as usize].stats.locked += 1;
+        }
+    }
+
+    /// `munlock`: unpins a page, returning it to the active list.
+    pub fn munlock(&mut self, pid: ProcessId, page: VirtPage, clock: &mut Clock) {
+        clock.advance(self.costs.syscall);
+        let info = self.processes[pid.0 as usize].page(page);
+        if info.locked {
+            info.locked = false;
+            let resident = info.is_resident();
+            if resident {
+                info.list = ListTag::Active;
+                self.active_count += 1;
+                self.active.push_back(PageKey { pid, page });
+            }
+            self.processes[pid.0 as usize].stats.locked -= 1;
+        }
+    }
+
+    /// `mprotect(PROT_NONE)` / restore: when `protect` is true, the next
+    /// touch of each page raises a [`VmEvent::ProtectionFault`].
+    ///
+    /// BC protects pages after bookmark-scanning them so that a touch before
+    /// the eviction completes cannot go unnoticed (§3.4).
+    pub fn mprotect(&mut self, pid: ProcessId, pages: &[VirtPage], protect: bool, clock: &mut Clock) {
+        clock.advance(self.costs.syscall);
+        for &page in pages {
+            self.processes[pid.0 as usize].page(page).protected = protect;
+        }
+    }
+
+    /// The paper's new system call: voluntarily surrenders pages.
+    ///
+    /// "This call allows user processes to voluntarily surrender a list of
+    /// pages. The virtual memory manager places these relinquished pages at
+    /// the end of the inactive queue from which they are quickly swapped
+    /// out" (§3.4). Relinquished pages are evicted at the next reclaim pass
+    /// (or immediately under direct reclaim) without a further notice.
+    pub fn vm_relinquish(&mut self, pid: ProcessId, pages: &[VirtPage], clock: &mut Clock) {
+        clock.advance(self.costs.syscall);
+        for &page in pages {
+            let skip = {
+                let info = self.processes[pid.0 as usize].page(page);
+                !info.is_resident() || info.locked
+            };
+            if skip {
+                continue;
+            }
+            let list = {
+                let info = self.processes[pid.0 as usize].page(page);
+                let list = info.list;
+                info.relinquished = true;
+                info.pending_eviction = false;
+                info.referenced = false;
+                info.list = ListTag::Inactive;
+                list
+            };
+            match list {
+                ListTag::Active => self.active_count -= 1,
+                ListTag::Inactive => self.inactive_count -= 1,
+                ListTag::None => {}
+            }
+            self.inactive_count += 1;
+            self.relinquish_queue.push_back(PageKey { pid, page });
+            self.processes[pid.0 as usize].stats.relinquished += 1;
+        }
+    }
+
+    /// One background-reclaim pass (the `kswapd` analogue).
+    ///
+    /// The driving engine calls this between mutator steps. When free frames
+    /// are below the low watermark the pass:
+    ///
+    /// 1. evicts relinquished pages,
+    /// 2. evicts pages whose eviction notice was delivered at an *earlier*
+    ///    pump (they had a grace period to be rescued or surrendered),
+    /// 3. refills the inactive list from the active list via the clock
+    ///    algorithm, and
+    /// 4. walks the inactive FIFO: pages of non-notifying processes are
+    ///    evicted on the spot; pages of notifying processes get an
+    ///    [`VmEvent::EvictionScheduled`] notice and one pump of grace,
+    ///
+    /// stopping once free-plus-scheduled frames reach the high watermark.
+    /// If pressure has abated, leftover scheduled evictions are cancelled —
+    /// the discarded pages substituted for the scheduled victims (§3.3.2).
+    pub fn pump(&mut self, clock: &mut Clock) {
+        self.pump_seq += 1;
+        if self.free_frames >= self.config.low_watermark {
+            self.cancel_pending();
+            return;
+        }
+        let target = self.config.high_watermark;
+        // Phase 1: relinquished pages are first in line.
+        while self.free_frames < target {
+            let Some(key) = self.relinquish_queue.pop_front() else {
+                break;
+            };
+            if self.page_flag(key, |p| p.relinquished && p.evictable()) {
+                self.evict(key, clock, false);
+            }
+        }
+        // Phase 2: pending evictions past their grace period.
+        let seq = self.pump_seq;
+        while self.free_frames < target {
+            match self.pending.front() {
+                Some(&(_, noticed_at)) if noticed_at < seq => {}
+                _ => break,
+            }
+            let (key, _) = self.pending.pop_front().unwrap();
+            if self.page_flag(key, |p| p.pending_eviction && p.evictable()) {
+                self.evict(key, clock, false);
+            }
+        }
+        // Phase 3 + 4: refill inactive, then scan it.
+        let mut scheduled = 0usize;
+        let mut scan_budget = self.config.batch * 4;
+        while self.free_frames + scheduled < target && scan_budget > 0 {
+            scan_budget -= 1;
+            self.refill_inactive();
+            let Some(key) = self.pop_inactive() else {
+                break;
+            };
+            if !self.processes[key.pid.0 as usize].notify {
+                self.evict(key, clock, false);
+                continue;
+            }
+            // Notifying process: queue a notice, give one pump of grace.
+            {
+                let info = self.processes[key.pid.0 as usize].page(key.page);
+                info.pending_eviction = true;
+                // Keep an inactive tag so a rescue-touch repromotes cleanly.
+                info.list = ListTag::Inactive;
+            }
+            self.inactive_count += 1;
+            self.pending.push_back((key, seq));
+            let proc = &mut self.processes[key.pid.0 as usize];
+            proc.stats.notices += 1;
+            proc.events
+                .push_back(VmEvent::EvictionScheduled { page: key.page });
+            clock.advance(self.costs.notification);
+            scheduled += 1;
+        }
+    }
+
+    /// Direct reclaim: synchronously frees one frame when allocation finds
+    /// none free. Preference order: relinquished pages, pages past their
+    /// notice grace, then the inactive tail — where even a notifying
+    /// process's page may be *hard-evicted* (notice delivered after the
+    /// fact), modelling the kernel running ahead of the collector (§3.4.3).
+    fn acquire_frame(&mut self, clock: &mut Clock) {
+        if self.free_frames == 0 {
+            self.direct_reclaim(clock);
+        }
+        assert!(
+            self.free_frames > 0,
+            "out of physical memory: every frame is locked or in use"
+        );
+        self.free_frames -= 1;
+    }
+
+    fn direct_reclaim(&mut self, clock: &mut Clock) {
+        // Relinquished pages first.
+        while self.free_frames == 0 {
+            let Some(key) = self.relinquish_queue.pop_front() else {
+                break;
+            };
+            if self.page_flag(key, |p| p.relinquished && p.evictable()) {
+                self.evict(key, clock, false);
+            }
+        }
+        // Then pages whose notice has been delivered (even this pump: the
+        // kernel cannot wait under direct reclaim).
+        while self.free_frames == 0 {
+            let Some((key, _)) = self.pending.pop_front() else {
+                break;
+            };
+            if self.page_flag(key, |p| p.pending_eviction && p.evictable()) {
+                self.evict(key, clock, false);
+            }
+        }
+        // Finally the inactive tail, hard-evicting if necessary. Several
+        // clock passes may be needed: the first pass over a hot working
+        // set only clears referenced bits (second chance), so allow enough
+        // scans to age every resident page before declaring OOM.
+        let mut empty_scans = 0usize;
+        while self.free_frames == 0 {
+            self.refill_inactive();
+            let Some(key) = self.pop_inactive() else {
+                empty_scans += 1;
+                assert!(
+                    empty_scans < 256,
+                    "out of physical memory: no evictable pages remain"
+                );
+                continue;
+            };
+            let hard = self.processes[key.pid.0 as usize].notify;
+            self.evict(key, clock, hard);
+        }
+    }
+
+    /// Moves unreferenced active pages to the inactive list (clock pass).
+    fn refill_inactive(&mut self) {
+        let want = (self.config.batch * 2).max(self.config.high_watermark);
+        if self.inactive_count >= want {
+            return;
+        }
+        let mut scanned = 0;
+        while self.inactive_count < want && scanned < self.config.clock_scan_limit {
+            scanned += 1;
+            let key = {
+                let procs = &self.processes;
+                match self.active.pop_front_valid(|k| {
+                    procs[k.pid.0 as usize]
+                        .page_ref(k.page)
+                        .map(|p| p.list == ListTag::Active)
+                        .unwrap_or(false)
+                }) {
+                    Some(k) => k,
+                    None => break,
+                }
+            };
+            let (evictable, referenced) = {
+                let info = self.processes[key.pid.0 as usize].page(key.page);
+                (info.evictable(), info.referenced)
+            };
+            if !evictable {
+                self.processes[key.pid.0 as usize].page(key.page).list = ListTag::None;
+                self.active_count -= 1;
+                continue;
+            }
+            if referenced {
+                // Second chance.
+                self.processes[key.pid.0 as usize].page(key.page).referenced = false;
+                self.active.rotate_to_back(key);
+            } else {
+                self.processes[key.pid.0 as usize].page(key.page).list = ListTag::Inactive;
+                self.active_count -= 1;
+                self.inactive_count += 1;
+                self.inactive.push_back(key);
+            }
+        }
+    }
+
+    /// Pops the oldest valid entry of the inactive FIFO and untags it.
+    /// Pages already pending eviction are skipped (their queue entry is
+    /// dropped; the `pending` queue owns them now).
+    fn pop_inactive(&mut self) -> Option<PageKey> {
+        let procs = &self.processes;
+        let key = self.inactive.pop_front_valid(|k| {
+            procs[k.pid.0 as usize]
+                .page_ref(k.page)
+                .map(|p| p.list == ListTag::Inactive && p.evictable() && !p.pending_eviction && !p.relinquished)
+                .unwrap_or(false)
+        })?;
+        self.processes[key.pid.0 as usize].page(key.page).list = ListTag::None;
+        self.inactive_count -= 1;
+        Some(key)
+    }
+
+    /// Evicts a resident page to swap.
+    fn evict(&mut self, key: PageKey, clock: &mut Clock, hard: bool) {
+        let (dirty, list) = {
+            let info = self.processes[key.pid.0 as usize].page(key.page);
+            debug_assert!(info.evictable());
+            let dirty = info.dirty;
+            let list = info.list;
+            *info = PageInfo {
+                state: PageState::Evicted,
+                dirty,
+                ..PageInfo::default()
+            };
+            (dirty, list)
+        };
+        match list {
+            ListTag::Active => self.active_count -= 1,
+            ListTag::Inactive => self.inactive_count -= 1,
+            ListTag::None => {}
+        }
+        self.free_frames += 1;
+        clock.advance(if dirty {
+            self.costs.evict_dirty
+        } else {
+            self.costs.evict_clean
+        });
+        let proc = &mut self.processes[key.pid.0 as usize];
+        proc.stats.evictions += 1;
+        proc.stats.note_nonresident();
+        if hard {
+            proc.stats.hard_evictions += 1;
+        }
+        // §4.1: registered processes are notified of every eviction of
+        // their pages ("whenever its corresponding page table entry is
+        // unmapped") — including evictions that followed a granted grace
+        // period, and direct-reclaim evictions where the kernel ran ahead.
+        if proc.notify {
+            proc.events.push_back(VmEvent::Evicted { page: key.page });
+        }
+    }
+
+    /// Clears stale pending flags when pressure abates, returning pages to
+    /// normal inactive-list standing.
+    fn cancel_pending(&mut self) {
+        while let Some((key, _)) = self.pending.pop_front() {
+            let still_pending = {
+                let info = self.processes[key.pid.0 as usize].page(key.page);
+                let was = info.pending_eviction;
+                info.pending_eviction = false;
+                was && info.list == ListTag::Inactive
+            };
+            if still_pending {
+                // Its original queue entry may have been dropped; re-add.
+                self.inactive.push_back(key);
+            }
+        }
+    }
+
+    fn page_flag(&self, key: PageKey, test: impl Fn(&PageInfo) -> bool) -> bool {
+        self.processes[key.pid.0 as usize]
+            .page_ref(key.page)
+            .map(test)
+            .unwrap_or(false)
+    }
+
+    /// Total resident pages across all processes (for invariant checks).
+    pub fn total_resident(&self) -> usize {
+        self.processes.iter().map(|p| p.stats.resident as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Nanos;
+
+    fn small_vmm(frames: usize) -> (Vmm, Clock) {
+        let mut config = VmmConfig::with_frames(frames);
+        config.low_watermark = 4;
+        config.high_watermark = 8;
+        config.batch = 4;
+        (Vmm::new(config, CostModel::default()), Clock::new())
+    }
+
+    #[test]
+    fn first_touch_is_demand_zero() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        let o = vmm.touch(pid, VirtPage(3), Access::Read, &mut clock);
+        assert!(o.zero_filled && !o.major_fault);
+        assert!(vmm.is_resident(pid, VirtPage(3)));
+        assert_eq!(vmm.stats(pid).minor_faults, 1);
+        assert_eq!(vmm.free_frames(), 31);
+        // Second touch: no fault.
+        let before = clock.now();
+        let o = vmm.touch(pid, VirtPage(3), Access::Read, &mut clock);
+        assert!(!o.zero_filled && !o.major_fault);
+        assert_eq!(clock.now() - before, CostModel::default().ram_word);
+    }
+
+    #[test]
+    fn frame_exhaustion_triggers_direct_reclaim_and_major_fault_on_return() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        for p in 0..20 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        // 20 pages touched with 16 frames: at least 4 evictions.
+        assert!(vmm.stats(pid).evictions >= 4);
+        // Find an evicted page and fault it back.
+        let evicted = (0..20)
+            .map(VirtPage)
+            .find(|&p| vmm.page_state(pid, p) == PageState::Evicted)
+            .expect("an evicted page");
+        let before = vmm.stats(pid).major_faults;
+        let o = vmm.touch(pid, evicted, Access::Read, &mut clock);
+        assert!(o.major_fault);
+        assert_eq!(vmm.stats(pid).major_faults, before + 1);
+    }
+
+    #[test]
+    fn clock_algorithm_gives_second_chance_to_referenced_pages() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        for p in 0..16 {
+            vmm.touch(pid, VirtPage(p), Access::Read, &mut clock);
+        }
+        // Keep page 0 hot while allocating new pages.
+        for p in 16..32 {
+            vmm.touch(pid, VirtPage(0), Access::Read, &mut clock);
+            vmm.touch(pid, VirtPage(p), Access::Read, &mut clock);
+        }
+        assert!(
+            vmm.is_resident(pid, VirtPage(0)),
+            "hot page was evicted despite its referenced bit"
+        );
+    }
+
+    #[test]
+    fn mlocked_pages_are_never_evicted() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pin = vmm.register_process();
+        let app = vmm.register_process();
+        for p in 0..8 {
+            vmm.mlock(pin, VirtPage(p), &mut clock);
+        }
+        for p in 0..32 {
+            vmm.touch(app, VirtPage(p), Access::Write, &mut clock);
+        }
+        for p in 0..8 {
+            assert!(vmm.is_resident(pin, VirtPage(p)), "locked page evicted");
+        }
+        assert_eq!(vmm.stats(pin).evictions, 0);
+        assert!(vmm.stats(app).evictions >= 24);
+    }
+
+    #[test]
+    fn notifying_process_receives_notice_with_grace() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        // free = 2 < low watermark 4: pump schedules evictions with notices.
+        vmm.pump(&mut clock);
+        let events = vmm.take_events(pid);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, VmEvent::EvictionScheduled { .. })),
+            "expected eviction notices, got {events:?}"
+        );
+        assert!(vmm.stats(pid).notices > 0);
+        // Nothing evicted yet (grace period).
+        assert_eq!(vmm.stats(pid).evictions, 0);
+        // Next pump follows through.
+        vmm.pump(&mut clock);
+        assert!(vmm.stats(pid).evictions > 0, "grace period never ended");
+    }
+
+    #[test]
+    fn touch_rescues_page_from_scheduled_eviction() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.pump(&mut clock);
+        let noticed: Vec<VirtPage> = vmm
+            .take_events(pid)
+            .into_iter()
+            .map(|e| e.page())
+            .collect();
+        assert!(!noticed.is_empty());
+        for &p in &noticed {
+            vmm.touch(pid, p, Access::Read, &mut clock);
+        }
+        vmm.pump(&mut clock);
+        for &p in &noticed {
+            assert!(
+                vmm.is_resident(pid, p),
+                "rescued page {p} was evicted anyway"
+            );
+        }
+    }
+
+    #[test]
+    fn relinquished_pages_evict_first_without_notice() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.vm_relinquish(pid, &[VirtPage(2), VirtPage(5)], &mut clock);
+        assert_eq!(vmm.stats(pid).relinquished, 2);
+        vmm.pump(&mut clock);
+        assert_eq!(vmm.page_state(pid, VirtPage(2)), PageState::Evicted);
+        assert_eq!(vmm.page_state(pid, VirtPage(5)), PageState::Evicted);
+        let events = vmm.take_events(pid);
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, VmEvent::EvictionScheduled { page } if *page == VirtPage(2) || *page == VirtPage(5))));
+    }
+
+    #[test]
+    fn madvise_dontneed_frees_frames_and_zero_fills_on_return() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        vmm.touch(pid, VirtPage(1), Access::Write, &mut clock);
+        let free_before = vmm.free_frames();
+        vmm.madvise_dontneed(pid, &[VirtPage(1)], &mut clock);
+        assert_eq!(vmm.free_frames(), free_before + 1);
+        assert_eq!(vmm.page_state(pid, VirtPage(1)), PageState::Unmapped);
+        let o = vmm.touch(pid, VirtPage(1), Access::Read, &mut clock);
+        assert!(o.zero_filled, "discarded page must zero-fill on next touch");
+        assert!(!o.major_fault, "discard must not write to swap");
+    }
+
+    #[test]
+    fn mprotect_raises_fault_event_once() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        vmm.touch(pid, VirtPage(4), Access::Write, &mut clock);
+        vmm.mprotect(pid, &[VirtPage(4)], true, &mut clock);
+        let o = vmm.touch(pid, VirtPage(4), Access::Read, &mut clock);
+        assert!(o.protection_fault);
+        assert!(matches!(
+            vmm.take_events(pid).as_slice(),
+            [VmEvent::ProtectionFault { page }] if *page == VirtPage(4)
+        ));
+        let o = vmm.touch(pid, VirtPage(4), Access::Read, &mut clock);
+        assert!(!o.protection_fault);
+    }
+
+    #[test]
+    fn reload_of_evicted_page_notifies_owner() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.vm_relinquish(pid, &[VirtPage(0)], &mut clock);
+        vmm.pump(&mut clock);
+        assert_eq!(vmm.page_state(pid, VirtPage(0)), PageState::Evicted);
+        vmm.take_events(pid);
+        vmm.touch(pid, VirtPage(0), Access::Read, &mut clock);
+        let events = vmm.take_events(pid);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, VmEvent::MadeResident { page } if *page == VirtPage(0))),
+            "expected MadeResident, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn major_fault_charges_milliseconds() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        for p in 0..20 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        let evicted = (0..20)
+            .map(VirtPage)
+            .find(|&p| vmm.page_state(pid, p) == PageState::Evicted)
+            .unwrap();
+        let before = clock.now();
+        vmm.touch(pid, evicted, Access::Read, &mut clock);
+        assert!(clock.now() - before >= Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn pressure_relief_cancels_scheduled_evictions() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.pump(&mut clock);
+        let noticed: Vec<VirtPage> = vmm.take_events(pid).iter().map(|e| e.page()).collect();
+        assert!(!noticed.is_empty());
+        let discard: Vec<VirtPage> = (0..14)
+            .map(VirtPage)
+            .filter(|p| !noticed.contains(p))
+            .take(8)
+            .collect();
+        vmm.madvise_dontneed(pid, &discard, &mut clock);
+        vmm.pump(&mut clock);
+        vmm.pump(&mut clock);
+        for &p in &noticed {
+            assert!(
+                vmm.is_resident(pid, p),
+                "page {p} evicted even though pressure was relieved"
+            );
+        }
+    }
+
+    #[test]
+    fn touch_range_spans_pages() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        // 100 bytes starting 50 bytes before a page boundary: 2 pages.
+        let o = vmm.touch_range(pid, 4096 - 50, 100, Access::Write, &mut clock);
+        assert!(o.zero_filled);
+        assert!(vmm.is_resident(pid, VirtPage(0)));
+        assert!(vmm.is_resident(pid, VirtPage(1)));
+        assert!(!vmm.is_resident(pid, VirtPage(2)));
+    }
+
+    #[test]
+    fn non_notifying_process_gets_no_events() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        for p in 0..20 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.pump(&mut clock);
+        vmm.pump(&mut clock);
+        assert!(vmm.take_events(pid).is_empty());
+        assert_eq!(vmm.stats(pid).notices, 0);
+        assert!(vmm.stats(pid).evictions > 0);
+    }
+}
+
+#[cfg(test)]
+mod race_tests {
+    use super::*;
+    use crate::page::{Access, PageState, VirtPage};
+    use simtime::CostModel;
+
+    fn vmm16() -> (Vmm, Clock) {
+        let mut config = VmmConfig::with_frames(16);
+        config.low_watermark = 4;
+        config.high_watermark = 8;
+        (Vmm::new(config, CostModel::default()), Clock::new())
+    }
+
+    /// The §3.4 race guard: a relinquished-and-protected page touched
+    /// before its eviction raises a protection fault, is rescued, and is
+    /// never evicted behind the toucher's back.
+    #[test]
+    fn protected_relinquished_page_touched_before_eviction_is_rescued() {
+        let (mut vmm, mut clock) = vmm16();
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..10 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        // BC's sequence: protect, then relinquish.
+        vmm.mprotect(pid, &[VirtPage(3)], true, &mut clock);
+        vmm.vm_relinquish(pid, &[VirtPage(3)], &mut clock);
+        // The mutator wins the race: it touches before any reclaim pass.
+        let o = vmm.touch(pid, VirtPage(3), Access::Read, &mut clock);
+        assert!(o.protection_fault, "the guard must fire");
+        assert!(!o.major_fault, "the page never left memory");
+        // Even under subsequent pressure the rescued page stays put until
+        // the LRU genuinely ages it out again.
+        vmm.pump(&mut clock);
+        assert_eq!(vmm.page_state(pid, VirtPage(3)), PageState::Resident);
+    }
+
+    /// Eviction clears the protection: a reload is a plain major fault plus
+    /// a MadeResident notification, not a protection fault.
+    #[test]
+    fn protection_does_not_survive_eviction() {
+        let (mut vmm, mut clock) = vmm16();
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..10 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.mprotect(pid, &[VirtPage(5)], true, &mut clock);
+        vmm.vm_relinquish(pid, &[VirtPage(5)], &mut clock);
+        // Create pressure so the reclaim pass actually runs.
+        for p in 10..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        vmm.pump(&mut clock);
+        assert_eq!(vmm.page_state(pid, VirtPage(5)), PageState::Evicted);
+        vmm.take_events(pid);
+        let o = vmm.touch(pid, VirtPage(5), Access::Read, &mut clock);
+        assert!(o.major_fault);
+        assert!(!o.protection_fault);
+        let events = vmm.take_events(pid);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, VmEvent::MadeResident { page } if *page == VirtPage(5))));
+    }
+
+    /// Every eviction of a registered process's page produces an event
+    /// (§4.1): nothing leaves memory silently.
+    #[test]
+    fn no_silent_evictions_for_registered_processes() {
+        let (mut vmm, mut clock) = vmm16();
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..24 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+            vmm.pump(&mut clock);
+        }
+        for _ in 0..4 {
+            vmm.pump(&mut clock);
+        }
+        let evictions = vmm.stats(pid).evictions;
+        assert!(evictions > 0);
+        let evicted_events = vmm
+            .take_events(pid)
+            .iter()
+            .filter(|e| matches!(e, VmEvent::Evicted { .. }))
+            .count() as u64;
+        assert_eq!(
+            evicted_events, evictions,
+            "every eviction must be announced"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the virtual memory manager preserves its core
+//! invariants under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use simtime::{Clock, CostModel};
+use vmm::{Access, PageState, VirtPage, Vmm, VmmConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Touch(u8, u32, bool),
+    Mlock(u8, u32),
+    Munlock(u8, u32),
+    Discard(u8, u32),
+    Relinquish(u8, u32),
+    Protect(u8, u32),
+    Pump,
+}
+
+fn op_strategy(pages: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2u8, 0..pages, any::<bool>()).prop_map(|(p, g, w)| Op::Touch(p, g, w)),
+        (0..2u8, 0..pages).prop_map(|(p, g)| Op::Mlock(p, g)),
+        (0..2u8, 0..pages).prop_map(|(p, g)| Op::Munlock(p, g)),
+        (0..2u8, 0..pages).prop_map(|(p, g)| Op::Discard(p, g)),
+        (0..2u8, 0..pages).prop_map(|(p, g)| Op::Relinquish(p, g)),
+        (0..2u8, 0..pages).prop_map(|(p, g)| Op::Protect(p, g)),
+        Just(Op::Pump),
+    ]
+}
+
+fn run_ops(frames: usize, notify_p0: bool, ops: &[Op]) -> (Vmm, Vec<vmm::ProcessId>) {
+    let mut config = VmmConfig::with_frames(frames);
+    config.low_watermark = 4;
+    config.high_watermark = 8;
+    let mut vmm = Vmm::new(config, CostModel::default());
+    let p0 = vmm.register_process();
+    let p1 = vmm.register_process();
+    if notify_p0 {
+        vmm.register_notifications(p0);
+    }
+    let pids = [p0, p1];
+    let mut clock = Clock::new();
+    for op in ops {
+        match *op {
+            Op::Touch(p, g, w) => {
+                let access = if w { Access::Write } else { Access::Read };
+                vmm.touch(pids[p as usize], VirtPage(g), access, &mut clock);
+            }
+            Op::Mlock(p, g) => {
+                // Never lock more than half the machine (a real mlock
+                // would hit RLIMIT_MEMLOCK / ENOMEM).
+                if vmm.free_frames() > frames / 2 {
+                    vmm.mlock(pids[p as usize], VirtPage(g), &mut clock);
+                }
+            }
+            Op::Munlock(p, g) => vmm.munlock(pids[p as usize], VirtPage(g), &mut clock),
+            Op::Discard(p, g) => {
+                vmm.madvise_dontneed(pids[p as usize], &[VirtPage(g)], &mut clock)
+            }
+            Op::Relinquish(p, g) => {
+                vmm.vm_relinquish(pids[p as usize], &[VirtPage(g)], &mut clock)
+            }
+            Op::Protect(p, g) => vmm.mprotect(pids[p as usize], &[VirtPage(g)], true, &mut clock),
+            Op::Pump => vmm.pump(&mut clock),
+        }
+        // Invariant after *every* operation: frame conservation.
+        let resident = vmm.total_resident();
+        assert_eq!(
+            resident + vmm.free_frames(),
+            frames,
+            "frames leaked or double-counted after {op:?}"
+        );
+    }
+    (vmm, pids.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// resident + free == total, always.
+    #[test]
+    fn frame_conservation(ops in proptest::collection::vec(op_strategy(96), 1..400),
+                          notify in any::<bool>()) {
+        let _ = run_ops(64, notify, &ops);
+    }
+
+    /// mlocked pages are never evicted, whatever else happens.
+    #[test]
+    fn locked_pages_stay_resident(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
+        let (mut vmm, pids) = run_ops(64, true, &ops);
+        let mut clock = Clock::new();
+        // Lock three pages, then churn hard.
+        for g in 200..203u32 {
+            vmm.mlock(pids[0], VirtPage(g), &mut clock);
+        }
+        for g in 0..120u32 {
+            vmm.touch(pids[1], VirtPage(g), Access::Write, &mut clock);
+            vmm.pump(&mut clock);
+        }
+        for g in 200..203u32 {
+            prop_assert!(vmm.is_resident(pids[0], VirtPage(g)));
+        }
+    }
+
+    /// Evicted contents are a swap copy: the state machine never reports a
+    /// page both resident and evicted, and a discarded page always
+    /// zero-fills.
+    #[test]
+    fn discard_always_zero_fills(ops in proptest::collection::vec(op_strategy(48), 1..200),
+                                 page in 0..48u32) {
+        let (mut vmm, pids) = run_ops(64, false, &ops);
+        let mut clock = Clock::new();
+        // madvise refuses locked pages (as EINVAL would); unlock first.
+        vmm.munlock(pids[0], VirtPage(page), &mut clock);
+        vmm.madvise_dontneed(pids[0], &[VirtPage(page)], &mut clock);
+        prop_assert_eq!(vmm.page_state(pids[0], VirtPage(page)), PageState::Unmapped);
+        let o = vmm.touch(pids[0], VirtPage(page), Access::Read, &mut clock);
+        prop_assert!(o.zero_filled);
+        prop_assert!(!o.major_fault);
+    }
+
+    /// Notifications are only ever delivered to registered processes.
+    #[test]
+    fn unregistered_processes_get_no_events(ops in proptest::collection::vec(op_strategy(96), 1..400)) {
+        let (mut vmm, pids) = run_ops(64, true, &ops);
+        prop_assert!(vmm.take_events(pids[1]).is_empty());
+    }
+}

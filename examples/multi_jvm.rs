@@ -1,0 +1,51 @@
+//! Two JVMs on one machine — the paper's Figure 7 scenario.
+//!
+//! ```text
+//! cargo run --release --example multi_jvm
+//! ```
+//!
+//! Starts two simulated JVM instances running the pseudoJBB analogue with
+//! equal heaps on one shared machine, then shrinks the machine and repeats.
+//! With the oblivious collectors, "paging effectively serializes the
+//! benchmark runs … first one instance of pseudoJBB runs to completion, and
+//! then the next" (§5.3.3); BC's instances degrade together gracefully.
+
+use simulate::experiments::multi_jvm;
+use simulate::{CollectorKind, Program};
+use workloads::spec;
+
+fn main() {
+    let scale = 0.05;
+    let benchmark = spec("pseudoJBB").expect("pseudoJBB");
+    let make = || -> Box<dyn Program> { Box::new(benchmark.program(scale, 7)) };
+    let heap = (77 << 20) / 20; // paper-equivalent 77 MB heaps (as in Fig. 7)
+
+    for (label, paper_memory) in [("ample", 256usize << 20), ("tight", 140 << 20)] {
+        let memory = paper_memory / 20;
+        println!(
+            "== two pseudoJBB instances, 77MB-equivalent heaps, {label} machine ({}MB-equivalent) ==",
+            paper_memory >> 20
+        );
+        for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::CopyMs] {
+            let r = multi_jvm(kind, heap, memory, &make);
+            let finishes: Vec<String> = r.jvms.iter().map(|j| j.exec_time.to_string()).collect();
+            let spread = {
+                let a = r.jvms[0].exec_time.as_nanos() as f64;
+                let b = r.jvms[1].exec_time.as_nanos() as f64;
+                (a.max(b) / a.min(b) - 1.0) * 100.0
+            };
+            let pauses: u64 = r.jvms.iter().map(|j| j.pauses.count).sum();
+            let faults: u64 = r.jvms.iter().map(|j| j.vm.major_faults).sum();
+            println!(
+                "  {:<10} total {:>9}  per-instance finishes [{}] (spread {:.0}%)  pauses {:>5}  faults {:>6}",
+                kind.label(),
+                r.total_elapsed.to_string(),
+                finishes.join(", "),
+                spread,
+                pauses,
+                faults,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,102 @@
+//! A guided tour of the VMM-cooperation API (§3.3–§3.4, §4.1) — the
+//! simulated analogue of the paper's 600-line Linux kernel extension.
+//!
+//! ```text
+//! cargo run --release --example vm_cooperation
+//! ```
+//!
+//! Drives the [`vmm::Vmm`] directly (no collector) to show each primitive:
+//! eviction notices with a grace period, rescue-by-touch, discarding via
+//! `madvise(MADV_DONTNEED)`, voluntary surrender via `vm_relinquish`, the
+//! `mprotect` race guard, and reload notifications.
+
+use simtime::{Clock, CostModel};
+use vmm::{Access, VirtPage, Vmm, VmmConfig, VmEvent};
+
+fn main() {
+    let mut config = VmmConfig::with_frames(64);
+    config.low_watermark = 8;
+    config.high_watermark = 16;
+    let mut vmm = Vmm::new(config, CostModel::default());
+    let mut clock = Clock::new();
+    let runtime = vmm.register_process();
+    vmm.register_notifications(runtime); // the §4.1 registration
+    let hog = vmm.register_process();
+
+    // The runtime touches 40 pages; the hog pins 20: 64-60 = 4 < the low
+    // watermark, so reclaim begins.
+    for p in 0..40 {
+        vmm.touch(runtime, VirtPage(p), Access::Write, &mut clock);
+    }
+    for p in 0..20 {
+        vmm.mlock(hog, VirtPage(p), &mut clock);
+    }
+    println!("free frames before reclaim: {}", vmm.free_frames());
+
+    // kswapd runs: registered processes get notices *before* eviction.
+    for _ in 0..3 {
+        vmm.pump(&mut clock);
+    }
+    let notices: Vec<VirtPage> = vmm
+        .take_events(runtime)
+        .into_iter()
+        .filter_map(|e| match e {
+            VmEvent::EvictionScheduled { page } => Some(page),
+            _ => None,
+        })
+        .collect();
+    println!("eviction notices received for {} pages: {:?}", notices.len(), &notices[..notices.len().min(4)]);
+    assert!(!notices.is_empty());
+
+    // Rescue the first page by touching it; the grace period saves it.
+    let rescued = notices[0];
+    vmm.touch(runtime, rescued, Access::Read, &mut clock);
+    // Voluntarily surrender the second (after "scanning" it), guarded by
+    // mprotect against the touched-before-evicted race.
+    let surrendered = notices[1];
+    vmm.mprotect(runtime, &[surrendered], true, &mut clock);
+    vmm.vm_relinquish(runtime, &[surrendered], &mut clock);
+    // Discard a third outright: it is empty, nothing needs writing back.
+    let discarded = notices[2];
+    vmm.madvise_dontneed(runtime, &[discarded], &mut clock);
+
+    vmm.pump(&mut clock);
+    vmm.pump(&mut clock);
+    println!(
+        "rescued {rescued}: resident={} | surrendered {surrendered}: resident={} | discarded {discarded}: resident={}",
+        vmm.is_resident(runtime, rescued),
+        vmm.is_resident(runtime, surrendered),
+        vmm.is_resident(runtime, discarded),
+    );
+    assert!(vmm.is_resident(runtime, rescued));
+    assert!(!vmm.is_resident(runtime, surrendered));
+    assert!(!vmm.is_resident(runtime, discarded));
+
+    // Touching the surrendered page faults it back from swap (~5 ms) and
+    // the kernel notifies the runtime so it can clear bookmarks (§3.4.2).
+    let t0 = clock.now();
+    let outcome = vmm.touch(runtime, surrendered, Access::Read, &mut clock);
+    println!(
+        "reload of {surrendered}: major_fault={} cost={} events={:?}",
+        outcome.major_fault,
+        clock.now() - t0,
+        vmm.take_events(runtime)
+    );
+    assert!(outcome.major_fault);
+
+    // The discarded page comes back as zeroes with only a minor fault.
+    let t0 = clock.now();
+    let outcome = vmm.touch(runtime, discarded, Access::Read, &mut clock);
+    println!(
+        "reload of {discarded}: zero_filled={} cost={}",
+        outcome.zero_filled,
+        clock.now() - t0
+    );
+    assert!(outcome.zero_filled && !outcome.major_fault);
+
+    let s = vmm.stats(runtime);
+    println!(
+        "stats: {} notices, {} evictions, {} discards, {} major faults",
+        s.notices, s.evictions, s.discards, s.major_faults
+    );
+}

@@ -1,0 +1,234 @@
+//! `gcsim` — run one benchmark/collector/pressure configuration and print
+//! its metrics.
+//!
+//! ```text
+//! gcsim --collector bc --benchmark pseudoJBB --heap 100M --memory 224M \
+//!       --pressure dynamic:93M --scale 0.1 --seed 42
+//! gcsim --list
+//! ```
+//!
+//! Sizes accept `K`/`M`/`G` suffixes and are *paper-equivalent*: they are
+//! multiplied by `--scale` along with the workload volume, so the
+//! heap-to-live geometry matches the paper at any scale.
+
+use simtime::{bmu_curve, Nanos};
+use simulate::{run, CollectorKind, Program, RunConfig};
+use workloads::{spec, table1};
+
+#[derive(Debug)]
+struct Args {
+    collector: CollectorKind,
+    benchmark: String,
+    heap: usize,
+    memory: usize,
+    pressure: Option<Pressure>,
+    scale: f64,
+    seed: u64,
+    bmu: bool,
+}
+
+#[derive(Debug)]
+enum Pressure {
+    /// `steady:<fraction>` — pin this fraction of the heap immediately.
+    Steady(f64),
+    /// `dynamic:<available>` — ramp until this much memory remains.
+    Dynamic(usize),
+}
+
+fn parse_size(s: &str) -> Result<usize, String> {
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1usize << 10),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<f64>()
+        .map(|v| (v * mult as f64) as usize)
+        .map_err(|e| format!("bad size '{s}': {e}"))
+}
+
+fn parse_collector(s: &str) -> Result<CollectorKind, String> {
+    let lower = s.to_ascii_lowercase();
+    Ok(match lower.as_str() {
+        "bc" => CollectorKind::Bc,
+        "bc-resize" | "resize" => CollectorKind::BcResizeOnly,
+        "marksweep" | "ms" => CollectorKind::MarkSweep,
+        "semispace" | "ss" => CollectorKind::SemiSpace,
+        "gencopy" => CollectorKind::GenCopy,
+        "genms" => CollectorKind::GenMs,
+        "copyms" => CollectorKind::CopyMs,
+        "gencopy-fixed" => CollectorKind::GenCopyFixed,
+        "genms-fixed" => CollectorKind::GenMsFixed,
+        _ => return Err(format!("unknown collector '{s}'")),
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gcsim [--collector C] [--benchmark B] [--heap SIZE] [--memory SIZE]
+             [--pressure steady:FRAC|dynamic:AVAIL] [--scale F] [--seed N] [--bmu]
+       gcsim --list
+
+  Sizes are paper-equivalent (scaled by --scale). Collectors:
+  bc, bc-resize, marksweep, semispace, gencopy, genms, copyms,
+  gencopy-fixed, genms-fixed."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        collector: CollectorKind::Bc,
+        benchmark: "pseudoJBB".into(),
+        heap: 100 << 20,
+        memory: 224 << 20,
+        pressure: None,
+        scale: 0.1,
+        seed: 42,
+        bmu: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--list" => {
+                println!("benchmarks (Table 1):");
+                for b in table1() {
+                    println!(
+                        "  {:<16} {:>12} bytes allocated, min heap {:>9}",
+                        b.name, b.paper_total_alloc, b.paper_min_heap
+                    );
+                }
+                std::process::exit(0);
+            }
+            "--collector" => args.collector = parse_collector(&value()).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            }),
+            "--benchmark" => args.benchmark = value(),
+            "--heap" => args.heap = parse_size(&value()).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            }),
+            "--memory" => args.memory = parse_size(&value()).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            }),
+            "--pressure" => {
+                let v = value();
+                args.pressure = Some(match v.split_once(':') {
+                    Some(("steady", f)) => Pressure::Steady(f.parse().unwrap_or_else(|_| {
+                        eprintln!("bad fraction in '{v}'");
+                        usage()
+                    })),
+                    Some(("dynamic", a)) => {
+                        Pressure::Dynamic(parse_size(a).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            usage()
+                        }))
+                    }
+                    _ => {
+                        eprintln!("bad pressure spec '{v}'");
+                        usage()
+                    }
+                });
+            }
+            "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--bmu" => args.bmu = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(benchmark) = spec(&args.benchmark) else {
+        eprintln!("unknown benchmark '{}'; try --list", args.benchmark);
+        std::process::exit(2);
+    };
+    let scale = args.scale;
+    let seed = args.seed;
+    let scaled = |paper: usize| ((paper as f64 * scale) as usize).max(1 << 20);
+    let heap = scaled(args.heap);
+    let memory = scaled(args.memory);
+    let make = move || -> Box<dyn Program> { Box::new(benchmark.program(scale, seed)) };
+
+    let result = match args.pressure {
+        None => run(&RunConfig::new(args.collector, heap, memory), make()),
+        Some(Pressure::Steady(frac)) => simulate::experiments::steady_pressure(
+            args.collector,
+            heap,
+            memory,
+            frac,
+            &make,
+        ),
+        Some(Pressure::Dynamic(avail)) => simulate::experiments::dynamic_pressure(
+            args.collector,
+            heap,
+            memory,
+            scaled(avail),
+            scale,
+            &make,
+        ),
+    };
+
+    println!("collector        {}", args.collector);
+    println!("benchmark        {}", result.benchmark);
+    println!(
+        "scale            {} (heap {} bytes, memory {} bytes simulated)",
+        args.scale, heap, memory
+    );
+    println!(
+        "status           {}",
+        if result.oom {
+            "OUT OF MEMORY"
+        } else if result.timed_out {
+            "TIMED OUT"
+        } else {
+            "completed"
+        }
+    );
+    println!("execution time   {}", result.exec_time);
+    println!(
+        "pauses           {} total, mean {}, max {}",
+        result.pauses.count, result.pauses.mean, result.pauses.max
+    );
+    {
+        let mut log = simtime::PauseLog::new();
+        for r in &result.pause_records {
+            log.record(r.start, r.duration, r.kind, r.major_faults);
+        }
+        let p = log.percentiles();
+        println!(
+            "pause pctiles    p50 {}, p90 {}, p99 {}",
+            p.p50, p.p90, p.p99
+        );
+    }
+    let g = &result.gc;
+    println!(
+        "collections      {} nursery, {} full ({} compacting, {} fail-safe)",
+        g.nursery_gcs, g.full_gcs, g.compacting_gcs, g.failsafe_gcs
+    );
+    println!(
+        "allocation       {} objects, {} bytes",
+        g.objects_allocated, g.bytes_allocated
+    );
+    let v = &result.vm;
+    println!(
+        "paging           {} major faults ({} during pauses), {} evictions ({} hard)",
+        v.major_faults, result.pauses.major_faults, v.evictions, v.hard_evictions
+    );
+    println!(
+        "cooperation      {} notices, {} discards, {} relinquished, {} bookmarks set, {} cleared, {} shrinks",
+        v.notices, g.pages_discarded, g.pages_relinquished, g.bookmarks_set, g.bookmarks_cleared, g.heap_shrinks
+    );
+    if args.bmu {
+        println!("bounded mutator utilization:");
+        for p in bmu_curve(&result.pause_records, result.exec_time, 12) {
+            println!("  w={:<10} u={:.3}", p.window.to_string(), p.utilization);
+        }
+        let _ = Nanos::ZERO;
+    }
+}

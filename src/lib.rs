@@ -1,0 +1,51 @@
+//! **bookmarking-gc** — a reproduction of *Garbage Collection Without
+//! Paging* (Hertz, Feng & Berger, PLDI 2005).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`simtime`] — deterministic simulated time, cost model, pause logs,
+//!   bounded mutator utilization.
+//! * [`vmm`] — a Linux-2.4-style virtual memory manager simulator with the
+//!   paper's cooperation extensions (eviction notices, `vm_relinquish`).
+//! * [`heap`] — the heap substrate: superpages, segregated size classes,
+//!   object model, large-object space, write buffers and card table.
+//! * [`collectors`] — the five baseline collectors the paper evaluates
+//!   against (MarkSweep, SemiSpace, GenCopy, GenMS, CopyMS).
+//! * [`bookmarking`] — the paper's contribution: the bookmarking collector.
+//! * [`workloads`] — synthetic benchmark programs calibrated to Table 1.
+//! * [`simulate`] — the discrete-event engine and experiment runners for
+//!   every table and figure in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bookmarking_gc::bookmarking::{BcOptions, Bookmarking};
+//! use bookmarking_gc::heap::{AllocKind, GcHeap, HeapConfig, MemCtx};
+//! use bookmarking_gc::simtime::{Clock, CostModel};
+//! use bookmarking_gc::vmm::{Vmm, VmmConfig};
+//!
+//! # fn main() -> Result<(), bookmarking_gc::heap::OutOfMemory> {
+//! let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+//! let mut clock = Clock::new();
+//! let pid = vmm.register_process();
+//! let mut gc = Bookmarking::new(HeapConfig::with_heap_bytes(8 << 20), BcOptions::default());
+//! gc.register(&mut vmm, pid);
+//! let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
+//! let list = gc.alloc(&mut ctx, AllocKind::Scalar { data_words: 3, num_refs: 1 })?;
+//! gc.collect(&mut ctx, true);
+//! gc.drop_handle(list);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end run of the bookmarking
+//! collector under memory pressure, and the `bench` crate's `figures`
+//! binary for the paper's full evaluation.
+
+pub use bookmarking;
+pub use collectors;
+pub use heap;
+pub use simtime;
+pub use simulate;
+pub use vmm;
+pub use workloads;

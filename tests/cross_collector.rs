@@ -1,0 +1,106 @@
+//! Cross-collector integration tests: determinism, allocation accounting,
+//! and graceful failure, across every collector configuration.
+
+use simulate::{run, CollectorKind, Program, RunConfig};
+use workloads::{spec, table1};
+
+fn program(name: &str, scale: f64, seed: u64) -> Box<dyn Program> {
+    Box::new(spec(name).unwrap().program(scale, seed))
+}
+
+/// Every collector runs every benchmark (at 1% volume) to completion with
+/// identical allocation volume — the workload is collector-independent.
+#[test]
+fn all_collectors_complete_all_benchmarks() {
+    for b in table1() {
+        let mut volumes = Vec::new();
+        for kind in CollectorKind::ALL {
+            let heap = (b.scaled_min_heap(0.01) * 4).max(2 << 20);
+            let config = RunConfig::new(kind, heap, 256 << 20);
+            let r = run(&config, Box::new(b.program(0.01, 5)));
+            assert!(r.ok(), "{} on {kind}: oom={} timeout={}", b.name, r.oom, r.timed_out);
+            volumes.push(r.gc.bytes_allocated);
+        }
+        assert!(
+            volumes.windows(2).all(|w| w[0] == w[1]),
+            "{}: allocation volume varies across collectors: {volumes:?}",
+            b.name
+        );
+    }
+}
+
+/// The whole simulation is deterministic: identical configuration gives
+/// bit-identical metrics.
+#[test]
+fn simulation_is_deterministic() {
+    for kind in [CollectorKind::Bc, CollectorKind::GenCopy, CollectorKind::MarkSweep] {
+        let once = || {
+            let config = RunConfig::new(kind, 4 << 20, 64 << 20);
+            let r = run(&config, program("_202_jess", 0.01, 9));
+            (
+                r.exec_time,
+                r.gc.objects_allocated,
+                r.gc.objects_traced,
+                r.gc.total_gcs(),
+                r.pauses.count,
+                r.pauses.total,
+                r.vm.minor_faults,
+            )
+        };
+        assert_eq!(once(), once(), "{kind} is not deterministic");
+    }
+}
+
+/// Heaps below the live set fail with OutOfMemory — reported, not panicked
+/// — for every collector.
+#[test]
+fn undersized_heaps_report_oom() {
+    let b = spec("_209_db").unwrap(); // ~10 MB live at scale 1
+    for kind in CollectorKind::ALL {
+        // Live set at 2% scale is ~200 KiB; a 128 KiB heap cannot hold it.
+        let config = RunConfig::new(kind, 128 << 10, 256 << 20);
+        let r = run(&config, Box::new(b.program(0.02, 3)));
+        assert!(r.oom, "{kind} should have exhausted a 128 KiB heap");
+    }
+}
+
+/// Bigger heaps never increase collection counts (monotone GC frequency).
+#[test]
+fn gc_count_decreases_with_heap_size() {
+    let counts: Vec<u64> = [2 << 20, 4 << 20, 8 << 20]
+        .iter()
+        .map(|&heap| {
+            let config = RunConfig::new(CollectorKind::GenMs, heap, 256 << 20);
+            let r = run(&config, program("_202_jess", 0.02, 4));
+            assert!(r.ok());
+            r.gc.total_gcs()
+        })
+        .collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] >= w[1]),
+        "GC counts not monotone over heap size: {counts:?}"
+    );
+}
+
+/// Pause accounting is consistent: total pause time never exceeds
+/// execution time, and BMU inputs are well-formed (chronological,
+/// non-overlapping pauses).
+#[test]
+fn pause_records_are_well_formed() {
+    for kind in CollectorKind::ALL {
+        let config = RunConfig::new(kind, 4 << 20, 256 << 20);
+        let r = run(&config, program("_205_raytrace", 0.02, 8));
+        assert!(r.ok(), "{kind}");
+        assert!(r.pauses.total <= r.exec_time, "{kind}: paused longer than it ran");
+        let recs = &r.pause_records;
+        for w in recs.windows(2) {
+            assert!(
+                w[0].end() <= w[1].start,
+                "{kind}: overlapping pauses {w:?}"
+            );
+        }
+        if let Some(last) = recs.last() {
+            assert!(last.end() <= r.exec_time);
+        }
+    }
+}

@@ -52,17 +52,13 @@ fn run_bc_with(options: BcOptions, target_avail: usize) -> RunResult {
     let memory = eq(224 << 20);
     let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(memory), CostModel::default());
     let pid = vmm.register_process();
-    let bc = Bookmarking::new(HeapConfig::with_heap_bytes(heap), options);
+    let bc = Bookmarking::new(HeapConfig::builder().heap_bytes(heap).build(), options);
     bc.register(&mut vmm, pid);
     let make = pseudo_jbb();
     let mut engine = Engine::new(vmm);
-    engine
-        .jvms
-        .push(JvmProcess::new(pid, Box::new(bc), make()));
-    let mut pressure = SignalmemConfig::dynamic(
-        memory.saturating_sub(target_avail),
-        Nanos::from_millis(1),
-    );
+    engine.jvms.push(JvmProcess::new(pid, Box::new(bc), make()));
+    let mut pressure =
+        SignalmemConfig::dynamic(memory.saturating_sub(target_avail), Nanos::from_millis(1));
     pressure.initial_pages = ((pressure.initial_pages as f64) * SCALE) as usize;
     pressure.step_pages = ((pressure.step_pages as f64) * SCALE).max(1.0) as usize;
     pressure.interval = Nanos((pressure.interval.as_nanos() as f64 * SCALE * 0.2) as u64);
@@ -80,6 +76,7 @@ fn run_bc_with(options: BcOptions, target_avail: usize) -> RunResult {
         pause_records: jvm.gc.pause_log().records().to_vec(),
         gc: *jvm.gc.stats(),
         vm: *engine.vmm.stats(jvm.pid),
+        metrics: jvm.gc.metrics(engine.vmm.stats(jvm.pid)),
     }
 }
 
@@ -91,10 +88,12 @@ fn bench_victim_policy(c: &mut Criterion) {
             println!("== ablation: victim selection (paper-equivalent 44MB available) ==");
             let kernel = run_bc_with(BcOptions::default(), eq(44 << 20));
             describe("kernel choice (paper)", &kernel);
-            let mut opts = BcOptions::default();
-            opts.victim_policy = VictimPolicy::PreferPointerFree {
-                max_pointers: 8,
-                max_vetoes: 4,
+            let opts = BcOptions {
+                victim_policy: VictimPolicy::PreferPointerFree {
+                    max_pointers: 8,
+                    max_vetoes: 4,
+                },
+                ..Default::default()
             };
             let ptr_free = run_bc_with(opts, eq(44 << 20));
             describe("prefer pointer-free (§7)", &ptr_free);
@@ -112,8 +111,10 @@ fn bench_regrowth(c: &mut Criterion) {
             println!("== ablation: heap regrowth after a transient spike ==");
             let fixed = run_bc_with(BcOptions::default(), eq(80 << 20));
             describe("shrink-only (paper)", &fixed);
-            let mut opts = BcOptions::default();
-            opts.regrow = true;
+            let opts = BcOptions {
+                regrow: true,
+                ..Default::default()
+            };
             let regrow = run_bc_with(opts, eq(80 << 20));
             describe("regrow enabled (§7)", &regrow);
             (fixed.gc.total_gcs(), regrow.gc.total_gcs())
@@ -132,8 +133,10 @@ fn bench_swap_device(c: &mut Criterion) {
             let heap = eq(100 << 20);
             let memory = eq(224 << 20);
             let mut out = Vec::new();
-            for (label, fault) in [("disk (5ms, paper)", Nanos::from_millis(5)),
-                                   ("ssd (100us)", Nanos::from_micros(100))] {
+            for (label, fault) in [
+                ("disk (5ms, paper)", Nanos::from_millis(5)),
+                ("ssd (100us)", Nanos::from_micros(100)),
+            ] {
                 for kind in [CollectorKind::Bc, CollectorKind::GenMs] {
                     let mut config = RunConfig::new(kind, heap, memory);
                     config.costs.major_fault = fault;
@@ -164,5 +167,10 @@ fn bench_swap_device(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablations, bench_victim_policy, bench_regrowth, bench_swap_device);
+criterion_group!(
+    ablations,
+    bench_victim_policy,
+    bench_regrowth,
+    bench_swap_device
+);
 criterion_main!(ablations);

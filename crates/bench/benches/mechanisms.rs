@@ -6,22 +6,29 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use bookmarking::{BcOptions, Bookmarking};
-use heap::{AllocKind, GcHeap, HeapConfig, MemCtx};
+use heap::{AllocKind, CollectKind, GcHeap, HeapConfig, MemCtx};
 use simtime::{Clock, CostModel};
 use simulate::CollectorKind;
 use vmm::{Vmm, VmmConfig};
 
 fn fresh(kind: CollectorKind) -> (Vmm, Clock, vmm::ProcessId, Box<dyn GcHeap>) {
-    let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(256 << 20), CostModel::default());
+    let mut vmm = Vmm::new(
+        VmmConfig::with_memory_bytes(256 << 20),
+        CostModel::default(),
+    );
     let clock = Clock::new();
     let pid = vmm.register_process();
-    let gc = kind.build(32 << 20, &mut vmm, pid);
+    let gc = kind.build(32 << 20, telemetry::Tracer::disabled(), &mut vmm, pid);
     (vmm, clock, pid, gc)
 }
 
 fn bench_alloc(c: &mut Criterion) {
     let mut group = c.benchmark_group("alloc");
-    for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::SemiSpace] {
+    for kind in [
+        CollectorKind::Bc,
+        CollectorKind::GenMs,
+        CollectorKind::SemiSpace,
+    ] {
         group.bench_function(kind.label(), |b| {
             let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
             b.iter(|| {
@@ -49,7 +56,7 @@ fn bench_write_barrier(c: &mut Criterion) {
             let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
             let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
             let old = gc.alloc(&mut ctx, AllocKind::RefArray { len: 64 }).unwrap();
-            gc.collect(&mut ctx, false); // promote `old`
+            gc.collect(&mut ctx, CollectKind::Minor); // promote `old`
             let young = gc
                 .alloc(
                     &mut ctx,
@@ -73,7 +80,11 @@ fn bench_write_barrier(c: &mut Criterion) {
 fn bench_nursery_gc(c: &mut Criterion) {
     let mut group = c.benchmark_group("nursery_gc_1000_live");
     group.sample_size(20);
-    for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::GenCopy] {
+    for kind in [
+        CollectorKind::Bc,
+        CollectorKind::GenMs,
+        CollectorKind::GenCopy,
+    ] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let (mut vmm, mut clock, pid, mut gc) = fresh(kind);
@@ -90,7 +101,7 @@ fn bench_nursery_gc(c: &mut Criterion) {
                         .unwrap()
                     })
                     .collect();
-                gc.collect(&mut ctx, false);
+                gc.collect(&mut ctx, CollectKind::Minor);
                 black_box(held);
             });
         });
@@ -123,7 +134,7 @@ fn bench_full_gc(c: &mut Criterion) {
                         .unwrap()
                     })
                     .collect();
-                gc.collect(&mut ctx, true);
+                gc.collect(&mut ctx, CollectKind::Full);
                 black_box(held);
             });
         });
@@ -140,7 +151,7 @@ fn bench_bookmark_scan(c: &mut Criterion) {
             let pid = vmm.register_process();
             let hog = vmm.register_process();
             let mut bc = Bookmarking::new(
-                HeapConfig::with_heap_bytes(2 << 20),
+                HeapConfig::builder().heap_bytes(2 << 20).build(),
                 BcOptions::default(),
             );
             bc.register(&mut vmm, pid);
@@ -157,7 +168,7 @@ fn bench_bookmark_scan(c: &mut Criterion) {
                     .unwrap()
                 })
                 .collect();
-            bc.collect(&mut ctx, true);
+            bc.collect(&mut ctx, CollectKind::Full);
             // Squeeze until pages are relinquished.
             let mut pinned = 0;
             while bc.evicted_heap_pages() == 0 && pinned < 2040 {

@@ -1,13 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|all> [--scale F] [--seed N]
+//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|phases|all> [--scale F] [--seed N]
 //! ```
 
 use bench::pressure_figs::{
     fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
 };
-use bench::{fig2_report, table1_report, Params, Table};
+use bench::{fig2_report, phases_report, table1_report, Params, Table};
 
 /// Writes a figure's table(s) as CSV into the chosen directory.
 fn emit_csv(dir: &Option<String>, name: &str, tables: &[&Table]) {
@@ -105,8 +105,16 @@ fn main() {
         println!("{b}");
         emit_csv(&csv_dir, "fig7", &[&a, &b]);
     }
-    if !["table1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "all"]
-        .contains(&which.as_str())
+    if run("phases") {
+        println!("== Per-phase GC pause histograms (dynamic pressure, from telemetry) ==");
+        let t = phases_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "phases", &[&t]);
+    }
+    if ![
+        "table1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "phases", "all",
+    ]
+    .contains(&which.as_str())
     {
         eprintln!("unknown figure '{which}'");
         std::process::exit(2);

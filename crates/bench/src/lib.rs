@@ -109,16 +109,10 @@ pub fn table1_report(params: &Params) -> Table {
         let scale = params.scale;
         let seed = params.seed;
         let mk = move || -> Box<dyn simulate::Program> { Box::new(b.program(scale, seed)) };
-        let lo = (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
+        let lo =
+            (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
         let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
-        let min = min_heap_search(
-            CollectorKind::Bc,
-            512 << 20,
-            &mk,
-            lo,
-            hi,
-            256 << 10,
-        );
+        let min = min_heap_search(CollectorKind::Bc, 512 << 20, &mk, lo, hi, 256 << 10);
         // Run once at a comfortable heap to confirm the allocation volume.
         let run = simulate::run(
             &simulate::RunConfig::new(CollectorKind::Bc, hi, 512 << 20),
@@ -155,7 +149,8 @@ pub fn fig2_report(params: &Params) -> Table {
         let seed = params.seed;
         let spec = *b;
         let mk = move || -> Box<dyn simulate::Program> { Box::new(spec.program(scale, seed)) };
-        let lo = (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
+        let lo =
+            (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
         let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
         let base = min_heap_search(CollectorKind::GenMs, 512 << 20, &mk, lo, hi, 256 << 10)
             .unwrap_or(hi / 2);
@@ -208,6 +203,64 @@ pub fn fig2_report(params: &Params) -> Table {
             });
         }
         t.row(cells);
+    }
+    t
+}
+
+/// Per-phase GC pause histograms, derived from the telemetry subsystem.
+///
+/// Runs each pressure-figure collector once on pseudoJBB under dynamic
+/// memory pressure with an unbounded trace sink, then aggregates the
+/// phase spans (root scan, trace, sweep, compaction passes, bookmark
+/// scan) into one histogram row per collector and phase. This is the
+/// paper's pause story at sub-collection granularity: BC's phases stay
+/// short under pressure because they never touch evicted pages.
+pub fn phases_report(params: &Params) -> Table {
+    let mut t = Table::new(vec![
+        "Collector",
+        "Phase",
+        "Count",
+        "Mean",
+        "p50",
+        "p90",
+        "Max",
+        "Total",
+    ]);
+    let benchmarks = table1();
+    let b = benchmarks
+        .iter()
+        .find(|b| b.name == "pseudoJBB")
+        .unwrap_or(&benchmarks[0]);
+    let heap = scaled(params, 100 << 20);
+    let memory = scaled(params, 224 << 20);
+    let available = scaled(params, 93 << 20);
+    for kind in CollectorKind::PRESSURE {
+        let tracer = telemetry::Tracer::unbounded();
+        let mut config = simulate::experiments::dynamic_pressure_config(
+            kind,
+            heap,
+            memory,
+            available,
+            params.scale,
+        );
+        config.tracer = tracer.clone();
+        let scale = params.scale;
+        let seed = params.seed;
+        let result = simulate::run(&config, Box::new(b.program(scale, seed)));
+        let agg = telemetry::aggregate(&tracer.snapshot(), simtime::Nanos::ZERO);
+        for (phase, hist) in &agg.phases {
+            t.row(vec![
+                kind.label().to_string(),
+                phase.name().to_string(),
+                format!("{}", hist.count()),
+                fmt_time(hist.mean()),
+                fmt_time(hist.percentile(50.0)),
+                fmt_time(hist.percentile(90.0)),
+                fmt_time(hist.max()),
+                fmt_time(hist.total()),
+            ]);
+        }
+        let _ = result; // the table reports the trace, not the run summary
     }
     t
 }

@@ -94,11 +94,7 @@ const DYNAMIC_PAPER_HEAP: usize = 100 << 20;
 /// Paper-equivalent physical memory for the dynamic-pressure runs.
 const DYNAMIC_PAPER_MEMORY: usize = 224 << 20;
 
-fn dynamic_run(
-    params: &Params,
-    kind: CollectorKind,
-    paper_available: usize,
-) -> RunResult {
+fn dynamic_run(params: &Params, kind: CollectorKind, paper_available: usize) -> RunResult {
     let heap = scaled(params, DYNAMIC_PAPER_HEAP);
     let memory = scaled(params, DYNAMIC_PAPER_MEMORY);
     let target = scaled(params, paper_available);
@@ -223,9 +219,8 @@ pub fn fig6_report(params: &Params) -> Vec<Table> {
             .chain(windows.iter().map(|w| format!("w={w}")))
             .collect();
         let mut t = Table::new(headers);
-        t.caption = format!(
-            "Figure 6 ({label} paper-equivalent available): bounded mutator utilization"
-        );
+        t.caption =
+            format!("Figure 6 ({label} paper-equivalent available): bounded mutator utilization");
         for (kind, r) in rows {
             let curve = bmu_curve(&r.pause_records, r.exec_time, 64);
             let mut row = vec![kind.label().to_string()];
@@ -267,16 +262,11 @@ pub fn fig7_report(params: &Params) -> (Table, Table) {
             let memory = scaled(params, mem);
             let result = multi_jvm(kind, heap, memory, &make);
             ra.push(result.total_elapsed.to_string());
-            let total_pause: u64 = result
-                .jvms
-                .iter()
-                .map(|r| r.pauses.total.as_nanos())
-                .sum();
+            let total_pause: u64 = result.jvms.iter().map(|r| r.pauses.total.as_nanos()).sum();
             let count: u64 = result.jvms.iter().map(|r| r.pauses.count).sum();
-            rb.push(if count == 0 {
-                "-".into()
-            } else {
-                Nanos(total_pause / count).to_string()
+            rb.push(match total_pause.checked_div(count) {
+                None => "-".into(),
+                Some(mean) => Nanos(mean).to_string(),
             });
         }
         ta.row(ra);

@@ -5,10 +5,12 @@ use std::collections::HashMap;
 use heap::gc::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BlockKind, BumpSpace, BYTES_PER_PAGE, CardTable, GcHeap, GcStats, Handle,
-    Header, HeapConfig, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, WriteBuffer, WORD,
+    Address, AllocKind, BlockKind, BumpSpace, CardTable, CollectKind, GcHeap, GcStats, Handle,
+    Header, HeapConfig, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, WriteBuffer,
+    BYTES_PER_PAGE, WORD,
 };
 use simtime::{PauseKind, PauseLog};
+use telemetry::{EventKind, GcPhase, Tracer};
 use vmm::{Access, ProcessId, Vmm};
 
 use crate::residency::ResidencyMap;
@@ -162,6 +164,7 @@ impl Bookmarking {
     pub fn new(config: HeapConfig, options: BcOptions) -> Bookmarking {
         let l = config.layout;
         let sizer = NurserySizer::new(config.nursery);
+        let configured_heap_bytes = config.heap_bytes;
         let mut bc = Bookmarking {
             core: Core::new(config),
             nursery: BumpSpace::new(l.nursery.0, l.nursery.1),
@@ -179,7 +182,7 @@ impl Bookmarking {
             visited: std::collections::HashSet::new(),
             compact_targets: std::collections::HashSet::new(),
             target_alloc: HashMap::new(),
-            configured_heap_bytes: config.heap_bytes,
+            configured_heap_bytes,
             nursery_peak_pages: 0,
             pressure_gc_ran: false,
             pressure_escalate: false,
@@ -288,12 +291,7 @@ impl Bookmarking {
     }
 
     /// Copies a nursery survivor into a mature cell (promotion).
-    pub(crate) fn promote(
-        &mut self,
-        ctx: &mut MemCtx<'_>,
-        obj: Address,
-        h: Header,
-    ) -> Address {
+    pub(crate) fn promote(&mut self, ctx: &mut MemCtx<'_>, obj: Address, h: Header) -> Address {
         let size = h.kind.size_bytes();
         let class = self
             .ms
@@ -372,8 +370,8 @@ impl Bookmarking {
         let mut objects: Vec<Address> = Vec::new();
         if self.ms.region_contains(card_base) {
             let sp_extent = self.ms.extent_superpages();
-            let sp_of_card = (card_base.0 - self.ms.sp_base(heap::SpIndex(0)).0)
-                / heap::BYTES_PER_SUPERPAGE;
+            let sp_of_card =
+                (card_base.0 - self.ms.sp_base(heap::SpIndex(0)).0) / heap::BYTES_PER_SUPERPAGE;
             if sp_of_card < sp_extent {
                 let sp = heap::SpIndex(sp_of_card);
                 objects = self.ms.cells_overlapping_bytes(
@@ -388,12 +386,16 @@ impl Bookmarking {
             }
         }
         for obj in objects {
-            if !self.object_resident(obj) {
-                // Invariant: evicted pages hold no nursery pointers (pages
-                // with nursery pointers are rescued, not evicted).
-                continue;
-            }
-            let refs = self.scan_refs_in_range(ctx, obj, lo, hi);
+            let refs = if self.object_resident(obj) {
+                self.scan_refs_in_range(ctx, obj, lo, hi)
+            } else {
+                // A partially evicted object can still hold nursery
+                // pointers in slots on its resident pages (stored after
+                // the other pages left); scan exactly those. Wholly
+                // evicted objects yield nothing — their pages were
+                // rescued at eviction if they held nursery pointers.
+                self.scan_resident_refs_in_range(ctx, obj, lo, hi)
+            };
             for (slot, target) in refs {
                 if self.nursery.region_contains(target) {
                     let new = self.forward(ctx, target);
@@ -403,19 +405,87 @@ impl Bookmarking {
         }
     }
 
+    /// Like [`scan_refs_in_range`](Bookmarking::scan_refs_in_range), but
+    /// touches only slots on pages BC's residency map calls resident; the
+    /// header of a partially evicted object is read from the swap-bound
+    /// image (exactly what the pre-unmap handler saw, §4.1).
+    fn scan_resident_refs_in_range(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        obj: Address,
+        lo: Address,
+        hi: Address,
+    ) -> Vec<(Address, Address)> {
+        let h = match Header::decode_forwarded(
+            self.core.mem.read_word(obj),
+            self.core.mem.read_word(obj.offset(WORD)),
+        ) {
+            Ok(h) => h,
+            Err(_) => return Vec::new(),
+        };
+        let n = h.kind.num_ref_fields();
+        if n == 0 {
+            return Vec::new();
+        }
+        let first_slot = obj.offset(HEADER_BYTES).0;
+        let last_slot = first_slot + (n - 1) * WORD;
+        let lo = lo.0.max(first_slot);
+        let hi = hi.0.min(last_slot + WORD);
+        if lo >= hi {
+            return Vec::new();
+        }
+        let costs = ctx.vmm.costs().clone();
+        ctx.clock.advance(costs.scan_object);
+        let mut out = Vec::new();
+        let mut slot = lo - (lo - first_slot) % WORD;
+        while slot < hi {
+            let a = Address(slot);
+            if self.residency.page_resident(a.page()) {
+                ctx.clock.advance(costs.scan_ref);
+                ctx.touch(&mut self.core.mem, a, WORD, Access::Read);
+                let target = Address(self.core.mem.read_word(a));
+                if !target.is_null() {
+                    out.push((a, target));
+                }
+            }
+            slot += WORD;
+        }
+        out
+    }
+
     // ----- collections ---------------------------------------------------
 
     pub(crate) fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Nursery);
         // Serve this collection's page demand from the empty-page reserve
         // so the kernel does not run ahead mid-collection (§3.4.3).
         self.discard_reserve(ctx);
         self.phase = Phase::Minor;
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
-        // Unprocessed write-buffer entries first (§3.1). Slots on evicted
-        // pages are skipped: a page holding a live nursery pointer is never
-        // evicted (the eviction scan rescues it), so a non-resident slot's
-        // store was overwritten before the page left.
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::CardScan);
+        self.process_remembered_set(ctx);
+        self.core.phase_end(ctx, GcPhase::CardScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
+        drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        let _ = self.nursery.release_all(&mut self.core.pool);
+        self.phase = Phase::Idle;
+        self.core.stats.nursery_gcs += 1;
+        self.recompute_nursery_limit();
+        self.core.end_pause(ctx, pause);
+        self.finish_deferred_evictions(ctx);
+    }
+
+    /// Forwards every recorded mature→nursery slot (§3.1): unprocessed
+    /// write-buffer entries first, then the objects named by dirty cards.
+    /// Slots on evicted pages are skipped: a page holding a live nursery
+    /// pointer is never evicted (the eviction scan rescues it), so a
+    /// non-resident slot's store was overwritten before the page left.
+    /// Skips are per *slot*, not per object — a spanning object with an
+    /// evicted tail can still take stores into its resident head.
+    pub(crate) fn process_remembered_set(&mut self, ctx: &mut MemCtx<'_>) {
         let entries = self.wbuf.drain();
         for slot in entries {
             if !self.residency.page_resident(slot.page()) {
@@ -427,18 +497,10 @@ impl Bookmarking {
                 self.core.write_slot(ctx, slot, new);
             }
         }
-        // Then the objects named by dirty cards.
         for card in self.cards.dirty_cards() {
             self.scan_card(ctx, card);
         }
         self.cards.clear();
-        drain_gray(self, ctx);
-        let _ = self.nursery.release_all(&mut self.core.pool);
-        self.phase = Phase::Idle;
-        self.core.stats.nursery_gcs += 1;
-        self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Nursery);
-        self.finish_deferred_evictions(ctx);
     }
 
     /// The bookmark root scan of §3.4.1: treat every resident bookmarked
@@ -507,23 +569,63 @@ impl Bookmarking {
     }
 
     pub(crate) fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Full);
         self.discard_reserve(ctx);
         self.phase = Phase::Major;
         if self.options.bookmarking && self.residency.any_evicted() {
+            self.core.phase_begin(ctx, GcPhase::BookmarkScan);
             self.bookmark_root_scan(ctx);
+            self.core.phase_end(ctx, GcPhase::BookmarkScan);
         }
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        // The remembered set cannot simply be dropped: the trace skips
+        // objects with evicted pages, so a recorded mature→nursery slot on
+        // a *resident* page of such an object would otherwise keep its
+        // (soon dangling) nursery address across the nursery release below.
+        self.core.phase_begin(ctx, GcPhase::CardScan);
+        self.process_remembered_set(ctx);
+        self.core.phase_end(ctx, GcPhase::CardScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep_resident(ctx);
         let _ = self.nursery.release_all(&mut self.core.pool);
+        self.core.phase_end(ctx, GcPhase::Sweep);
         self.wbuf.retain_entries(Vec::new());
         self.cards.clear();
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Full);
+        self.core.end_pause(ctx, pause);
+        self.emit_residency_snapshots(ctx);
         self.finish_deferred_evictions(ctx);
+    }
+
+    /// Emits one [`EventKind::Residency`] event per assigned superpage after
+    /// a full collection, so traces can reconstruct the footprint the
+    /// collector actually kept resident. A no-op when tracing is disabled.
+    fn emit_residency_snapshots(&mut self, ctx: &MemCtx<'_>) {
+        if !self.core.config.tracer.enabled() {
+            return;
+        }
+        for sp in self.ms.assigned_sps() {
+            let pages = self.ms.sp_pages(sp);
+            let resident = pages
+                .iter()
+                .filter(|&&p| self.residency.page_resident(p))
+                .count() as u32;
+            self.core.trace_event(
+                ctx,
+                EventKind::Residency {
+                    superpage: pages[0].0,
+                    resident,
+                    total: pages.len() as u32,
+                },
+            );
+        }
     }
 
     /// §7 extension: once pressure has clearly abated, grow the heap budget
@@ -542,8 +644,15 @@ impl Bookmarking {
         // twice the reclaim high watermark of free frames.
         if ctx.vmm.free_frames() > ctx.vmm.config().high_watermark * 2 {
             const REGROW_STEP_PAGES: usize = 64;
-            self.core.pool.set_budget((budget + REGROW_STEP_PAGES).min(configured));
+            let new_budget = (budget + REGROW_STEP_PAGES).min(configured);
+            self.core.pool.set_budget(new_budget);
             self.core.stats.heap_regrows += 1;
+            self.core.trace_event(
+                ctx,
+                EventKind::HeapGrow {
+                    budget_pages: new_budget as u32,
+                },
+            );
             self.recompute_nursery_limit();
         }
     }
@@ -706,13 +815,14 @@ impl GcHeap for Bookmarking {
         self.core.roots.remove(h);
     }
 
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool) {
-        if full {
-            self.major_gc(ctx);
-        } else {
-            self.minor_gc(ctx);
-            if self.sizer.full_gc_needed(self.free_minus_reserve()) {
-                self.major_gc(ctx);
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, kind: CollectKind) {
+        match kind {
+            CollectKind::Full => self.major_gc(ctx),
+            CollectKind::Minor => {
+                self.minor_gc(ctx);
+                if self.sizer.full_gc_needed(self.free_minus_reserve()) {
+                    self.major_gc(ctx);
+                }
             }
         }
     }
@@ -730,6 +840,10 @@ impl GcHeap for Bookmarking {
 
     fn pause_log(&self) -> &PauseLog {
         &self.core.pauses
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.core.config.tracer
     }
 
     fn heap_pages_used(&self) -> usize {

@@ -4,8 +4,11 @@
 use std::collections::HashMap;
 
 use heap::gc::{drain_gray, forward_roots, is_large};
-use heap::{Address, AllocKind, BlockKind, Header, MemCtx, OutOfMemory, SpIndex, WORD};
+use heap::{
+    Address, AllocKind, BlockKind, CollectKind, Header, MemCtx, OutOfMemory, SpIndex, WORD,
+};
 use simtime::PauseKind;
+use telemetry::{EventKind, GcPhase};
 use vmm::Access;
 
 use crate::collector::{Bookmarking, Phase};
@@ -19,7 +22,12 @@ impl Bookmarking {
         kind: AllocKind,
     ) -> Result<Address, OutOfMemory> {
         use heap::GcHeap as _;
-        self.collect(ctx, is_large(kind));
+        let kind_hint = if is_large(kind) {
+            CollectKind::Full
+        } else {
+            CollectKind::Minor
+        };
+        self.collect(ctx, kind_hint);
         if let Some(a) = self.alloc_raw_public(kind) {
             return Ok(a);
         }
@@ -59,6 +67,12 @@ impl Bookmarking {
                 .min(configured - self.core.pool.budget());
             self.core.pool.set_budget(self.core.pool.budget() + step);
             self.core.stats.heap_regrows += 1;
+            self.core.trace_event(
+                ctx,
+                EventKind::HeapGrow {
+                    budget_pages: self.core.pool.budget() as u32,
+                },
+            );
             self.recompute_nursery_limit();
             if let Some(a) = self.alloc_raw_public(kind) {
                 return Ok(a);
@@ -108,11 +122,14 @@ impl Bookmarking {
     /// "BC does not need to update (evicted) pointers to bookmarked
     /// objects".
     pub(crate) fn compact_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Compacting);
         // ---- Pass 1: mark.
+        self.core.phase_begin(ctx, GcPhase::CompactPass1);
         self.phase = Phase::Major;
         if self.options.bookmarking && self.residency.any_evicted() {
+            self.core.phase_begin(ctx, GcPhase::BookmarkScan);
             self.bookmark_root_scan(ctx);
+            self.core.phase_end(ctx, GcPhase::BookmarkScan);
         }
         forward_roots(self, ctx);
         drain_gray(self, ctx);
@@ -120,7 +137,9 @@ impl Bookmarking {
         self.sweep_keep_marks(ctx);
         // ---- Select targets.
         self.select_compact_targets();
+        self.core.phase_end(ctx, GcPhase::CompactPass1);
         // ---- Pass 2: forward onto targets.
+        self.core.phase_begin(ctx, GcPhase::CompactPass2);
         self.phase = Phase::Compact;
         self.visited.clear();
         // Bookmarked objects are pass-2 roots as well: their fields must be
@@ -151,11 +170,12 @@ impl Bookmarking {
         self.visited.clear();
         self.compact_targets.clear();
         self.target_alloc.clear();
+        self.core.phase_end(ctx, GcPhase::CompactPass2);
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
         self.core.stats.compacting_gcs += 1;
         self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Compacting);
+        self.core.end_pause(ctx, pause);
     }
 
     /// Frees unmarked resident cells and large objects, preserving marks on
@@ -183,7 +203,9 @@ impl Bookmarking {
         self.compact_targets.clear();
         self.target_alloc.clear();
         // Group assigned superpages by (class, kind).
-        let mut groups: HashMap<(u8, BlockKind), Vec<(u32, SpIndex, bool)>> = HashMap::new();
+        // (allocated_cells, superpage, any_evicted) per (class, kind) group.
+        type Group = Vec<(u32, SpIndex, bool)>;
+        let mut groups: HashMap<(u8, BlockKind), Group> = HashMap::new();
         for sp in self.ms.assigned_sps() {
             let info = self.ms.info(sp);
             let Some((class, kind)) = info.assignment else {
@@ -322,7 +344,7 @@ impl Bookmarking {
     /// everything. "Note that this worst-case situation for bookmarking
     /// collection … is the common case for existing garbage collectors."
     pub(crate) fn failsafe_restore(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::FailSafe);
         let evicted: Vec<vmm::VirtPage> = self.residency.evicted_pages().collect();
         for page in evicted {
             ctx.vmm.touch(ctx.pid, page, Access::Read, ctx.clock);
@@ -353,6 +375,6 @@ impl Bookmarking {
         // no bookmark state anymore.
         let _ = ctx.vmm.take_events(ctx.pid);
         self.core.stats.failsafe_gcs += 1;
-        self.core.end_pause(ctx, start, PauseKind::FailSafe);
+        self.core.end_pause(ctx, pause);
     }
 }

@@ -47,7 +47,7 @@
 //! let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
 //! let mut clock = Clock::new();
 //! let pid = vmm.register_process();
-//! let mut bc = Bookmarking::new(HeapConfig::with_heap_bytes(8 << 20), BcOptions::default());
+//! let mut bc = Bookmarking::new(HeapConfig::builder().heap_bytes(8 << 20).build(), BcOptions::default());
 //! bc.register(&mut vmm, pid);
 //! let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
 //! let obj = bc.alloc(&mut ctx, AllocKind::Scalar { data_words: 4, num_refs: 2 })?;

@@ -2,7 +2,8 @@
 //! notices, empty-page discarding, heap shrinking, bookmarking, and
 //! bookmark clearing.
 
-use heap::{Address, BYTES_PER_PAGE, Header, MemCtx, WORD};
+use heap::{Address, Header, MemCtx, BYTES_PER_PAGE, WORD};
+use telemetry::EventKind;
 use vmm::{Access, VirtPage, VmEvent};
 
 use crate::collector::{Bookmarking, GcRequest, VictimPolicy};
@@ -33,7 +34,7 @@ impl Bookmarking {
             ctx.clock.advance(cost);
             match ev {
                 VmEvent::EvictionScheduled { page } => {
-                    self.shrink_to_footprint();
+                    self.shrink_to_footprint(ctx);
                     if self.page_is_empty(ctx, page) {
                         ctx.vmm.madvise_dontneed(ctx.pid, &[page], ctx.clock);
                         self.core.stats.pages_discarded += 1;
@@ -94,7 +95,7 @@ impl Bookmarking {
     fn on_eviction_scheduled(&mut self, ctx: &mut MemCtx<'_>, page: VirtPage) {
         // §3.3.3: the notice means the footprint exceeds available memory —
         // stop growing, pin the heap budget to the current footprint.
-        self.shrink_to_footprint();
+        self.shrink_to_footprint(ctx);
         // An empty victim can simply be given up.
         if self.page_is_empty(ctx, page) {
             ctx.vmm.madvise_dontneed(ctx.pid, &[page], ctx.clock);
@@ -210,7 +211,9 @@ impl Bookmarking {
         for &cell in &cells {
             if cell.page() == page || self.residency.page_resident(cell.page()) {
                 let w0 = self.core.mem.read_word(cell);
-                self.core.mem.write_word(cell, Header::with_bookmark(w0, true));
+                self.core
+                    .mem
+                    .write_word(cell, Header::with_bookmark(w0, true));
             }
         }
         let start = page_in_sp * BYTES_PER_PAGE;
@@ -222,6 +225,8 @@ impl Bookmarking {
             self.core.mem.write_word(cell.offset(WORD), 0);
         }
         self.core.stats.pages_bookmark_scanned += 1;
+        self.core
+            .trace_event(ctx, EventKind::BookmarkScanned { page: page.0 });
         self.residency.mark_evicted(page);
     }
 
@@ -229,7 +234,11 @@ impl Bookmarking {
     /// store (used for pages whose eviction just completed: the contents
     /// are exactly what the pre-unmap handler would have seen). Charges
     /// scan costs but performs no residency-dependent touches.
-    fn readable_refs_raw(&mut self, ctx: &mut MemCtx<'_>, cell: Address) -> Vec<(Address, Address)> {
+    fn readable_refs_raw(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        cell: Address,
+    ) -> Vec<(Address, Address)> {
         let h = match Header::decode_forwarded(
             self.core.mem.read_word(cell),
             self.core.mem.read_word(cell.offset(WORD)),
@@ -239,7 +248,8 @@ impl Bookmarking {
         };
         let n = h.kind.num_ref_fields();
         let costs = ctx.vmm.costs().clone();
-        ctx.clock.advance(costs.scan_object + costs.scan_ref * n as u64);
+        ctx.clock
+            .advance(costs.scan_object + costs.scan_ref * n as u64);
         if n == 0 {
             return Vec::new();
         }
@@ -268,14 +278,19 @@ impl Bookmarking {
 
     /// §3.3.3: pins the heap budget to (slightly above) the current
     /// footprint so the collector stops growing into memory it doesn't have.
-    pub(crate) fn shrink_to_footprint(&mut self) {
+    pub(crate) fn shrink_to_footprint(&mut self, ctx: &MemCtx<'_>) {
         const HEADROOM_PAGES: usize = 64; // 256 KiB of slack
-        let target = (self.core.pool.used() + HEADROOM_PAGES).min(
-            self.configured_heap_bytes / BYTES_PER_PAGE as usize,
-        );
+        let target = (self.core.pool.used() + HEADROOM_PAGES)
+            .min(self.configured_heap_bytes / BYTES_PER_PAGE as usize);
         if target < self.core.pool.budget() {
             self.core.pool.set_budget(target);
             self.core.stats.heap_shrinks += 1;
+            self.core.trace_event(
+                ctx,
+                EventKind::HeapShrink {
+                    budget_pages: target as u32,
+                },
+            );
             self.recompute_nursery_limit();
         }
     }
@@ -294,7 +309,8 @@ impl Bookmarking {
             return true;
         }
         if self.ms.region_contains(addr)
-            && ((addr.0 - self.ms.sp_base(heap::SpIndex(0)).0) / BYTES_PER_PAGE).is_multiple_of(heap::PAGES_PER_SUPERPAGE)
+            && ((addr.0 - self.ms.sp_base(heap::SpIndex(0)).0) / BYTES_PER_PAGE)
+                .is_multiple_of(heap::PAGES_PER_SUPERPAGE)
         {
             return true; // a superpage header page
         }
@@ -368,7 +384,10 @@ impl Bookmarking {
         // high-water mark.
         if pages.len() < max + hold_back {
             let base_page = self.nursery.base().page().0;
-            let first_free = Address(self.nursery.top().0).align_up(BYTES_PER_PAGE).page().0;
+            let first_free = Address(self.nursery.top().0)
+                .align_up(BYTES_PER_PAGE)
+                .page()
+                .0;
             for p in first_free..base_page + self.nursery_peak_pages as u32 {
                 let page = VirtPage(p);
                 if ctx.vmm.is_resident(ctx.pid, page) {
@@ -416,11 +435,17 @@ impl Bookmarking {
 
     // ----- bookmarking (§3.4) -------------------------------------------
 
-    /// The reference fields of `cell` that can be read without faulting.
+    /// The reference fields of `cell` whose slots lie on resident pages.
+    ///
+    /// The header may live on an evicted page (a multi-page object whose
+    /// head left earlier): it is then read from the swap-bound image, which
+    /// is exactly what the pre-unmap handler saw (§4.1) — mutators cannot
+    /// have changed it without faulting the page back. Slots on evicted
+    /// pages are skipped (they were processed at their own eviction), but
+    /// slots on *resident* pages after an evicted gap are still scanned:
+    /// stores through them need no fault, so they can hold pointers —
+    /// including nursery pointers — the earlier evictions never saw.
     fn readable_refs(&mut self, ctx: &mut MemCtx<'_>, cell: Address) -> Vec<(Address, Address)> {
-        if !self.residency.page_resident(cell.page()) {
-            return Vec::new(); // header unreadable; processed at its own eviction
-        }
         let h = match Header::decode_forwarded(
             self.core.mem.read_word(cell),
             self.core.mem.read_word(cell.offset(WORD)),
@@ -434,14 +459,14 @@ impl Bookmarking {
         }
         let lo = cell.offset(heap::object::HEADER_BYTES);
         let hi = lo.offset(n * WORD);
-        // Trim to the resident prefix of the reference span.
         let mut out = Vec::new();
         let costs = ctx.vmm.costs().clone();
         ctx.clock.advance(costs.scan_object);
         let mut slot = lo;
         while slot < hi {
             if !self.residency.page_resident(slot.page()) {
-                break;
+                slot = slot.offset(WORD);
+                continue;
             }
             ctx.touch(&mut self.core.mem, slot, WORD, Access::Read);
             ctx.clock.advance(costs.scan_ref);
@@ -515,6 +540,8 @@ impl Bookmarking {
             }
         }
         self.core.stats.pages_bookmark_scanned += 1;
+        self.core
+            .trace_event(ctx, EventKind::BookmarkScanned { page: page.0 });
         // Take the page's free cells off the free list so the allocator
         // never writes into an evicted page; zero their headers so later
         // scans see inert cells rather than stale garbage.
@@ -555,11 +582,19 @@ impl Bookmarking {
             // counter update never faults.
             self.ms.inc_incoming_bookmarks(sp);
             self.core.stats.bookmarks_set += 1;
+            self.core.trace_event(
+                ctx,
+                EventKind::BookmarkSet {
+                    page: target.page().0,
+                },
+            );
         } else if self.los.region_contains(target) {
             if let Some((obj, _pages)) = self.los.object_containing(target) {
                 self.set_bookmark_bit(ctx, obj, true);
                 *self.los_incoming.entry(obj.0).or_insert(0) += 1;
                 self.core.stats.bookmarks_set += 1;
+                self.core
+                    .trace_event(ctx, EventKind::BookmarkSet { page: obj.page().0 });
             }
         }
         // Nursery targets were excluded by the rescue pass; anything else
@@ -576,6 +611,8 @@ impl Bookmarking {
         if !self.ms.region_contains(addr) {
             return;
         }
+        self.core
+            .trace_event(ctx, EventKind::BookmarkCleared { page: page.0 });
         let (sp, page_in_sp) = self.ms.page_within_sp(addr);
         if sp.0 >= self.ms.extent_superpages() {
             return;
@@ -619,6 +656,12 @@ impl Bookmarking {
     /// to zero ("its objects are only referenced by objects in main
     /// memory", §3.4.2).
     fn clear_sp_bookmarks(&mut self, ctx: &mut MemCtx<'_>, sp: heap::SpIndex) {
+        self.core.trace_event(
+            ctx,
+            EventKind::BookmarkCleared {
+                page: self.ms.sp_base(sp).page().0,
+            },
+        );
         for cell in self.ms.allocated_cells(sp) {
             if !self.residency.page_resident(cell.page()) {
                 continue;
@@ -626,7 +669,9 @@ impl Bookmarking {
             ctx.touch(&mut self.core.mem, cell, WORD, Access::Read);
             let w0 = self.core.mem.read_word(cell);
             if Header::is_bookmarked(w0) {
-                self.core.mem.write_word(cell, Header::with_bookmark(w0, false));
+                self.core
+                    .mem
+                    .write_word(cell, Header::with_bookmark(w0, false));
                 self.core.stats.bookmarks_cleared += 1;
             }
         }

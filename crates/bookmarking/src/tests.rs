@@ -1,6 +1,6 @@
 //! Unit tests for the bookmarking collector.
 
-use heap::{AllocKind, GcHeap, Handle, HeapConfig, MemCtx};
+use heap::{AllocKind, CollectKind, GcHeap, Handle, HeapConfig, MemCtx};
 use simtime::{Clock, CostModel};
 use vmm::{ProcessId, Vmm, VmmConfig};
 
@@ -31,7 +31,10 @@ fn env(memory_bytes: usize) -> Env {
 }
 
 fn bc(env: &mut Env, heap_bytes: usize, options: BcOptions) -> Bookmarking {
-    let gc = Bookmarking::new(HeapConfig::with_heap_bytes(heap_bytes), options);
+    let gc = Bookmarking::new(
+        HeapConfig::builder().heap_bytes(heap_bytes).build(),
+        options,
+    );
     gc.register(&mut env.vmm, env.pid);
     gc
 }
@@ -84,7 +87,12 @@ fn apply_pressure(e: &mut Env, gc: &mut Bookmarking, pages: u32, base: u32) {
 /// Keeps pinning memory (4 pages at a time) until the collector has
 /// relinquished at least `target_evicted` heap pages, or `max_pins` pages
 /// are pinned. Models signalmem ratcheting up against BC's give-back.
-fn squeeze_until_evicted(e: &mut Env, gc: &mut Bookmarking, target_evicted: usize, max_pins: u32) -> u32 {
+fn squeeze_until_evicted(
+    e: &mut Env,
+    gc: &mut Bookmarking,
+    target_evicted: usize,
+    max_pins: u32,
+) -> u32 {
     let mut pinned = 0;
     while gc.evicted_heap_pages() < target_evicted && pinned < max_pins {
         if e.vmm.free_frames() <= 8 {
@@ -118,10 +126,10 @@ fn behaves_like_genms_without_pressure() {
     let mut gc = bc(&mut e, 2 << 20, BcOptions::default());
     let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
     let keep = make_list(&mut gc, &mut ctx, 100);
-    gc.collect(&mut ctx, false);
+    gc.collect(&mut ctx, CollectKind::Minor);
     assert_eq!(gc.stats().nursery_gcs, 1);
     assert_eq!(list_len(&mut gc, &mut ctx, keep), 100);
-    gc.collect(&mut ctx, true);
+    gc.collect(&mut ctx, CollectKind::Full);
     assert_eq!(list_len(&mut gc, &mut ctx, keep), 100);
     // No pressure: no bookmarks, no discards, no shrinks.
     let s = gc.stats();
@@ -138,8 +146,10 @@ fn write_barrier_uses_page_sized_buffer_and_cards() {
     let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
     // Promote an object, then hammer stores into it so the 1024-slot
     // buffer fills and converts to card marks (§3.1).
-    let old = gc.alloc(&mut ctx, AllocKind::RefArray { len: 1500 }).unwrap();
-    gc.collect(&mut ctx, false);
+    let old = gc
+        .alloc(&mut ctx, AllocKind::RefArray { len: 1500 })
+        .unwrap();
+    gc.collect(&mut ctx, CollectKind::Minor);
     let young = gc.alloc(&mut ctx, list_kind()).unwrap();
     for i in 0..1500 {
         gc.write_ref(&mut ctx, old, i, Some(young));
@@ -147,7 +157,7 @@ fn write_barrier_uses_page_sized_buffer_and_cards() {
     assert!(gc.stats().barrier_records >= 1500);
     gc.drop_handle(young);
     // The young object survives via buffer + cards.
-    gc.collect(&mut ctx, false);
+    gc.collect(&mut ctx, CollectKind::Minor);
     assert!(gc.read_ref(&mut ctx, old, 0).is_some());
     assert!(gc.read_ref(&mut ctx, old, 1499).is_some());
 }
@@ -164,8 +174,8 @@ fn compaction_defragments_superpages() {
     for _ in 0..120 {
         all.push(gc.alloc(&mut ctx, kind).unwrap());
     }
-    gc.collect(&mut ctx, true); // promote all 120: ~40 packed superpages
-    // Now drop two of every three and sweep: each superpage is 1/3 full.
+    gc.collect(&mut ctx, CollectKind::Full); // promote all 120: ~40 packed superpages
+                                             // Now drop two of every three and sweep: each superpage is 1/3 full.
     let mut keep = Vec::new();
     for (i, h) in all.into_iter().enumerate() {
         if i % 3 == 0 {
@@ -174,7 +184,7 @@ fn compaction_defragments_superpages() {
             gc.drop_handle(h);
         }
     }
-    gc.collect(&mut ctx, true);
+    gc.collect(&mut ctx, CollectKind::Full);
     let pages_fragmented = gc.heap_pages_used();
     gc.compact_gc(&mut ctx);
     let pages_compacted = gc.heap_pages_used();
@@ -198,7 +208,7 @@ fn pressure_discards_empty_pages_and_shrinks_heap() {
         // Build then drop a large structure so free superpages exist.
         let junk = make_list(&mut gc, &mut ctx, 20_000);
         gc.drop_handle(junk);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let budget_before = gc.current_heap_budget();
     // Pin all but ~10 frames: the collector must give memory back.
@@ -225,7 +235,7 @@ fn bookmarking_keeps_full_collections_in_memory() {
     };
     {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
-        gc.collect(&mut ctx, true); // promote everything to the mature space
+        gc.collect(&mut ctx, CollectKind::Full); // promote everything to the mature space
     }
     // Ratchet pressure until live pages start leaving memory.
     squeeze_until_evicted(&mut e, &mut gc, 10, 480);
@@ -239,14 +249,17 @@ fn bookmarking_keeps_full_collections_in_memory() {
     let faults_before = e.vmm.stats(e.pid).major_faults;
     {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let faults_after = e.vmm.stats(e.pid).major_faults;
     assert_eq!(
         faults_after, faults_before,
         "BC's full collection faulted on evicted pages"
     );
-    assert!(gc.evicted_heap_pages() > 0, "collection reloaded evicted pages");
+    assert!(
+        gc.evicted_heap_pages() > 0,
+        "collection reloaded evicted pages"
+    );
     // The data is still structurally intact (walking it *will* fault —
     // that's mutator paging, which BC does not eliminate).
     let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
@@ -260,7 +273,7 @@ fn bookmarks_clear_when_pages_reload() {
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 15_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         keep
     };
     let pin = squeeze_until_evicted(&mut e, &mut gc, 10, 480);
@@ -296,7 +309,7 @@ fn resizing_only_variant_discards_but_never_bookmarks() {
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 15_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         keep
     };
     // Resizing-only never relinquishes: ratchet adaptively until the VMM
@@ -332,7 +345,7 @@ fn failsafe_reclaims_bookmarked_garbage_when_heap_exhausted() {
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 10_000); // ~200 KiB
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         keep
     };
     // Squeeze hard so pages get bookmarked and evicted.
@@ -417,18 +430,19 @@ fn survives_interleaved_pressure_and_mutation() {
     assert_eq!(list_len(&mut gc, &mut ctx, keep), 20_000);
 }
 
-
 #[test]
 fn regrowth_restores_budget_after_transient_pressure() {
     let mut e = env(4 << 20); // 1024 frames
-    let mut opts = BcOptions::default();
-    opts.regrow = true;
+    let opts = BcOptions {
+        regrow: true,
+        ..Default::default()
+    };
     let mut gc = bc(&mut e, 2 << 20, opts);
     {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let junk = make_list(&mut gc, &mut ctx, 20_000);
         gc.drop_handle(junk);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let configured = gc.current_heap_budget();
     // Transient spike: pin almost everything, let BC shrink...
@@ -445,7 +459,11 @@ fn regrowth_restores_budget_after_transient_pressure() {
     for _ in 0..200 {
         step(&mut gc, &mut e.vmm, &mut e.clock, e.pid);
     }
-    assert!(gc.stats().heap_regrows > 0, "never regrew: {:?}", gc.stats());
+    assert!(
+        gc.stats().heap_regrows > 0,
+        "never regrew: {:?}",
+        gc.stats()
+    );
     assert_eq!(
         gc.current_heap_budget(),
         configured,
@@ -461,7 +479,7 @@ fn default_options_never_regrow() {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let junk = make_list(&mut gc, &mut ctx, 20_000);
         gc.drop_handle(junk);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let pin = 1024 - 10 - e.vmm.stats(e.pid).resident as u32;
     apply_pressure(&mut e, &mut gc, pin, 0);
@@ -483,16 +501,18 @@ fn default_options_never_regrow() {
 fn pointer_free_victim_policy_vetoes_pointerful_pages() {
     use crate::VictimPolicy;
     let mut e = env(2 << 20);
-    let mut opts = BcOptions::default();
-    opts.victim_policy = VictimPolicy::PreferPointerFree {
-        max_pointers: 0,
-        max_vetoes: 2,
+    let opts = BcOptions {
+        victim_policy: VictimPolicy::PreferPointerFree {
+            max_pointers: 0,
+            max_vetoes: 2,
+        },
+        ..Default::default()
     };
     let mut gc = bc(&mut e, 1 << 20, opts);
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 15_000); // pointer-rich pages
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         keep
     };
     squeeze_until_evicted(&mut e, &mut gc, 10, 480);
@@ -519,11 +539,11 @@ fn compaction_preserves_evicted_pages_and_their_referents() {
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 12_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         let junk = make_list(&mut gc, &mut ctx, 6_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         gc.drop_handle(junk);
-        gc.collect(&mut ctx, true); // sweep: fragmentation remains
+        gc.collect(&mut ctx, CollectKind::Full); // sweep: fragmentation remains
         keep
     };
     // Evict some pages.
@@ -564,7 +584,7 @@ fn failsafe_restores_residency_and_clears_bookmarks() {
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 15_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         keep
     };
     squeeze_until_evicted(&mut e, &mut gc, 10, 480);
@@ -573,10 +593,14 @@ fn failsafe_restores_residency_and_clears_bookmarks() {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         gc.failsafe_restore(&mut ctx);
     }
-    assert_eq!(gc.evicted_heap_pages(), 0, "fail-safe must reload everything");
+    assert_eq!(
+        gc.evicted_heap_pages(),
+        0,
+        "fail-safe must reload everything"
+    );
     assert_eq!(gc.stats().failsafe_gcs, 1);
     let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
-    gc.collect(&mut ctx, true);
+    gc.collect(&mut ctx, CollectKind::Full);
     assert_eq!(list_len(&mut gc, &mut ctx, keep), 15_000);
 }
 
@@ -595,11 +619,11 @@ fn bookmarks_target_large_objects_and_keep_them_alive() {
             .alloc(&mut ctx, AllocKind::DataArray { len: 3_000 })
             .unwrap();
         gc.write_ref(&mut ctx, holder, 0, Some(big)); // via ref field
-        // (list_kind has one ref field; store the big array there.)
-        gc.collect(&mut ctx, true);
+                                                      // (list_kind has one ref field; store the big array there.)
+        gc.collect(&mut ctx, CollectKind::Full);
         // Pad the heap so pressure has something to evict.
         let pad = make_list(&mut gc, &mut ctx, 12_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         ((holder, pad), big)
     };
     squeeze_until_evicted(&mut e, &mut gc, 10, 480);
@@ -609,7 +633,7 @@ fn bookmarks_target_large_objects_and_keep_them_alive() {
     let faults = e.vmm.stats(e.pid).major_faults;
     {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     assert_eq!(e.vmm.stats(e.pid).major_faults, faults);
     let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
@@ -623,9 +647,11 @@ fn write_buffer_is_bounded_by_one_page() {
     let mut e = env(64 << 20);
     let mut gc = bc(&mut e, 8 << 20, BcOptions::default());
     let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
-    let old = gc.alloc(&mut ctx, AllocKind::RefArray { len: 1024 }).unwrap();
-    gc.collect(&mut ctx, false); // promote
-    // 3000 mature→nursery stores: ~3x the buffer capacity.
+    let old = gc
+        .alloc(&mut ctx, AllocKind::RefArray { len: 1024 })
+        .unwrap();
+    gc.collect(&mut ctx, CollectKind::Minor); // promote
+                                              // 3000 mature→nursery stores: ~3x the buffer capacity.
     let young = gc.alloc(&mut ctx, list_kind()).unwrap();
     for i in 0..3_000u32 {
         gc.write_ref(&mut ctx, old, i % 1024, Some(young));
@@ -633,7 +659,7 @@ fn write_buffer_is_bounded_by_one_page() {
     assert!(gc.stats().barrier_records >= 3_000);
     // The referent still survives a nursery collection through the cards.
     gc.drop_handle(young);
-    gc.collect(&mut ctx, false);
+    gc.collect(&mut ctx, CollectKind::Minor);
     assert!(gc.read_ref(&mut ctx, old, 1023).is_some());
 }
 
@@ -653,7 +679,7 @@ fn future_work_options_compose() {
     let keep = {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
         let keep = make_list(&mut gc, &mut ctx, 15_000);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         keep
     };
     squeeze_until_evicted(&mut e, &mut gc, 5, 480);

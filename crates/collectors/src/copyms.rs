@@ -2,10 +2,11 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BlockKind, BumpSpace, BYTES_PER_PAGE, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory,
+    Address, AllocKind, BlockKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
+use telemetry::{GcPhase, Tracer};
 use vmm::Access;
 
 use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder};
@@ -140,7 +141,7 @@ impl GcHeap for CopyMs {
         let addr = match self.alloc_raw(kind) {
             Some(a) => a,
             None => {
-                self.collect(ctx, true);
+                self.collect(ctx, CollectKind::Full);
                 self.alloc_raw(kind).ok_or(OutOfMemory {
                     requested_bytes: kind.size_bytes(),
                 })?
@@ -195,17 +196,24 @@ impl GcHeap for CopyMs {
         self.core.roots.remove(h);
     }
 
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, _full: bool) {
-        let start = self.core.begin_pause(ctx);
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, _kind: CollectKind) {
+        // CopyMS performs only whole-heap collections (§5).
+        let pause = self.core.begin_pause(ctx, PauseKind::Full);
         self.collecting = true;
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep(ctx);
         let _ = self.copy_space.release_all(&mut self.core.pool);
+        self.core.phase_end(ctx, GcPhase::Sweep);
         self.collecting = false;
         self.core.stats.full_gcs += 1;
         self.recompute_copy_limit();
-        self.core.end_pause(ctx, start, PauseKind::Full);
+        self.core.end_pause(ctx, pause);
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
@@ -218,6 +226,10 @@ impl GcHeap for CopyMs {
 
     fn pause_log(&self) -> &PauseLog {
         &self.core.pauses
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.core.config.tracer
     }
 
     fn heap_pages_used(&self) -> usize {
@@ -237,9 +249,12 @@ mod tests {
     #[test]
     fn every_collection_is_whole_heap() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = CopyMs::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = CopyMs::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 100, 0);
         // ~1.2 MiB of garbage through a 1 MiB heap forces collection.
@@ -265,16 +280,19 @@ mod tests {
     #[test]
     fn survivors_land_in_mark_sweep_cells_and_stay() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = CopyMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut gc = CopyMs::new(HeapConfig::builder().heap_bytes(2 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 64, 0);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         let moved = gc.stats().objects_moved;
         assert!(moved >= 64);
         // Second collection marks them in place: no further copies.
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert_eq!(gc.stats().objects_moved, moved);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 64);
     }

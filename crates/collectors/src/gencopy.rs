@@ -2,10 +2,11 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BumpSpace, BYTES_PER_PAGE, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, OutOfMemory,
+    Address, AllocKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, OutOfMemory, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
+use telemetry::{GcPhase, Tracer};
 use vmm::Access;
 
 use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
@@ -102,10 +103,13 @@ impl GenCopy {
     }
 
     fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Nursery);
         self.phase = Phase::Minor;
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
         // Process the remembered set: update slots whose targets moved.
+        self.core.phase_begin(ctx, GcPhase::CardScan);
         let slots = std::mem::take(&mut self.remset);
         for slot in slots {
             let target = self.core.read_slot(ctx, slot);
@@ -114,19 +118,27 @@ impl GenCopy {
                 self.core.write_slot(ctx, slot, new);
             }
         }
+        self.core.phase_end(ctx, GcPhase::CardScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
         let _ = self.nursery.release_all(&mut self.core.pool);
         self.phase = Phase::Idle;
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Nursery);
+        self.core.end_pause(ctx, pause);
     }
 
     fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Full);
         self.phase = Phase::Major;
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        self.core.phase_begin(ctx, GcPhase::Sweep);
         // Sweep the large object space.
         for (obj, _pages) in self.los.objects() {
             if self.core.is_marked(ctx, obj) {
@@ -145,10 +157,11 @@ impl GenCopy {
         }
         self.mature_is_a = !self.mature_is_a;
         self.remset.clear();
+        self.core.phase_end(ctx, GcPhase::Sweep);
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Full);
+        self.core.end_pause(ctx, pause);
     }
 }
 
@@ -222,7 +235,12 @@ impl GcHeap for GenCopy {
         let addr = match self.alloc_raw(kind) {
             Some(a) => a,
             None => {
-                self.collect(ctx, is_large(kind));
+                let kind_hint = if is_large(kind) {
+                    CollectKind::Full
+                } else {
+                    CollectKind::Minor
+                };
+                self.collect(ctx, kind_hint);
                 match self.alloc_raw(kind) {
                     Some(a) => a,
                     None => {
@@ -290,13 +308,14 @@ impl GcHeap for GenCopy {
         self.core.roots.remove(h);
     }
 
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool) {
-        if full {
-            self.major_gc(ctx);
-        } else {
-            self.minor_gc(ctx);
-            if self.sizer.full_gc_needed(self.free_minus_reserve()) {
-                self.major_gc(ctx);
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, kind: CollectKind) {
+        match kind {
+            CollectKind::Full => self.major_gc(ctx),
+            CollectKind::Minor => {
+                self.minor_gc(ctx);
+                if self.sizer.full_gc_needed(self.free_minus_reserve()) {
+                    self.major_gc(ctx);
+                }
             }
         }
     }
@@ -311,6 +330,10 @@ impl GcHeap for GenCopy {
 
     fn pause_log(&self) -> &PauseLog {
         &self.core.pauses
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.core.config.tracer
     }
 
     fn heap_pages_used(&self) -> usize {
@@ -329,18 +352,21 @@ mod tests {
     use heap::NurseryPolicy;
 
     fn small_heap() -> GenCopy {
-        GenCopy::new(HeapConfig::with_heap_bytes(2 << 20))
+        GenCopy::new(HeapConfig::builder().heap_bytes(2 << 20).build())
     }
 
     #[test]
     fn nursery_collections_promote_survivors() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
         let mut gc = small_heap();
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 50, 0);
-        gc.collect(&mut ctx, false);
+        gc.collect(&mut ctx, CollectKind::Minor);
         assert_eq!(gc.stats().nursery_gcs, 1);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 50);
         assert!(gc.stats().objects_moved >= 50, "survivors were copied out");
@@ -349,13 +375,16 @@ mod tests {
     #[test]
     fn write_barrier_remembers_mature_to_nursery_pointers() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
         let mut gc = small_heap();
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let old = gc.alloc(&mut ctx, list_kind()).unwrap();
         // Promote `old` to the mature space.
-        gc.collect(&mut ctx, false);
+        gc.collect(&mut ctx, CollectKind::Minor);
         assert_eq!(gc.stats().barrier_records, 0);
         // Store a nursery pointer into the mature object.
         let young = gc.alloc(&mut ctx, list_kind()).unwrap();
@@ -363,7 +392,7 @@ mod tests {
         assert_eq!(gc.stats().barrier_records, 1);
         gc.drop_handle(young);
         // The nursery object survives only through the remembered set.
-        gc.collect(&mut ctx, false);
+        gc.collect(&mut ctx, CollectKind::Minor);
         let via_old = gc.read_ref(&mut ctx, old, 0);
         assert!(
             via_old.is_some(),
@@ -374,7 +403,10 @@ mod tests {
     #[test]
     fn nursery_to_nursery_stores_are_not_remembered() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
         let mut gc = small_heap();
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
@@ -387,9 +419,12 @@ mod tests {
     #[test]
     fn sustained_allocation_eventually_runs_full_gcs() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = GenCopy::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = GenCopy::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         // Hold ~400 KiB live in a 1 MiB heap (the 2x copy reserve makes the
         // mature space tight) and push ~1.2 MiB of garbage through: minor
@@ -407,16 +442,21 @@ mod tests {
     #[test]
     fn fixed_nursery_variant_collects_at_4mb() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(128 << 20);
-        let mut config = HeapConfig::with_heap_bytes(64 << 20);
+        let mut config = HeapConfig::builder().heap_bytes(64 << 20).build();
         config.nursery = NurseryPolicy::FIXED_4MB;
         let mut gc = GenCopy::new(config);
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         // 5 MB of garbage must trigger exactly one nursery GC (not zero —
         // the Appel policy would have given a ~30 MB nursery here).
         for _ in 0..656 {
-            let h = gc.alloc(&mut ctx, AllocKind::DataArray { len: 2000 }).unwrap();
+            let h = gc
+                .alloc(&mut ctx, AllocKind::DataArray { len: 2000 })
+                .unwrap();
             gc.drop_handle(h);
         }
         assert_eq!(gc.stats().nursery_gcs, 1);

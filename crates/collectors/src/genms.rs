@@ -3,10 +3,11 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BlockKind, BumpSpace, BYTES_PER_PAGE, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory,
+    Address, AllocKind, BlockKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
+use telemetry::{GcPhase, Tracer};
 use vmm::Access;
 
 use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
@@ -130,9 +131,12 @@ impl GenMs {
     }
 
     fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Nursery);
         self.phase = Phase::Minor;
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::CardScan);
         let slots = std::mem::take(&mut self.remset);
         for slot in slots {
             let target = self.core.read_slot(ctx, slot);
@@ -141,26 +145,35 @@ impl GenMs {
                 self.core.write_slot(ctx, slot, new);
             }
         }
+        self.core.phase_end(ctx, GcPhase::CardScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
         let _ = self.nursery.release_all(&mut self.core.pool);
         self.phase = Phase::Idle;
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Nursery);
+        self.core.end_pause(ctx, pause);
     }
 
     fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let start = self.core.begin_pause(ctx);
+        let pause = self.core.begin_pause(ctx, PauseKind::Full);
         self.phase = Phase::Major;
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep(ctx);
         let _ = self.nursery.release_all(&mut self.core.pool);
+        self.core.phase_end(ctx, GcPhase::Sweep);
         self.remset.clear();
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
-        self.core.end_pause(ctx, start, PauseKind::Full);
+        self.core.end_pause(ctx, pause);
     }
 }
 
@@ -215,7 +228,12 @@ impl GcHeap for GenMs {
         let addr = match self.alloc_raw(kind) {
             Some(a) => a,
             None => {
-                self.collect(ctx, is_large(kind));
+                let kind_hint = if is_large(kind) {
+                    CollectKind::Full
+                } else {
+                    CollectKind::Minor
+                };
+                self.collect(ctx, kind_hint);
                 match self.alloc_raw(kind) {
                     Some(a) => a,
                     None => {
@@ -282,13 +300,14 @@ impl GcHeap for GenMs {
         self.core.roots.remove(h);
     }
 
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool) {
-        if full {
-            self.major_gc(ctx);
-        } else {
-            self.minor_gc(ctx);
-            if self.sizer.full_gc_needed(self.free_minus_reserve()) {
-                self.major_gc(ctx);
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, kind: CollectKind) {
+        match kind {
+            CollectKind::Full => self.major_gc(ctx),
+            CollectKind::Minor => {
+                self.minor_gc(ctx);
+                if self.sizer.full_gc_needed(self.free_minus_reserve()) {
+                    self.major_gc(ctx);
+                }
             }
         }
     }
@@ -303,6 +322,10 @@ impl GcHeap for GenMs {
 
     fn pause_log(&self) -> &PauseLog {
         &self.core.pauses
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.core.config.tracer
     }
 
     fn heap_pages_used(&self) -> usize {
@@ -322,12 +345,15 @@ mod tests {
     #[test]
     fn minor_gcs_promote_into_cells_and_preserve_structure() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut gc = GenMs::new(HeapConfig::builder().heap_bytes(2 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 80, 0);
-        gc.collect(&mut ctx, false);
+        gc.collect(&mut ctx, CollectKind::Minor);
         assert_eq!(gc.stats().nursery_gcs, 1);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 80);
     }
@@ -335,61 +361,73 @@ mod tests {
     #[test]
     fn major_gc_keeps_promoted_survivors_marked_through_sweep() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut gc = GenMs::new(HeapConfig::builder().heap_bytes(2 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 60, 0);
         // Full collection straight from the nursery: survivors are promoted
         // *and* swept in the same cycle.
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert_eq!(gc.stats().full_gcs, 1);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 60);
         // A second full GC re-traces the now-mature list.
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 60);
     }
 
     #[test]
     fn mature_garbage_is_reclaimed_by_full_gc_only() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(4 << 20));
+        let mut gc = GenMs::new(HeapConfig::builder().heap_bytes(4 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let dead = make_list(&mut gc, &mut ctx, 500, 0);
-        gc.collect(&mut ctx, false); // promotes the (still live) list
+        gc.collect(&mut ctx, CollectKind::Minor); // promotes the (still live) list
         let pages_promoted = gc.heap_pages_used();
         gc.drop_handle(dead);
-        gc.collect(&mut ctx, false); // minor: cannot reclaim mature garbage
+        gc.collect(&mut ctx, CollectKind::Minor); // minor: cannot reclaim mature garbage
         assert_eq!(gc.heap_pages_used(), pages_promoted);
-        gc.collect(&mut ctx, true); // major: reclaims it
+        gc.collect(&mut ctx, CollectKind::Full); // major: reclaims it
         assert!(gc.heap_pages_used() < pages_promoted);
     }
 
     #[test]
     fn remembered_set_keeps_nursery_referents_alive() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(2 << 20));
+        let mut gc = GenMs::new(HeapConfig::builder().heap_bytes(2 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let old = gc.alloc(&mut ctx, list_kind()).unwrap();
-        gc.collect(&mut ctx, false);
+        gc.collect(&mut ctx, CollectKind::Minor);
         let young = gc.alloc(&mut ctx, list_kind()).unwrap();
         gc.write_ref(&mut ctx, old, 0, Some(young));
         assert!(gc.stats().barrier_records >= 1);
         gc.drop_handle(young);
-        gc.collect(&mut ctx, false);
+        gc.collect(&mut ctx, CollectKind::Minor);
         assert!(gc.read_ref(&mut ctx, old, 0).is_some());
     }
 
     #[test]
     fn oom_when_live_set_exceeds_heap() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = GenMs::new(HeapConfig::with_heap_bytes(192 << 10));
+        let mut gc = GenMs::new(HeapConfig::builder().heap_bytes(192 << 10).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let mut held = Vec::new();
         let mut oom = false;

@@ -2,10 +2,11 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, GcHeap, GcStats, Handle, HeapConfig, LargeObjectSpace, MemCtx, MsSpace,
-    OutOfMemory,
+    Address, AllocKind, CollectKind, GcHeap, GcStats, Handle, HeapConfig, LargeObjectSpace, MemCtx,
+    MsSpace, OutOfMemory,
 };
 use simtime::{PauseKind, PauseLog};
+use telemetry::{GcPhase, Tracer};
 use vmm::Access;
 
 use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder};
@@ -40,7 +41,12 @@ impl MarkSweep {
         if is_large(kind) {
             self.los.alloc(&mut self.core.pool, size)
         } else {
-            let class = self.ms.classes().class_for(size).expect("small object").index;
+            let class = self
+                .ms
+                .classes()
+                .class_for(size)
+                .expect("small object")
+                .index;
             let bk = if kind.object_kind().is_array() {
                 heap::BlockKind::Array
             } else {
@@ -94,7 +100,7 @@ impl GcHeap for MarkSweep {
         let addr = match self.alloc_raw(kind) {
             Some(a) => a,
             None => {
-                self.collect(ctx, true);
+                self.collect(ctx, CollectKind::Full);
                 self.alloc_raw(kind).ok_or(OutOfMemory {
                     requested_bytes: kind.size_bytes(),
                 })?
@@ -152,13 +158,20 @@ impl GcHeap for MarkSweep {
         self.core.roots.remove(h);
     }
 
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, _full: bool) {
-        let start = self.core.begin_pause(ctx);
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, _kind: CollectKind) {
+        // Single-generation: every collection is whole-heap.
+        let pause = self.core.begin_pause(ctx, PauseKind::Full);
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep(ctx);
+        self.core.phase_end(ctx, GcPhase::Sweep);
         self.core.stats.full_gcs += 1;
-        self.core.end_pause(ctx, start, PauseKind::Full);
+        self.core.end_pause(ctx, pause);
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
@@ -173,6 +186,10 @@ impl GcHeap for MarkSweep {
 
     fn pause_log(&self) -> &PauseLog {
         &self.core.pauses
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.core.config.tracer
     }
 
     fn heap_pages_used(&self) -> usize {
@@ -192,15 +209,18 @@ mod tests {
     #[test]
     fn survivors_survive_and_garbage_is_reclaimed() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = MarkSweep::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 100, 7);
         let dead = make_list(&mut gc, &mut ctx, 100, 9);
         gc.drop_handle(dead);
         let used_before = gc.heap_pages_used();
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert!(gc.heap_pages_used() <= used_before);
         assert_eq!(gc.stats().full_gcs, 1);
         // The kept list is intact: walk it.
@@ -210,10 +230,13 @@ mod tests {
     #[test]
     fn allocation_triggers_collection_when_full() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
         // 256 KiB heap: filling it forces GCs.
-        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(256 << 10));
+        let mut gc = MarkSweep::new(HeapConfig::builder().heap_bytes(256 << 10).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         for _ in 0..40 {
             // 40 x 8 KiB of garbage needs at least one collection.
@@ -228,9 +251,12 @@ mod tests {
     #[test]
     fn unreclaimable_heap_reports_oom() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(64 << 10));
+        let mut gc = MarkSweep::new(HeapConfig::builder().heap_bytes(64 << 10).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let mut held = Vec::new();
         let mut oom = false;
@@ -250,25 +276,31 @@ mod tests {
     #[test]
     fn large_objects_go_to_los_and_are_collected() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(4 << 20));
+        let mut gc = MarkSweep::new(HeapConfig::builder().heap_bytes(4 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let big = gc
             .alloc(&mut ctx, AllocKind::DataArray { len: 10_000 })
             .unwrap();
         let pages_with_big = gc.heap_pages_used();
         gc.drop_handle(big);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert!(gc.heap_pages_used() < pages_with_big);
     }
 
     #[test]
     fn cyclic_garbage_is_reclaimed() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = MarkSweep::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let a = gc.alloc(&mut ctx, list_kind()).unwrap();
         let b = gc.alloc(&mut ctx, list_kind()).unwrap();
@@ -277,8 +309,8 @@ mod tests {
         let pages_before_drop = gc.heap_pages_used();
         gc.drop_handle(a);
         gc.drop_handle(b);
-        gc.collect(&mut ctx, true);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
+        gc.collect(&mut ctx, CollectKind::Full);
         // The cycle is gone; a fresh allocation reuses its cells.
         let c = gc.alloc(&mut ctx, list_kind()).unwrap();
         assert!(gc.heap_pages_used() <= pages_before_drop);

@@ -2,10 +2,11 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BumpSpace, BYTES_PER_PAGE, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, OutOfMemory,
+    Address, AllocKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, OutOfMemory, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
+use telemetry::{GcPhase, Tracer};
 use vmm::Access;
 
 use crate::common::{drain_gray, forward_roots, is_large, Core, Forwarder};
@@ -44,6 +45,8 @@ impl SemiSpace {
         }
     }
 
+    // Semispace jargon, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
     fn from_space(&mut self) -> &mut BumpSpace {
         if self.from_is_a {
             &mut self.space_a
@@ -140,7 +143,7 @@ impl GcHeap for SemiSpace {
         let addr = match self.alloc_raw(kind) {
             Some(a) => a,
             None => {
-                self.collect(ctx, true);
+                self.collect(ctx, CollectKind::Full);
                 self.alloc_raw(kind).ok_or(OutOfMemory {
                     requested_bytes: kind.size_bytes(),
                 })?
@@ -195,10 +198,16 @@ impl GcHeap for SemiSpace {
         self.core.roots.remove(h);
     }
 
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, _full: bool) {
-        let start = self.core.begin_pause(ctx);
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, _kind: CollectKind) {
+        // Every SemiSpace collection is whole-heap; `kind` is a no-op hint.
+        let pause = self.core.begin_pause(ctx, PauseKind::Compacting);
+        self.core.phase_begin(ctx, GcPhase::RootScan);
         forward_roots(self, ctx);
+        self.core.phase_end(ctx, GcPhase::RootScan);
+        self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
+        self.core.phase_end(ctx, GcPhase::Trace);
+        self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep_los(ctx);
         // Release the old from-space and flip.
         let pool = &mut self.core.pool;
@@ -208,9 +217,10 @@ impl GcHeap for SemiSpace {
             let _ = self.space_b.release_all(pool);
         }
         self.from_is_a = !self.from_is_a;
+        self.core.phase_end(ctx, GcPhase::Sweep);
         self.core.stats.full_gcs += 1;
         self.core.stats.compacting_gcs += 1;
-        self.core.end_pause(ctx, start, PauseKind::Compacting);
+        self.core.end_pause(ctx, pause);
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
@@ -223,6 +233,10 @@ impl GcHeap for SemiSpace {
 
     fn pause_log(&self) -> &PauseLog {
         &self.core.pauses
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.core.config.tracer
     }
 
     fn heap_pages_used(&self) -> usize {
@@ -242,15 +256,18 @@ mod tests {
     #[test]
     fn live_data_survives_the_flip() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = SemiSpace::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let keep = make_list(&mut gc, &mut ctx, 200, 0);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 200);
         // Objects moved to the other semispace.
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         assert_eq!(list_len(&mut gc, &mut ctx, keep), 200);
         assert_eq!(gc.stats().full_gcs, 2);
         assert!(gc.stats().objects_moved >= 400);
@@ -259,14 +276,19 @@ mod tests {
     #[test]
     fn copy_reserve_triggers_collection_at_half_heap() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = SemiSpace::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         // Allocate ~600 KiB of garbage in a 1 MiB heap: must collect before
         // exceeding the 512 KiB semispace.
         for _ in 0..150 {
-            let h = gc.alloc(&mut ctx, AllocKind::DataArray { len: 1000 }).unwrap();
+            let h = gc
+                .alloc(&mut ctx, AllocKind::DataArray { len: 1000 })
+                .unwrap();
             gc.drop_handle(h);
         }
         assert!(gc.stats().full_gcs >= 1);
@@ -275,9 +297,12 @@ mod tests {
     #[test]
     fn handles_follow_moved_objects() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut gc = SemiSpace::new(HeapConfig::builder().heap_bytes(1 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let a = gc
             .alloc(
@@ -298,22 +323,28 @@ mod tests {
             )
             .unwrap();
         gc.write_ref(&mut ctx, a, 0, Some(b));
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         // a's field still reaches b after both moved.
         let loaded = gc.read_ref(&mut ctx, a, 0).expect("field survived");
         // Both handles denote the same (moved) object: loading through
         // either observes the same link structure.
         gc.write_ref(&mut ctx, b, 0, Some(a));
         let via_loaded = gc.read_ref(&mut ctx, loaded, 0);
-        assert!(via_loaded.is_some(), "b.field set via original handle is visible via loaded handle");
+        assert!(
+            via_loaded.is_some(),
+            "b.field set via original handle is visible via loaded handle"
+        );
     }
 
     #[test]
     fn los_objects_are_marked_not_copied() {
         let TestEnv {
-            mut vmm, mut clock, pid, ..
+            mut vmm,
+            mut clock,
+            pid,
+            ..
         } = env(64 << 20);
-        let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(4 << 20));
+        let mut gc = SemiSpace::new(HeapConfig::builder().heap_bytes(4 << 20).build());
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let big = gc
             .alloc(&mut ctx, AllocKind::RefArray { len: 5_000 })
@@ -329,7 +360,7 @@ mod tests {
             .unwrap();
         gc.write_ref(&mut ctx, big, 4_999, Some(small));
         let moved_before = gc.stats().objects_moved;
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         // Only the small object moved; the array stayed put but kept its
         // (updated) reference.
         assert_eq!(gc.stats().objects_moved, moved_before + 1);

@@ -3,7 +3,7 @@
 //! cascade into page faults.
 
 use collectors::{CopyMs, GenCopy, GenMs, MarkSweep, SemiSpace};
-use heap::{AllocKind, GcHeap, Handle, HeapConfig, MemCtx};
+use heap::{AllocKind, CollectKind, GcHeap, Handle, HeapConfig, MemCtx};
 use simtime::{Clock, CostModel};
 use vmm::{ProcessId, Vmm, VmmConfig};
 
@@ -56,7 +56,7 @@ fn walk<G: GcHeap>(gc: &mut G, ctx: &mut MemCtx<'_>, head: Handle) -> usize {
 #[test]
 fn oblivious_full_collection_faults_on_evicted_pages() {
     let (mut vmm, mut clock, pid, hog) = env(2 << 20); // 512 frames
-    let mut gc = MarkSweep::new(HeapConfig::with_heap_bytes(1 << 20));
+    let mut gc = MarkSweep::new(HeapConfig::builder().heap_bytes(1 << 20).build());
     let head = {
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         build_list(&mut gc, &mut ctx, 15_000) // ~300 KiB across ~90 pages
@@ -72,7 +72,7 @@ fn oblivious_full_collection_faults_on_evicted_pages() {
     let faults_before = vmm.stats(pid).major_faults;
     {
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let collector_faults = vmm.stats(pid).major_faults - faults_before;
     assert!(
@@ -89,13 +89,13 @@ fn oblivious_full_collection_faults_on_evicted_pages() {
 #[test]
 fn semispace_flips_alternate_regions() {
     let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
-    let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut gc = SemiSpace::new(HeapConfig::builder().heap_bytes(4 << 20).build());
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
     let head = build_list(&mut gc, &mut ctx, 100);
     let moved0 = gc.stats().objects_moved;
-    gc.collect(&mut ctx, true);
+    gc.collect(&mut ctx, CollectKind::Full);
     let moved1 = gc.stats().objects_moved;
-    gc.collect(&mut ctx, true);
+    gc.collect(&mut ctx, CollectKind::Full);
     let moved2 = gc.stats().objects_moved;
     // Each flip copies all 100 live objects.
     assert_eq!(moved1 - moved0, 100);
@@ -109,23 +109,23 @@ fn semispace_flips_alternate_regions() {
 fn gencopy_major_moves_mature_objects_but_genms_does_not() {
     let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
     // GenCopy: promote, then a major GC moves the promoted objects again.
-    let mut gencopy = GenCopy::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut gencopy = GenCopy::new(HeapConfig::builder().heap_bytes(4 << 20).build());
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
     let h1 = build_list(&mut gencopy, &mut ctx, 100);
-    gencopy.collect(&mut ctx, false); // promote
+    gencopy.collect(&mut ctx, CollectKind::Minor); // promote
     let after_minor = gencopy.stats().objects_moved;
-    gencopy.collect(&mut ctx, true); // mature semispace copy
+    gencopy.collect(&mut ctx, CollectKind::Full); // mature semispace copy
     assert_eq!(gencopy.stats().objects_moved, after_minor + 100);
     assert_eq!(walk(&mut gencopy, &mut ctx, h1), 100);
     // GenMS: a major GC marks mature objects in place (no further moves).
     let pid2 = ctx.vmm.register_process();
-    drop(ctx);
-    let mut genms = GenMs::new(HeapConfig::with_heap_bytes(4 << 20));
+    let _ = ctx;
+    let mut genms = GenMs::new(HeapConfig::builder().heap_bytes(4 << 20).build());
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid2);
     let h2 = build_list(&mut genms, &mut ctx, 100);
-    genms.collect(&mut ctx, false);
+    genms.collect(&mut ctx, CollectKind::Minor);
     let after_minor = genms.stats().objects_moved;
-    genms.collect(&mut ctx, true);
+    genms.collect(&mut ctx, CollectKind::Full);
     assert_eq!(genms.stats().objects_moved, after_minor);
     assert_eq!(walk(&mut genms, &mut ctx, h2), 100);
 }
@@ -135,13 +135,13 @@ fn gencopy_major_moves_mature_objects_but_genms_does_not() {
 #[test]
 fn copyms_steady_state_stops_copying() {
     let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
-    let mut gc = CopyMs::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut gc = CopyMs::new(HeapConfig::builder().heap_bytes(4 << 20).build());
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
     let head = build_list(&mut gc, &mut ctx, 200);
-    gc.collect(&mut ctx, true);
+    gc.collect(&mut ctx, CollectKind::Full);
     let moved = gc.stats().objects_moved;
     for _ in 0..3 {
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     assert_eq!(gc.stats().objects_moved, moved, "mature objects re-copied");
     assert_eq!(walk(&mut gc, &mut ctx, head), 200);
@@ -152,7 +152,7 @@ fn copyms_steady_state_stops_copying() {
 #[test]
 fn handle_churn_is_stable() {
     let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
-    let mut gc = GenMs::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut gc = GenMs::new(HeapConfig::builder().heap_bytes(4 << 20).build());
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
     let obj = gc.alloc(&mut ctx, node()).unwrap();
     let mut dups = Vec::new();
@@ -163,7 +163,14 @@ fn handle_churn_is_stable() {
             gc.drop_handle(h);
         }
         if i % 100 == 0 {
-            gc.collect(&mut ctx, i % 500 == 0);
+            gc.collect(
+                &mut ctx,
+                if i % 500 == 0 {
+                    CollectKind::Full
+                } else {
+                    CollectKind::Minor
+                },
+            );
         }
     }
     for &d in &dups {
@@ -180,14 +187,16 @@ fn handle_churn_is_stable() {
 #[test]
 fn los_objects_are_pinned_across_copying_collections() {
     let (mut vmm, mut clock, pid, _hog) = env(64 << 20);
-    let mut gc = SemiSpace::new(HeapConfig::with_heap_bytes(8 << 20));
+    let mut gc = SemiSpace::new(HeapConfig::builder().heap_bytes(8 << 20).build());
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
-    let big = gc.alloc(&mut ctx, AllocKind::RefArray { len: 4000 }).unwrap();
+    let big = gc
+        .alloc(&mut ctx, AllocKind::RefArray { len: 4000 })
+        .unwrap();
     let small = gc.alloc(&mut ctx, node()).unwrap();
     gc.write_ref(&mut ctx, big, 0, Some(small));
     gc.write_ref(&mut ctx, big, 3999, Some(big)); // self-reference
     for _ in 0..3 {
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let loaded = gc.read_ref(&mut ctx, big, 3999).expect("self ref");
     assert!(gc.same_object(loaded, big), "large object moved");

@@ -8,7 +8,8 @@
 use core::fmt;
 use std::error::Error;
 
-use simtime::PauseLog;
+use simtime::{Nanos, PauseLog, PauseStats};
+use telemetry::Tracer;
 
 use crate::addr::Layout;
 use crate::ctx::MemCtx;
@@ -99,8 +100,32 @@ impl NurseryPolicy {
     };
 }
 
+/// What kind of collection is requested of [`GcHeap::collect`].
+///
+/// Single-generation collectors treat [`CollectKind::Minor`] as a full
+/// collection (they have nothing smaller to run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectKind {
+    /// A nursery collection (generational collectors only).
+    Minor,
+    /// A full-heap collection.
+    Full,
+}
+
 /// Static configuration for one collector instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Build with [`HeapConfig::builder`]:
+///
+/// ```
+/// use heap::{HeapConfig, NurseryPolicy};
+///
+/// let config = HeapConfig::builder()
+///     .heap_bytes(32 << 20)
+///     .nursery(NurseryPolicy::FIXED_4MB)
+///     .build();
+/// assert_eq!(config.heap_bytes, 32 << 20);
+/// ```
+#[derive(Clone, Debug)]
 pub struct HeapConfig {
     /// Total heap budget in bytes (the experiments' "heap size").
     pub heap_bytes: usize,
@@ -108,16 +133,116 @@ pub struct HeapConfig {
     pub nursery: NurseryPolicy,
     /// Address-space layout.
     pub layout: Layout,
+    /// Structured-event sink; [`Tracer::disabled`] (the default) records
+    /// nothing and costs one branch per would-be event.
+    pub tracer: Tracer,
 }
 
 impl HeapConfig {
-    /// A configuration with the given heap size and Appel nursery.
-    pub fn with_heap_bytes(heap_bytes: usize) -> HeapConfig {
-        HeapConfig {
-            heap_bytes,
-            nursery: NurseryPolicy::Appel,
-            layout: Layout::standard(),
+    /// Starts building a configuration (32 MB heap, Appel nursery,
+    /// standard layout, tracing disabled until overridden).
+    pub fn builder() -> HeapConfigBuilder {
+        HeapConfigBuilder {
+            config: HeapConfig {
+                heap_bytes: 32 << 20,
+                nursery: NurseryPolicy::Appel,
+                layout: Layout::standard(),
+                tracer: Tracer::disabled(),
+            },
         }
+    }
+
+    /// A configuration with the given heap size and Appel nursery.
+    #[deprecated(note = "use `HeapConfig::builder().heap_bytes(..).build()`")]
+    pub fn with_heap_bytes(heap_bytes: usize) -> HeapConfig {
+        HeapConfig::builder().heap_bytes(heap_bytes).build()
+    }
+}
+
+/// Builder for [`HeapConfig`]; see [`HeapConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct HeapConfigBuilder {
+    config: HeapConfig,
+}
+
+impl HeapConfigBuilder {
+    /// Sets the total heap budget in bytes.
+    pub fn heap_bytes(mut self, heap_bytes: usize) -> HeapConfigBuilder {
+        self.config.heap_bytes = heap_bytes;
+        self
+    }
+
+    /// Sets the nursery sizing policy.
+    pub fn nursery(mut self, nursery: NurseryPolicy) -> HeapConfigBuilder {
+        self.config.nursery = nursery;
+        self
+    }
+
+    /// Sets the address-space layout.
+    pub fn layout(mut self, layout: Layout) -> HeapConfigBuilder {
+        self.config.layout = layout;
+        self
+    }
+
+    /// Attaches a telemetry tracer; the collector emits collection/phase
+    /// spans and cooperation events through it.
+    pub fn tracer(mut self, tracer: Tracer) -> HeapConfigBuilder {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> HeapConfig {
+        self.config
+    }
+}
+
+/// Time-series bucket width used when [`GcHeap::metrics`] aggregates a
+/// trace (100 simulated milliseconds).
+pub const METRICS_SERIES_BUCKET: Nanos = Nanos(100_000_000);
+
+/// A unified end-of-run metrics view: collector counters, paging counters,
+/// pause summary, and (when tracing was enabled with an in-memory sink)
+/// the aggregated event stream with per-phase pause histograms.
+///
+/// The `gc` and `vm` fields are the same [`GcStats`] and [`vmm::VmStats`]
+/// values callers previously read separately — kept as documented views so
+/// their field names remain the vocabulary of reports.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Collector name ("BC", "GenMS", …).
+    pub collector: &'static str,
+    /// Collector counters (view of [`GcHeap::stats`]).
+    pub gc: GcStats,
+    /// Paging counters for this process (view of [`vmm::Vmm::stats`]).
+    pub vm: vmm::VmStats,
+    /// Stop-the-world pause summary (view of [`GcHeap::pause_log`]).
+    pub pauses: PauseStats,
+    /// Heap pages currently charged against the budget.
+    pub heap_pages_used: usize,
+    /// Aggregated telemetry — per-phase/per-kind histograms and a
+    /// time-bucketed series — when the tracer retains events in memory;
+    /// `None` for disabled tracers and streaming (JSONL) sinks.
+    pub trace: Option<telemetry::Aggregate>,
+}
+
+impl MetricsSnapshot {
+    /// Total collections of any kind (view of `gc.total_gcs()`).
+    pub fn total_gcs(&self) -> u64 {
+        self.gc.total_gcs()
+    }
+
+    /// Major faults taken by this process (view of `vm.major_faults`).
+    pub fn major_faults(&self) -> u64 {
+        self.vm.major_faults
+    }
+
+    /// The per-phase duration histogram, when a trace captured it.
+    pub fn phase_histogram(
+        &self,
+        phase: telemetry::GcPhase,
+    ) -> Option<&telemetry::DurationHistogram> {
+        self.trace.as_ref().and_then(|t| t.phase(phase))
     }
 }
 
@@ -162,8 +287,8 @@ pub trait GcHeap {
     /// Releases a handle; the object may become unreachable.
     fn drop_handle(&mut self, h: Handle);
 
-    /// Forces a collection (`full` requests a full-heap collection).
-    fn collect(&mut self, ctx: &mut MemCtx<'_>, full: bool);
+    /// Forces a collection of the requested [`CollectKind`].
+    fn collect(&mut self, ctx: &mut MemCtx<'_>, kind: CollectKind);
 
     /// Processes queued virtual-memory notifications (eviction notices,
     /// residency changes, protection faults). Called by the engine after
@@ -181,6 +306,30 @@ pub trait GcHeap {
 
     /// Short collector name ("BC", "GenMS", …) for reports.
     fn name(&self) -> &'static str;
+
+    /// The tracer this collector emits telemetry through (disabled unless
+    /// one was configured).
+    fn tracer(&self) -> &Tracer;
+
+    /// One unified metrics view: collector counters, the caller-supplied
+    /// paging counters, the pause summary, and — when the tracer retains
+    /// events in memory — aggregated per-phase histograms.
+    ///
+    /// Paging counters live in the shared [`vmm::Vmm`], which the collector
+    /// does not own; pass `vmm.stats(pid)` for this collector's process.
+    fn metrics(&self, vm: &vmm::VmStats) -> MetricsSnapshot {
+        let events = self.tracer().snapshot();
+        let trace =
+            (!events.is_empty()).then(|| telemetry::aggregate(&events, METRICS_SERIES_BUCKET));
+        MetricsSnapshot {
+            collector: self.name(),
+            gc: *self.stats(),
+            vm: *vm,
+            pauses: self.pause_log().stats(),
+            heap_pages_used: self.heap_pages_used(),
+            trace,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -192,7 +192,7 @@ mod tests {
         let (mut s, mut pool) = space();
         s.alloc(&mut pool, 8).unwrap();
         assert_eq!(pool.used(), 16); // one GROW_PAGES step
-        // Fill the region (16 pages = 65536 bytes).
+                                     // Fill the region (16 pages = 65536 bytes).
         assert!(s.alloc(&mut pool, 65536 - 8).is_some());
         assert!(s.alloc(&mut pool, 8).is_none(), "region exhausted");
     }

@@ -43,7 +43,9 @@ impl<'a> MemCtx<'a> {
         let last = Address(addr.0 + len - 1).page().0;
         let mut combined = TouchOutcome::default();
         for p in first..=last {
-            let o = self.vmm.touch(self.pid, vmm::VirtPage(p), access, self.clock);
+            let o = self
+                .vmm
+                .touch(self.pid, vmm::VirtPage(p), access, self.clock);
             if o.zero_filled {
                 mem.zero(Address(p * BYTES_PER_PAGE), BYTES_PER_PAGE);
             }

@@ -19,6 +19,7 @@ use crate::roots::RootSet;
 use crate::stats::GcStats;
 use crate::tracer::MarkQueue;
 use simtime::{Nanos, PauseKind, PauseLog};
+use telemetry::{CollectionKind, EventKind, GcPhase};
 use vmm::Access;
 
 /// Minimum Appel nursery before a full collection is forced (256 KiB).
@@ -63,7 +64,10 @@ impl Core {
     /// Reads an object's header (charged).
     pub fn header(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Header {
         ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Read);
-        Header::decode(self.mem.read_word(obj), self.mem.read_word(obj.offset(WORD)))
+        Header::decode(
+            self.mem.read_word(obj),
+            self.mem.read_word(obj.offset(WORD)),
+        )
     }
 
     /// Reads a header that may be a forwarding stub (charged).
@@ -73,7 +77,10 @@ impl Core {
         obj: Address,
     ) -> Result<Header, Address> {
         ctx.touch(&mut self.mem, obj, HEADER_BYTES, Access::Read);
-        Header::decode_forwarded(self.mem.read_word(obj), self.mem.read_word(obj.offset(WORD)))
+        Header::decode_forwarded(
+            self.mem.read_word(obj),
+            self.mem.read_word(obj.offset(WORD)),
+        )
     }
 
     /// Writes an object's header (charged).
@@ -137,7 +144,12 @@ impl Core {
             return Vec::new();
         }
         // One touch for the whole referenced span, then raw reads.
-        ctx.touch(&mut self.mem, obj.offset(HEADER_BYTES), n * WORD, Access::Read);
+        ctx.touch(
+            &mut self.mem,
+            obj.offset(HEADER_BYTES),
+            n * WORD,
+            Access::Read,
+        );
         let mut out = Vec::with_capacity(n as usize);
         for i in 0..n {
             let slot = field_addr(obj, i);
@@ -174,18 +186,90 @@ impl Core {
         Address(ctx.read_word(&mut self.mem, slot))
     }
 
-    /// Starts a stop-the-world pause; pair with [`Core::end_pause`].
-    pub fn begin_pause(&mut self, ctx: &mut MemCtx<'_>) -> (Nanos, u64) {
+    /// Starts a stop-the-world pause of the given kind; pair with
+    /// [`Core::end_pause`]. Emits a [`EventKind::CollectionBegin`] span
+    /// opener when tracing is enabled.
+    pub fn begin_pause(&mut self, ctx: &mut MemCtx<'_>, kind: PauseKind) -> PauseToken {
         let costs = ctx.vmm.costs().clone();
         ctx.clock.advance(costs.gc_setup);
-        (ctx.clock.now(), ctx.major_faults())
+        self.trace_event(
+            ctx,
+            EventKind::CollectionBegin {
+                kind: collection_kind(kind),
+            },
+        );
+        PauseToken {
+            start: ctx.clock.now(),
+            faults: ctx.major_faults(),
+            kind,
+        }
     }
 
-    /// Finishes a pause and logs it.
-    pub fn end_pause(&mut self, ctx: &mut MemCtx<'_>, start: (Nanos, u64), kind: PauseKind) {
-        let duration = ctx.clock.now() - start.0;
-        let faults = ctx.major_faults() - start.1;
-        self.pauses.record(start.0, duration, kind, faults);
+    /// Finishes the pause opened by [`Core::begin_pause`], logs it, and
+    /// closes the telemetry span.
+    pub fn end_pause(&mut self, ctx: &mut MemCtx<'_>, token: PauseToken) {
+        let duration = ctx.clock.now() - token.start;
+        let faults = ctx.major_faults() - token.faults;
+        self.pauses
+            .record(token.start, duration, token.kind, faults);
+        self.trace_event(
+            ctx,
+            EventKind::CollectionEnd {
+                kind: collection_kind(token.kind),
+            },
+        );
+    }
+
+    /// Opens a telemetry phase span (root scan, trace, sweep, …); a no-op
+    /// when tracing is disabled.
+    #[inline]
+    pub fn phase_begin(&self, ctx: &MemCtx<'_>, phase: GcPhase) {
+        self.trace_event(ctx, EventKind::PhaseBegin { phase });
+    }
+
+    /// Closes a telemetry phase span.
+    #[inline]
+    pub fn phase_end(&self, ctx: &MemCtx<'_>, phase: GcPhase) {
+        self.trace_event(ctx, EventKind::PhaseEnd { phase });
+    }
+
+    /// Emits one structured event stamped with this process and the current
+    /// simulated time; a single branch when tracing is disabled.
+    #[inline]
+    pub fn trace_event(&self, ctx: &MemCtx<'_>, kind: EventKind) {
+        self.config.tracer.emit(ctx.pid.0, ctx.clock.now(), kind);
+    }
+}
+
+/// An open stop-the-world pause (returned by [`Core::begin_pause`], consumed
+/// by [`Core::end_pause`]).
+#[derive(Clone, Copy, Debug)]
+#[must_use = "an open pause must be closed with Core::end_pause"]
+pub struct PauseToken {
+    start: Nanos,
+    faults: u64,
+    kind: PauseKind,
+}
+
+impl PauseToken {
+    /// The instant the pause began.
+    pub fn start(&self) -> Nanos {
+        self.start
+    }
+
+    /// The pause kind declared at [`Core::begin_pause`].
+    pub fn kind(&self) -> PauseKind {
+        self.kind
+    }
+}
+
+/// The telemetry span kind for a pause.
+fn collection_kind(kind: PauseKind) -> CollectionKind {
+    match kind {
+        PauseKind::Nursery => CollectionKind::Minor,
+        PauseKind::Full => CollectionKind::Full,
+        PauseKind::Compacting => CollectionKind::Compacting,
+        PauseKind::FailSafe => CollectionKind::Failsafe,
     }
 }
 
@@ -265,7 +349,6 @@ pub fn is_large(kind: AllocKind) -> bool {
     kind.size_bytes() > crate::object::MAX_SMALL_OBJECT_BYTES
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +360,7 @@ mod tests {
         let pid = vmm.register_process();
         assert_eq!(pid.0, 0);
         (
-            Core::new(HeapConfig::with_heap_bytes(1 << 20)),
+            Core::new(HeapConfig::builder().heap_bytes(1 << 20).build()),
             vmm,
             Clock::new(),
         )
@@ -343,7 +426,10 @@ mod tests {
         assert_eq!(core.header_or_forward(&mut ctx, from), Err(to));
         let h = core.header(&mut ctx, to);
         assert_eq!(h.kind, kind);
-        assert_eq!(core.read_slot(&mut ctx, field_addr(to, 0)), Address(0xABCD_0000));
+        assert_eq!(
+            core.read_slot(&mut ctx, field_addr(to, 0)),
+            Address(0xABCD_0000)
+        );
         assert_eq!(core.stats.objects_moved, 1);
     }
 

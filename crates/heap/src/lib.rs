@@ -47,7 +47,10 @@ mod tracer;
 mod wbuf;
 
 pub use addr::{Address, Layout, BYTES_PER_PAGE, BYTES_PER_SUPERPAGE, PAGES_PER_SUPERPAGE, WORD};
-pub use api::{AllocKind, GcHeap, HeapConfig, NurseryPolicy, OutOfMemory};
+pub use api::{
+    AllocKind, CollectKind, GcHeap, HeapConfig, HeapConfigBuilder, MetricsSnapshot, NurseryPolicy,
+    OutOfMemory, METRICS_SERIES_BUCKET,
+};
 pub use bump::BumpSpace;
 pub use card::CardTable;
 pub use ctx::MemCtx;

@@ -58,7 +58,8 @@ impl LargeObjectSpace {
             }
             self.free_runs.remove(&start);
             if len > pages {
-                self.free_runs.insert(start + pages * BYTES_PER_PAGE, len - pages);
+                self.free_runs
+                    .insert(start + pages * BYTES_PER_PAGE, len - pages);
             }
             Address(start)
         } else {
@@ -83,7 +84,10 @@ impl LargeObjectSpace {
     ///
     /// Panics if `addr` is not a live large object.
     pub fn free(&mut self, pool: &mut PagePool, addr: Address) -> Vec<VirtPage> {
-        let pages = self.objects.remove(&addr.0).expect("free of non-LOS object");
+        let pages = self
+            .objects
+            .remove(&addr.0)
+            .expect("free of non-LOS object");
         pool.release(pages as usize);
         // Insert and coalesce.
         let mut start = addr.0;
@@ -117,7 +121,10 @@ impl LargeObjectSpace {
 
     /// All live objects (address, page count), ascending.
     pub fn objects(&self) -> Vec<(Address, u32)> {
-        self.objects.iter().map(|(&a, &p)| (Address(a), p)).collect()
+        self.objects
+            .iter()
+            .map(|(&a, &p)| (Address(a), p))
+            .collect()
     }
 
     /// The object containing `addr`, if any (addresses may point into the

@@ -21,7 +21,10 @@ pub struct SimMemory {
 impl core::fmt::Debug for SimMemory {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("SimMemory")
-            .field("materialized_pages", &self.pages.iter().filter(|p| p.is_some()).count())
+            .field(
+                "materialized_pages",
+                &self.pages.iter().filter(|p| p.is_some()).count(),
+            )
             .finish()
     }
 }

@@ -124,10 +124,7 @@ impl MsSpace {
     /// exhausted.
     pub fn alloc(&mut self, pool: &mut PagePool, class: u8, kind: BlockKind) -> Option<Address> {
         let pidx = Self::partial_idx(class, kind);
-        loop {
-            let Some(&sp) = self.partial[pidx].last() else {
-                break;
-            };
+        while let Some(&sp) = self.partial[pidx].last() {
             if let Some(addr) = self.alloc_in_sp(SpIndex(sp), class) {
                 return Some(addr);
             }
@@ -143,7 +140,12 @@ impl MsSpace {
     /// Like [`alloc`](MsSpace::alloc), but overruns the pool budget rather
     /// than failing (collectors copying survivors into this space must not
     /// fail mid-collection). Still fails when the region is exhausted.
-    pub fn alloc_forced(&mut self, pool: &mut PagePool, class: u8, kind: BlockKind) -> Option<Address> {
+    pub fn alloc_forced(
+        &mut self,
+        pool: &mut PagePool,
+        class: u8,
+        kind: BlockKind,
+    ) -> Option<Address> {
         if let Some(addr) = self.alloc(pool, class, kind) {
             return Some(addr);
         }
@@ -229,7 +231,9 @@ impl MsSpace {
     }
 
     fn cell_addr(&self, sp: SpIndex, cell: u32, cell_bytes: u32) -> Address {
-        Address(self.base.0 + sp.0 * BYTES_PER_SUPERPAGE + SUPERPAGE_METADATA_BYTES + cell * cell_bytes)
+        Address(
+            self.base.0 + sp.0 * BYTES_PER_SUPERPAGE + SUPERPAGE_METADATA_BYTES + cell * cell_bytes,
+        )
     }
 
     /// The superpage containing `addr`.
@@ -269,7 +273,9 @@ impl MsSpace {
     /// Panics if `addr` is not an allocated cell boundary.
     pub fn free_cell(&mut self, pool: &mut PagePool, addr: Address) -> Option<[VirtPage; 4]> {
         let sp = self.sp_of(addr);
-        let (class, _) = self.sps[sp.0 as usize].assignment.expect("free in unassigned sp");
+        let (class, _) = self.sps[sp.0 as usize]
+            .assignment
+            .expect("free in unassigned sp");
         let cell_bytes = self.classes.class(class).cell_bytes;
         let off = addr.0 - self.sp_base(sp).0 - SUPERPAGE_METADATA_BYTES;
         assert_eq!(off % cell_bytes, 0, "{addr} is not a cell boundary");
@@ -376,7 +382,8 @@ impl MsSpace {
             return false;
         };
         let cell_bytes = self.classes.class(class).cell_bytes;
-        let Some(off) = (addr.0 - self.base.0 - sp * BYTES_PER_SUPERPAGE).checked_sub(SUPERPAGE_METADATA_BYTES)
+        let Some(off) =
+            (addr.0 - self.base.0 - sp * BYTES_PER_SUPERPAGE).checked_sub(SUPERPAGE_METADATA_BYTES)
         else {
             return false;
         };
@@ -455,7 +462,12 @@ impl MsSpace {
     /// frees them. Meanwhile compaction counts them as live — exactly the
     /// paper's "reserve space for every possible object on the evicted
     /// pages" (§3.4.1).
-    pub fn reserve_free_cells_in_bytes(&mut self, sp: SpIndex, start: u32, end: u32) -> Vec<Address> {
+    pub fn reserve_free_cells_in_bytes(
+        &mut self,
+        sp: SpIndex,
+        start: u32,
+        end: u32,
+    ) -> Vec<Address> {
         debug_assert!(start < end && end <= BYTES_PER_SUPERPAGE);
         let Some((class, _)) = self.sps[sp.0 as usize].assignment else {
             return Vec::new();
@@ -470,7 +482,10 @@ impl MsSpace {
                 st.set_allocated(i, true);
                 st.live_cells += 1;
                 reserved.push(Address(
-                    self.base.0 + sp.0 * BYTES_PER_SUPERPAGE + SUPERPAGE_METADATA_BYTES + i * c.cell_bytes,
+                    self.base.0
+                        + sp.0 * BYTES_PER_SUPERPAGE
+                        + SUPERPAGE_METADATA_BYTES
+                        + i * c.cell_bytes,
                 ));
             }
         }

@@ -265,10 +265,7 @@ mod tests {
     #[test]
     fn forwarding_stub_round_trip() {
         let (w0, w1) = Header::forwarding_stub(Address(0x1234_5678));
-        assert_eq!(
-            Header::decode_forwarded(w0, w1),
-            Err(Address(0x1234_5678))
-        );
+        assert_eq!(Header::decode_forwarded(w0, w1), Err(Address(0x1234_5678)));
         let h = Header::new(ObjectKind::scalar(1, 0));
         let (w0, w1) = h.encode();
         assert_eq!(Header::decode_forwarded(w0, w1), Ok(h));
@@ -319,6 +316,6 @@ mod tests {
     #[test]
     fn largest_cell_constant_is_half_superpage_minus_metadata() {
         assert_eq!(LARGEST_CELL_BYTES, 8184);
-        assert!(LARGEST_CELL_BYTES >= MAX_SMALL_OBJECT_BYTES);
+        const { assert!(LARGEST_CELL_BYTES >= MAX_SMALL_OBJECT_BYTES) };
     }
 }

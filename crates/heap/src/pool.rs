@@ -52,7 +52,11 @@ impl PagePool {
     ///
     /// Panics if more pages are released than were acquired.
     pub fn release(&mut self, pages: usize) {
-        assert!(pages <= self.used, "releasing {pages} of {} used", self.used);
+        assert!(
+            pages <= self.used,
+            "releasing {pages} of {} used",
+            self.used
+        );
         self.used -= pages;
     }
 

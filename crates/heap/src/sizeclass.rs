@@ -73,7 +73,7 @@ impl SizeClasses {
             .map(|k| (USABLE_BYTES / k) & !(WORD - 1))
             .collect(); // [usable/6, /5, /4, /3, /2] word-aligned down
         let geo_target = divisors[0]; // ⌊usable/6⌋
-        // Geometric classes from 64 to geo_target in GEOMETRIC_CLASSES steps.
+                                      // Geometric classes from 64 to geo_target in GEOMETRIC_CLASSES steps.
         let ratio = (geo_target as f64 / 64.0).powf(1.0 / GEOMETRIC_CLASSES as f64);
         let mut prev = 64u32;
         for i in 1..=GEOMETRIC_CLASSES {

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use heap::{
-    Address, BlockKind, LargeObjectSpace, MsSpace, PagePool, SimMemory, SizeClasses,
-    BYTES_PER_PAGE,
+    Address, BlockKind, LargeObjectSpace, MsSpace, PagePool, SimMemory, SizeClasses, BYTES_PER_PAGE,
 };
 
 proptest! {

@@ -48,8 +48,12 @@ fn mmu_at(pauses: &[PauseRecord], total: Nanos, window: Nanos) -> f64 {
         }
         let mut sum = prefix[hi] - prefix[lo];
         // Trim the partially overlapping first and last pauses.
-        sum -= a.saturating_sub(starts[lo]).min(pauses[lo].duration.as_nanos());
-        sum -= ends[hi - 1].saturating_sub(b).min(pauses[hi - 1].duration.as_nanos());
+        sum -= a
+            .saturating_sub(starts[lo])
+            .min(pauses[lo].duration.as_nanos());
+        sum -= ends[hi - 1]
+            .saturating_sub(b)
+            .min(pauses[hi - 1].duration.as_nanos());
         sum
     };
     let mut worst: u64 = 0;

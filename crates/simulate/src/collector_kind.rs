@@ -5,6 +5,7 @@ use core::fmt;
 use bookmarking::{BcOptions, Bookmarking};
 use collectors::{CopyMs, GenCopy, GenMs, MarkSweep, SemiSpace};
 use heap::{GcHeap, HeapConfig, NurseryPolicy};
+use telemetry::Tracer;
 use vmm::{ProcessId, Vmm};
 
 /// One of the collectors evaluated in §5.
@@ -65,9 +66,20 @@ impl CollectorKind {
     ];
 
     /// Builds a fresh collector instance, registering it with the VMM if
-    /// it is VM-cooperative.
-    pub fn build(self, heap_bytes: usize, vmm: &mut Vmm, pid: ProcessId) -> Box<dyn GcHeap> {
-        let mut config = HeapConfig::with_heap_bytes(heap_bytes);
+    /// it is VM-cooperative. Events the collector emits carry `tracer`'s
+    /// per-pid label, which is set to the paper's collector label here.
+    pub fn build(
+        self,
+        heap_bytes: usize,
+        tracer: Tracer,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+    ) -> Box<dyn GcHeap> {
+        tracer.set_label(pid.0, self.label());
+        let mut config = HeapConfig::builder()
+            .heap_bytes(heap_bytes)
+            .tracer(tracer)
+            .build();
         match self {
             CollectorKind::Bc => {
                 let bc = Bookmarking::new(config, BcOptions::default());
@@ -129,7 +141,7 @@ mod tests {
             let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
             let mut clock = Clock::new();
             let pid = vmm.register_process();
-            let mut gc = kind.build(8 << 20, &mut vmm, pid);
+            let mut gc = kind.build(8 << 20, Tracer::disabled(), &mut vmm, pid);
             let mut ctx = heap::MemCtx::new(&mut vmm, &mut clock, pid);
             let h = gc
                 .alloc(
@@ -156,7 +168,7 @@ mod tests {
             let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(4 << 20), CostModel::default());
             let mut clock = Clock::new();
             let pid = vmm.register_process();
-            let _gc = kind.build(1 << 20, &mut vmm, pid);
+            let _gc = kind.build(1 << 20, Tracer::disabled(), &mut vmm, pid);
             // Force pressure so notices would be queued for registrants.
             let hog = vmm.register_process();
             let mut probe = Clock::new();

@@ -223,7 +223,7 @@ mod tests {
         let mut jvms = Vec::new();
         for _ in 0..n_jvms {
             let pid = vmm.register_process();
-            let gc = CollectorKind::Bc.build(4 << 20, &mut vmm, pid);
+            let gc = CollectorKind::Bc.build(4 << 20, telemetry::Tracer::disabled(), &mut vmm, pid);
             jvms.push(JvmProcess::new(pid, gc, Box::new(Mill { left: 2_000 })));
         }
         let mut engine = Engine::new(vmm);

@@ -55,10 +55,22 @@ pub fn steady_pressure(
     pin_fraction: f64,
     make: MakeProgram<'_>,
 ) -> RunResult {
+    let config = steady_pressure_config(collector, heap_bytes, memory_bytes, pin_fraction);
+    run(&config, make())
+}
+
+/// The [`RunConfig`] behind [`steady_pressure`], for callers that want to
+/// adjust it (e.g. attach a [`telemetry::Tracer`]) before running.
+pub fn steady_pressure_config(
+    collector: CollectorKind,
+    heap_bytes: usize,
+    memory_bytes: usize,
+    pin_fraction: f64,
+) -> RunConfig {
     let pinned = (heap_bytes as f64 * pin_fraction) as usize;
     let mut config = RunConfig::new(collector, heap_bytes, memory_bytes);
     config.pressure = Some(SignalmemConfig::steady(pinned, Nanos::from_millis(1)));
-    run(&config, make())
+    config
 }
 
 /// Figures 4–6: dynamic memory pressure. Signalmem pins 30 MB (scaled by
@@ -72,6 +84,25 @@ pub fn dynamic_pressure(
     scale: f64,
     make: MakeProgram<'_>,
 ) -> RunResult {
+    let config = dynamic_pressure_config(
+        collector,
+        heap_bytes,
+        memory_bytes,
+        target_available_bytes,
+        scale,
+    );
+    run(&config, make())
+}
+
+/// The [`RunConfig`] behind [`dynamic_pressure`], for callers that want to
+/// adjust it (e.g. attach a [`telemetry::Tracer`]) before running.
+pub fn dynamic_pressure_config(
+    collector: CollectorKind,
+    heap_bytes: usize,
+    memory_bytes: usize,
+    target_available_bytes: usize,
+    scale: f64,
+) -> RunConfig {
     let total = memory_bytes.saturating_sub(target_available_bytes);
     let mut pressure = SignalmemConfig::dynamic(total, Nanos::from_millis(1));
     // The ramp scales with the workload: at `scale` volume the run is
@@ -86,7 +117,7 @@ pub fn dynamic_pressure(
     pressure.interval = Nanos((pressure.interval.as_nanos() as f64 * scale * 0.2) as u64);
     let mut config = RunConfig::new(collector, heap_bytes, memory_bytes);
     config.pressure = Some(pressure);
-    run(&config, make())
+    config
 }
 
 /// Figure 7: two JVM instances running simultaneously, each with its own

@@ -1,8 +1,9 @@
 //! Single- and multi-JVM benchmark runs, and the minimum-heap search.
 
-use heap::GcStats;
+use heap::{GcStats, MetricsSnapshot};
 use simtime::{CostModel, Nanos, PauseRecord, PauseStats};
-use vmm::{Vmm, VmmConfig, VmStats};
+use telemetry::Tracer;
+use vmm::{VmStats, Vmm, VmmConfig};
 
 use crate::collector_kind::CollectorKind;
 use crate::engine::{Engine, JvmProcess};
@@ -24,6 +25,9 @@ pub struct RunConfig {
     pub costs: CostModel,
     /// Engine step limit (thrashing abort).
     pub max_steps: u64,
+    /// Structured-event sink shared by every JVM and the VMM. Disabled by
+    /// default; emitting is then a single branch per event site.
+    pub tracer: Tracer,
 }
 
 impl RunConfig {
@@ -36,6 +40,7 @@ impl RunConfig {
             pressure: None,
             costs: CostModel::default(),
             max_steps: 200_000_000,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -61,6 +66,9 @@ pub struct RunResult {
     pub gc: GcStats,
     /// Paging counters.
     pub vm: VmStats,
+    /// Unified GC + VM metrics (satellite of the telemetry subsystem); the
+    /// `gc`, `vm`, and `pauses` fields above are views of the same data.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -99,6 +107,7 @@ fn collect_result(engine: &Engine, idx: usize) -> RunResult {
         pause_records: jvm.gc.pause_log().records().to_vec(),
         gc: *jvm.gc.stats(),
         vm: *engine.vmm.stats(jvm.pid),
+        metrics: jvm.gc.metrics(engine.vmm.stats(jvm.pid)),
     }
 }
 
@@ -114,10 +123,13 @@ pub fn run_multi(config: &RunConfig, programs: Vec<Box<dyn Program>>) -> MultiRu
         VmmConfig::with_memory_bytes(config.memory_bytes),
         config.costs.clone(),
     );
+    vmm.set_tracer(config.tracer.clone());
     let mut jvms = Vec::new();
     for program in programs {
         let pid = vmm.register_process();
-        let gc = config.collector.build(config.heap_bytes, &mut vmm, pid);
+        let gc = config
+            .collector
+            .build(config.heap_bytes, config.tracer.clone(), &mut vmm, pid);
         jvms.push(JvmProcess::new(pid, gc, program));
     }
     let signalmem = config.pressure.map(|p| {
@@ -287,7 +299,12 @@ mod tests {
         for kind in CollectorKind::ALL {
             let config = RunConfig::new(kind, 8 << 20, 64 << 20);
             let result = run(&config, Box::new(Churn::new(30_000, 3_000)));
-            assert!(result.ok(), "{kind} failed: oom={} timeout={}", result.oom, result.timed_out);
+            assert!(
+                result.ok(),
+                "{kind} failed: oom={} timeout={}",
+                result.oom,
+                result.timed_out
+            );
         }
     }
 

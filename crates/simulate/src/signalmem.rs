@@ -108,7 +108,11 @@ impl Signalmem {
             if vmm.free_frames() <= vmm.config().low_watermark {
                 break;
             }
-            vmm.mlock(self.pid, VirtPage((self.pinned + i) as u32), &mut self.clock);
+            vmm.mlock(
+                self.pid,
+                VirtPage((self.pinned + i) as u32),
+                &mut self.clock,
+            );
             locked += 1;
         }
         self.pinned += locked;

@@ -1,0 +1,281 @@
+//! Aggregation of raw event streams into report-ready statistics:
+//! per-phase/per-kind duration histograms and a time-bucketed series.
+
+use simtime::Nanos;
+
+use crate::event::{CollectionKind, Event, EventKind, GcPhase};
+
+/// A power-of-two-bucketed duration histogram (bucket *i* covers durations
+/// with `ilog2 == i`, i.e. `[2^i, 2^(i+1))` ns; bucket 0 also holds 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DurationHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> DurationHistogram {
+        DurationHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub fn new() -> DurationHistogram {
+        DurationHistogram::default()
+    }
+
+    /// Adds one duration.
+    pub fn record(&mut self, d: Nanos) {
+        let ns = d.as_nanos();
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration (zero when empty).
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos((self.total_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest recorded duration.
+    pub fn max(&self) -> Nanos {
+        Nanos(self.max_ns)
+    }
+
+    /// Sum of recorded durations.
+    pub fn total(&self) -> Nanos {
+        Nanos(self.total_ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`): the upper bound of the
+    /// bucket containing the `p`-th observation.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Nanos(upper.min(self.max_ns));
+            }
+        }
+        Nanos(self.max_ns)
+    }
+
+    /// Non-empty `(bucket_lower_bound_ns, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
+            .collect()
+    }
+}
+
+/// Scalar event counts over a stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Major (disk) faults.
+    pub major_faults: u64,
+    /// Minor / demand-zero faults.
+    pub minor_faults: u64,
+    /// Eviction notices queued.
+    pub eviction_notices: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Pages evicted without the cooperative grace path.
+    pub hard_evictions: u64,
+    /// Pages made resident.
+    pub made_resident: u64,
+    /// Protection traps.
+    pub protection_traps: u64,
+    /// Pages discarded via `madvise`.
+    pub discards: u64,
+    /// Pages relinquished via `vm_relinquish`.
+    pub relinquished: u64,
+    /// Bookmarks set.
+    pub bookmarks_set: u64,
+    /// Bookmarks cleared.
+    pub bookmarks_cleared: u64,
+    /// Victim pages bookmark-scanned.
+    pub bookmark_scans: u64,
+    /// Heap shrink decisions.
+    pub heap_shrinks: u64,
+    /// Heap regrow decisions.
+    pub heap_grows: u64,
+    /// Collections started.
+    pub collections: u64,
+}
+
+/// One bucket of the time series.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeriesBucket {
+    /// Bucket start time.
+    pub start: Nanos,
+    /// Event counts within `[start, start + width)`.
+    pub counts: EventCounts,
+}
+
+/// Everything derived from one event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Duration histogram per collection kind (collection spans).
+    pub collections: Vec<(CollectionKind, DurationHistogram)>,
+    /// Duration histogram per GC phase (phase spans).
+    pub phases: Vec<(GcPhase, DurationHistogram)>,
+    /// Whole-stream scalar counts.
+    pub counts: EventCounts,
+    /// Time-bucketed counts (empty if `bucket` was zero).
+    pub series: Vec<SeriesBucket>,
+}
+
+impl Aggregate {
+    /// The histogram for `phase`, if any events recorded it.
+    pub fn phase(&self, phase: GcPhase) -> Option<&DurationHistogram> {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, h)| h)
+    }
+
+    /// The histogram for collection `kind`, if any events recorded it.
+    pub fn collection(&self, kind: CollectionKind) -> Option<&DurationHistogram> {
+        self.collections
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, h)| h)
+    }
+}
+
+fn bump(counts: &mut EventCounts, kind: &EventKind) {
+    match kind {
+        EventKind::Fault { major: true, .. } => counts.major_faults += 1,
+        EventKind::Fault { major: false, .. } => counts.minor_faults += 1,
+        EventKind::EvictionScheduled { .. } => counts.eviction_notices += 1,
+        EventKind::Evicted { hard, .. } => {
+            counts.evictions += 1;
+            if *hard {
+                counts.hard_evictions += 1;
+            }
+        }
+        EventKind::MadeResident { .. } => counts.made_resident += 1,
+        EventKind::ProtectionTrap { .. } => counts.protection_traps += 1,
+        EventKind::Discard { .. } => counts.discards += 1,
+        EventKind::Relinquish { .. } => counts.relinquished += 1,
+        EventKind::BookmarkSet { .. } => counts.bookmarks_set += 1,
+        EventKind::BookmarkCleared { .. } => counts.bookmarks_cleared += 1,
+        EventKind::BookmarkScanned { .. } => counts.bookmark_scans += 1,
+        EventKind::HeapShrink { .. } => counts.heap_shrinks += 1,
+        EventKind::HeapGrow { .. } => counts.heap_grows += 1,
+        EventKind::CollectionBegin { .. } => counts.collections += 1,
+        _ => {}
+    }
+}
+
+/// Aggregates an event stream.
+///
+/// Span matching pairs each `*Begin` with the next same-pid, same-payload
+/// `*End`; unmatched begins (a truncated ring) are dropped. `bucket` is the
+/// time-series bucket width; pass [`Nanos::ZERO`] to skip the series.
+pub fn aggregate(events: &[Event], bucket: Nanos) -> Aggregate {
+    let mut agg = Aggregate::default();
+    // (pid, discriminating payload) -> start time; small linear maps are
+    // fine at trace volumes.
+    let mut open_coll: Vec<(u8, CollectionKind, Nanos)> = Vec::new();
+    let mut open_phase: Vec<(u8, GcPhase, Nanos)> = Vec::new();
+    for e in events {
+        bump(&mut agg.counts, &e.kind);
+        match &e.kind {
+            EventKind::CollectionBegin { kind } => {
+                open_coll.push((e.pid, *kind, e.t));
+            }
+            EventKind::CollectionEnd { kind } => {
+                if let Some(i) = open_coll
+                    .iter()
+                    .rposition(|(p, k, _)| *p == e.pid && k == kind)
+                {
+                    let (_, _, start) = open_coll.remove(i);
+                    let hist = match agg.collections.iter_mut().find(|(k, _)| k == kind) {
+                        Some((_, h)) => h,
+                        None => {
+                            agg.collections.push((*kind, DurationHistogram::new()));
+                            &mut agg.collections.last_mut().unwrap().1
+                        }
+                    };
+                    hist.record(e.t.saturating_sub(start));
+                }
+            }
+            EventKind::PhaseBegin { phase } => {
+                open_phase.push((e.pid, *phase, e.t));
+            }
+            EventKind::PhaseEnd { phase } => {
+                if let Some(i) = open_phase
+                    .iter()
+                    .rposition(|(p, f, _)| *p == e.pid && f == phase)
+                {
+                    let (_, _, start) = open_phase.remove(i);
+                    let hist = match agg.phases.iter_mut().find(|(f, _)| f == phase) {
+                        Some((_, h)) => h,
+                        None => {
+                            agg.phases.push((*phase, DurationHistogram::new()));
+                            &mut agg.phases.last_mut().unwrap().1
+                        }
+                    };
+                    hist.record(e.t.saturating_sub(start));
+                }
+            }
+            _ => {}
+        }
+        if bucket > Nanos::ZERO {
+            let idx = (e.t.as_nanos() / bucket.as_nanos()) as usize;
+            if agg.series.len() <= idx {
+                let width = bucket.as_nanos();
+                while agg.series.len() <= idx {
+                    let start = Nanos(agg.series.len() as u64 * width);
+                    agg.series.push(SeriesBucket {
+                        start,
+                        counts: EventCounts::default(),
+                    });
+                }
+            }
+            bump(&mut agg.series[idx].counts, &e.kind);
+        }
+    }
+    // Keep report order canonical.
+    agg.collections
+        .sort_by_key(|(k, _)| CollectionKind::ALL.iter().position(|c| c == k));
+    agg.phases
+        .sort_by_key(|(p, _)| GcPhase::ALL.iter().position(|f| f == p));
+    agg
+}

@@ -1,0 +1,238 @@
+//! Typed trace events.
+//!
+//! Every event carries `(pid, collector, sim_nanos)` plus a typed payload.
+//! The set of kinds mirrors what the paper's evaluation (§5) needs to see:
+//! collection phases with simulated-time spans, the VMM's paging traffic,
+//! and BC's cooperation actions (bookmarks, discards, relinquishment, heap
+//! resizing).
+
+use std::borrow::Cow;
+
+use simtime::Nanos;
+
+/// A phase within one garbage collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GcPhase {
+    /// Scanning the root set (stacks/registers analogue).
+    RootScan,
+    /// Scanning dirty cards / the write buffer for old-to-young pointers.
+    CardScan,
+    /// Transitive closure over the object graph.
+    Trace,
+    /// Sweeping unreachable cells back to free lists.
+    Sweep,
+    /// BC §3.4: scanning evicted/victim pages' referents into bookmarks.
+    BookmarkScan,
+    /// Compaction pass 1: forwarding-address computation / move.
+    CompactPass1,
+    /// Compaction pass 2: reference fix-up.
+    CompactPass2,
+}
+
+impl GcPhase {
+    /// All phases, in canonical report order.
+    pub const ALL: [GcPhase; 7] = [
+        GcPhase::RootScan,
+        GcPhase::CardScan,
+        GcPhase::Trace,
+        GcPhase::Sweep,
+        GcPhase::BookmarkScan,
+        GcPhase::CompactPass1,
+        GcPhase::CompactPass2,
+    ];
+
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            GcPhase::RootScan => "root_scan",
+            GcPhase::CardScan => "card_scan",
+            GcPhase::Trace => "trace",
+            GcPhase::Sweep => "sweep",
+            GcPhase::BookmarkScan => "bookmark_scan",
+            GcPhase::CompactPass1 => "compact_pass1",
+            GcPhase::CompactPass2 => "compact_pass2",
+        }
+    }
+
+    /// Inverse of [`GcPhase::name`].
+    pub fn from_name(name: &str) -> Option<GcPhase> {
+        GcPhase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// What kind of collection a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollectionKind {
+    /// Nursery-only collection.
+    Minor,
+    /// Whole-heap collection.
+    Full,
+    /// Whole-heap collection that also compacts.
+    Compacting,
+    /// BC's fail-safe compacting collection (§3.6).
+    Failsafe,
+}
+
+impl CollectionKind {
+    /// All kinds, in canonical report order.
+    pub const ALL: [CollectionKind; 4] = [
+        CollectionKind::Minor,
+        CollectionKind::Full,
+        CollectionKind::Compacting,
+        CollectionKind::Failsafe,
+    ];
+
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectionKind::Minor => "minor",
+            CollectionKind::Full => "full",
+            CollectionKind::Compacting => "compacting",
+            CollectionKind::Failsafe => "failsafe",
+        }
+    }
+
+    /// Inverse of [`CollectionKind::name`].
+    pub fn from_name(name: &str) -> Option<CollectionKind> {
+        CollectionKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// The typed payload of one trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A collection pause began.
+    CollectionBegin {
+        /// The collection kind.
+        kind: CollectionKind,
+    },
+    /// The matching end of a [`EventKind::CollectionBegin`].
+    CollectionEnd {
+        /// The collection kind.
+        kind: CollectionKind,
+    },
+    /// A GC phase began (always nested within a collection span).
+    PhaseBegin {
+        /// The phase.
+        phase: GcPhase,
+    },
+    /// The matching end of a [`EventKind::PhaseBegin`].
+    PhaseEnd {
+        /// The phase.
+        phase: GcPhase,
+    },
+    /// The VMM served a page fault for this process.
+    Fault {
+        /// Faulting virtual page.
+        page: u32,
+        /// `true` for a major (disk) fault, `false` for minor/demand-zero.
+        major: bool,
+    },
+    /// The VMM queued an eviction notice for this page (it reached the
+    /// front of the inactive list).
+    EvictionScheduled {
+        /// The victim page.
+        page: u32,
+    },
+    /// The VMM evicted the page to swap.
+    Evicted {
+        /// The evicted page.
+        page: u32,
+        /// `true` when eviction happened without (or before) the grace
+        /// period the notice opens — the §3.4 race case.
+        hard: bool,
+    },
+    /// An evicted or fresh page became resident again.
+    MadeResident {
+        /// The page made resident.
+        page: u32,
+    },
+    /// A protection trap fired on an `mprotect`-guarded page.
+    ProtectionTrap {
+        /// The guarded page.
+        page: u32,
+    },
+    /// The process discarded the page (`madvise(MADV_DONTNEED)` analogue).
+    Discard {
+        /// The discarded page.
+        page: u32,
+    },
+    /// The process voluntarily surrendered the page (`vm_relinquish`).
+    Relinquish {
+        /// The relinquished page.
+        page: u32,
+    },
+    /// BC recorded a bookmark summarizing a reference into an evicted page.
+    BookmarkSet {
+        /// The page holding the bookmarked (target) object.
+        page: u32,
+    },
+    /// BC cleared the bookmarks of a page that became resident again.
+    BookmarkCleared {
+        /// The page whose bookmarks were dropped.
+        page: u32,
+    },
+    /// BC scanned one victim page at eviction time (§3.4).
+    BookmarkScanned {
+        /// The scanned victim page.
+        page: u32,
+    },
+    /// The collector shrank its heap in response to pressure (§3.3.3).
+    HeapShrink {
+        /// New heap budget, in pages.
+        budget_pages: u32,
+    },
+    /// The collector regrew its heap after pressure subsided (§7).
+    HeapGrow {
+        /// New heap budget, in pages.
+        budget_pages: u32,
+    },
+    /// Residency snapshot of one superpage after a major collection.
+    Residency {
+        /// First page of the superpage.
+        superpage: u32,
+        /// Pages of it currently resident.
+        resident: u32,
+        /// Pages in the superpage.
+        total: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case tag used in the JSONL schema.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::CollectionBegin { .. } => "collection_begin",
+            EventKind::CollectionEnd { .. } => "collection_end",
+            EventKind::PhaseBegin { .. } => "phase_begin",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::Fault { .. } => "fault",
+            EventKind::EvictionScheduled { .. } => "eviction_scheduled",
+            EventKind::Evicted { .. } => "evicted",
+            EventKind::MadeResident { .. } => "made_resident",
+            EventKind::ProtectionTrap { .. } => "protection_trap",
+            EventKind::Discard { .. } => "discard",
+            EventKind::Relinquish { .. } => "relinquish",
+            EventKind::BookmarkSet { .. } => "bookmark_set",
+            EventKind::BookmarkCleared { .. } => "bookmark_cleared",
+            EventKind::BookmarkScanned { .. } => "bookmark_scanned",
+            EventKind::HeapShrink { .. } => "heap_shrink",
+            EventKind::HeapGrow { .. } => "heap_grow",
+            EventKind::Residency { .. } => "residency",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time of the event (the emitting process's clock).
+    pub t: Nanos,
+    /// Process id within the shared VMM.
+    pub pid: u8,
+    /// Collector label of the process (`"BC"`, `"GenMS"`, …) or `"?"` if
+    /// the process never registered one (e.g. the signalmem driver).
+    pub collector: Cow<'static, str>,
+    /// The typed payload.
+    pub kind: EventKind,
+}

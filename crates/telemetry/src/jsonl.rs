@@ -1,0 +1,245 @@
+//! The JSON Lines trace schema: one flat JSON object per event.
+//!
+//! Every line has the envelope keys `t` (simulated nanoseconds, integer),
+//! `pid` (integer), `collector` (string), and `event` (the snake_case tag
+//! from [`EventKind::tag`]); payload fields follow, all scalar, so a replay
+//! tool can parse lines with any JSON reader without nested-object
+//! handling. [`parse`] is the exact inverse of [`to_json`] (round-trip
+//! tested), which is what makes traces replayable.
+
+use std::borrow::Cow;
+
+use simtime::Nanos;
+
+use crate::event::{CollectionKind, Event, EventKind, GcPhase};
+
+/// Serializes one event as a single JSON object (no trailing newline).
+pub fn to_json(event: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"t\":");
+    s.push_str(&event.t.as_nanos().to_string());
+    s.push_str(",\"pid\":");
+    s.push_str(&event.pid.to_string());
+    s.push_str(",\"collector\":\"");
+    // Collector labels are identifier-like; escape defensively anyway.
+    for c in event.collector.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push_str("\",\"event\":\"");
+    s.push_str(event.kind.tag());
+    s.push('"');
+    let mut field = |k: &str, v: &str, quoted: bool| {
+        s.push_str(",\"");
+        s.push_str(k);
+        s.push_str("\":");
+        if quoted {
+            s.push('"');
+            s.push_str(v);
+            s.push('"');
+        } else {
+            s.push_str(v);
+        }
+    };
+    match &event.kind {
+        EventKind::CollectionBegin { kind } | EventKind::CollectionEnd { kind } => {
+            field("kind", kind.name(), true);
+        }
+        EventKind::PhaseBegin { phase } | EventKind::PhaseEnd { phase } => {
+            field("phase", phase.name(), true);
+        }
+        EventKind::Fault { page, major } => {
+            field("page", &page.to_string(), false);
+            field("major", if *major { "true" } else { "false" }, false);
+        }
+        EventKind::Evicted { page, hard } => {
+            field("page", &page.to_string(), false);
+            field("hard", if *hard { "true" } else { "false" }, false);
+        }
+        EventKind::EvictionScheduled { page }
+        | EventKind::MadeResident { page }
+        | EventKind::ProtectionTrap { page }
+        | EventKind::Discard { page }
+        | EventKind::Relinquish { page }
+        | EventKind::BookmarkSet { page }
+        | EventKind::BookmarkCleared { page }
+        | EventKind::BookmarkScanned { page } => {
+            field("page", &page.to_string(), false);
+        }
+        EventKind::HeapShrink { budget_pages } | EventKind::HeapGrow { budget_pages } => {
+            field("budget_pages", &budget_pages.to_string(), false);
+        }
+        EventKind::Residency {
+            superpage,
+            resident,
+            total,
+        } => {
+            field("superpage", &superpage.to_string(), false);
+            field("resident", &resident.to_string(), false);
+            field("total", &total.to_string(), false);
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Scans one flat JSON object into `(key, value)` pairs. Values keep their
+/// quotes stripped; escapes are unescaped. Returns `None` on malformed
+/// input.
+fn scan_flat_object(line: &str) -> Option<Vec<(String, String)>> {
+    let line = line.trim();
+    let inner = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut pairs = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Key.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next()? {
+                '"' => break,
+                '\\' => key.push(chars.next()?),
+                c => key.push(c),
+            }
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next()? != ':' {
+            return None;
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        // Value: string or bare scalar.
+        let mut val = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next()? {
+                    '"' => break,
+                    '\\' => match chars.next()? {
+                        'u' => {
+                            let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                            let v = u32::from_str_radix(&code, 16).ok()?;
+                            val.push(char::from_u32(v)?);
+                        }
+                        c => val.push(c),
+                    },
+                    c => val.push(c),
+                }
+            }
+        } else {
+            while matches!(chars.peek(), Some(c) if !c.is_whitespace() && *c != ',') {
+                val.push(chars.next()?);
+            }
+        }
+        pairs.push((key, val));
+    }
+    Some(pairs)
+}
+
+/// Parses one JSONL line back into an [`Event`] (inverse of [`to_json`]).
+pub fn parse(line: &str) -> Option<Event> {
+    let pairs = scan_flat_object(line)?;
+    let get = |k: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
+    let num = |k: &str| -> Option<u64> { get(k)?.parse().ok() };
+    let page = |k: &str| -> Option<u32> { get(k)?.parse().ok() };
+    let flag = |k: &str| -> Option<bool> {
+        match get(k)? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    };
+    let kind = match get("event")? {
+        "collection_begin" => EventKind::CollectionBegin {
+            kind: CollectionKind::from_name(get("kind")?)?,
+        },
+        "collection_end" => EventKind::CollectionEnd {
+            kind: CollectionKind::from_name(get("kind")?)?,
+        },
+        "phase_begin" => EventKind::PhaseBegin {
+            phase: GcPhase::from_name(get("phase")?)?,
+        },
+        "phase_end" => EventKind::PhaseEnd {
+            phase: GcPhase::from_name(get("phase")?)?,
+        },
+        "fault" => EventKind::Fault {
+            page: page("page")?,
+            major: flag("major")?,
+        },
+        "eviction_scheduled" => EventKind::EvictionScheduled {
+            page: page("page")?,
+        },
+        "evicted" => EventKind::Evicted {
+            page: page("page")?,
+            hard: flag("hard")?,
+        },
+        "made_resident" => EventKind::MadeResident {
+            page: page("page")?,
+        },
+        "protection_trap" => EventKind::ProtectionTrap {
+            page: page("page")?,
+        },
+        "discard" => EventKind::Discard {
+            page: page("page")?,
+        },
+        "relinquish" => EventKind::Relinquish {
+            page: page("page")?,
+        },
+        "bookmark_set" => EventKind::BookmarkSet {
+            page: page("page")?,
+        },
+        "bookmark_cleared" => EventKind::BookmarkCleared {
+            page: page("page")?,
+        },
+        "bookmark_scanned" => EventKind::BookmarkScanned {
+            page: page("page")?,
+        },
+        "heap_shrink" => EventKind::HeapShrink {
+            budget_pages: page("budget_pages")?,
+        },
+        "heap_grow" => EventKind::HeapGrow {
+            budget_pages: page("budget_pages")?,
+        },
+        "residency" => EventKind::Residency {
+            superpage: page("superpage")?,
+            resident: page("resident")?,
+            total: page("total")?,
+        },
+        _ => return None,
+    };
+    Some(Event {
+        t: Nanos(num("t")?),
+        pid: num("pid")? as u8,
+        collector: Cow::Owned(get("collector")?.to_string()),
+        kind,
+    })
+}
+
+/// Parses a whole JSONL document, skipping blank lines; `None` if any
+/// non-blank line is malformed.
+pub fn parse_all(text: &str) -> Option<Vec<Event>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse)
+        .collect()
+}

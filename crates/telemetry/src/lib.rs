@@ -1,0 +1,241 @@
+//! Structured GC/VMM telemetry for the bookmarking-collector reproduction.
+//!
+//! The paper's evaluation (§5) hinges on fine-grained visibility: per-phase
+//! pause breakdowns, page-fault and eviction timelines, bookmark churn.
+//! End-of-run counters cannot answer "what did BC do during the eviction
+//! storm at t=1.2s", so this crate records **typed events** — each carrying
+//! `(pid, collector, sim_nanos)` — through a zero-overhead-when-disabled
+//! [`Tracer`] shared by the VMM and every collector of one simulation:
+//!
+//! * collection and phase **spans** (root scan, trace, sweep, compact
+//!   passes) in simulated time;
+//! * **VMM events**: faults, eviction notices, evictions, `madvise`
+//!   discards, `vm_relinquish`, `mprotect` traps;
+//! * **BC cooperation**: bookmark set/clear with page ids, victim-page
+//!   scans, heap shrink/grow decisions, per-superpage residency snapshots.
+//!
+//! Sinks are pluggable ([`TraceSink`]): a bounded [`RingSink`], an
+//! unbounded [`VecSink`], and a streaming [`JsonlSink`] whose line format
+//! is documented in [`jsonl`] and exactly round-trips via [`jsonl::parse`].
+//! [`aggregate`] reduces a stream to per-phase/per-kind
+//! [`DurationHistogram`]s and a time-bucketed [`SeriesBucket`] series for
+//! reports.
+
+#![warn(missing_docs)]
+
+mod agg;
+mod event;
+pub mod jsonl;
+mod sink;
+mod tracer;
+
+pub use agg::{aggregate, Aggregate, DurationHistogram, EventCounts, SeriesBucket};
+pub use event::{CollectionKind, Event, EventKind, GcPhase};
+pub use sink::{JsonlSink, RingSink, TraceSink, VecSink};
+pub use tracer::Tracer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Nanos;
+    use std::borrow::Cow;
+
+    fn ev(t: u64, kind: EventKind) -> Event {
+        Event {
+            t: Nanos(t),
+            pid: 0,
+            collector: Cow::Borrowed("BC"),
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_sink_preserves_order_and_monotonic_timestamps() {
+        let tracer = Tracer::ring(128);
+        tracer.set_label(0, "BC");
+        for i in 0..200u64 {
+            tracer.emit(
+                0,
+                Nanos(i * 10),
+                EventKind::Fault {
+                    page: i as u32,
+                    major: i % 2 == 0,
+                },
+            );
+        }
+        let events = tracer.snapshot();
+        // Capacity bounds retention: only the latest 128 survive, in order.
+        assert_eq!(events.len(), 128);
+        assert_eq!(events.first().unwrap().t, Nanos(72 * 10));
+        assert_eq!(events.last().unwrap().t, Nanos(199 * 10));
+        for w in events.windows(2) {
+            assert!(w[0].t <= w[1].t, "timestamps must be monotonic");
+        }
+        for e in &events {
+            assert_eq!(e.collector, "BC");
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.emit(0, Nanos(1), EventKind::Discard { page: 1 });
+        assert!(tracer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let kinds = vec![
+            EventKind::CollectionBegin {
+                kind: CollectionKind::Minor,
+            },
+            EventKind::CollectionEnd {
+                kind: CollectionKind::Failsafe,
+            },
+            EventKind::PhaseBegin {
+                phase: GcPhase::RootScan,
+            },
+            EventKind::PhaseEnd {
+                phase: GcPhase::CompactPass2,
+            },
+            EventKind::Fault {
+                page: 41,
+                major: true,
+            },
+            EventKind::Fault {
+                page: 42,
+                major: false,
+            },
+            EventKind::EvictionScheduled { page: 7 },
+            EventKind::Evicted {
+                page: 7,
+                hard: true,
+            },
+            EventKind::MadeResident { page: 7 },
+            EventKind::ProtectionTrap { page: 9 },
+            EventKind::Discard { page: 3 },
+            EventKind::Relinquish { page: 4 },
+            EventKind::BookmarkSet { page: 11 },
+            EventKind::BookmarkCleared { page: 11 },
+            EventKind::BookmarkScanned { page: 12 },
+            EventKind::HeapShrink { budget_pages: 512 },
+            EventKind::HeapGrow { budget_pages: 1024 },
+            EventKind::Residency {
+                superpage: 16,
+                resident: 3,
+                total: 4,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let original = Event {
+                t: Nanos(1_000_000 + i as u64),
+                pid: i as u8,
+                collector: Cow::Borrowed("GenMS"),
+                kind,
+            };
+            let line = jsonl::to_json(&original);
+            let parsed = jsonl::parse(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(parsed, original, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_round_trips_and_escapes() {
+        let events = vec![
+            Event {
+                t: Nanos(5),
+                pid: 2,
+                collector: Cow::Borrowed("odd\"label\\x"),
+                kind: EventKind::Relinquish { page: 1 },
+            },
+            ev(9, EventKind::BookmarkSet { page: 2 }),
+        ];
+        let doc: String = events.iter().map(|e| jsonl::to_json(e) + "\n").collect();
+        assert_eq!(jsonl::parse_all(&doc).unwrap(), events);
+        assert!(jsonl::parse("{\"event\":\"no_such_tag\"}").is_none());
+    }
+
+    #[test]
+    fn aggregate_builds_phase_histograms_and_series() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::CollectionBegin {
+                    kind: CollectionKind::Full,
+                },
+            ),
+            ev(
+                10,
+                EventKind::PhaseBegin {
+                    phase: GcPhase::RootScan,
+                },
+            ),
+            ev(
+                110,
+                EventKind::PhaseEnd {
+                    phase: GcPhase::RootScan,
+                },
+            ),
+            ev(
+                110,
+                EventKind::PhaseBegin {
+                    phase: GcPhase::Trace,
+                },
+            ),
+            ev(
+                1_110,
+                EventKind::PhaseEnd {
+                    phase: GcPhase::Trace,
+                },
+            ),
+            ev(
+                1_200,
+                EventKind::CollectionEnd {
+                    kind: CollectionKind::Full,
+                },
+            ),
+            ev(
+                2_000,
+                EventKind::Fault {
+                    page: 1,
+                    major: true,
+                },
+            ),
+            ev(
+                3_000,
+                EventKind::Evicted {
+                    page: 1,
+                    hard: false,
+                },
+            ),
+        ];
+        let agg = aggregate(&events, Nanos(1_000));
+        assert_eq!(agg.counts.collections, 1);
+        assert_eq!(agg.counts.major_faults, 1);
+        assert_eq!(agg.counts.evictions, 1);
+        let root = agg.phase(GcPhase::RootScan).unwrap();
+        assert_eq!(root.count(), 1);
+        assert_eq!(root.mean(), Nanos(100));
+        let full = agg.collection(CollectionKind::Full).unwrap();
+        assert_eq!(full.total(), Nanos(1_200));
+        assert!(full.percentile(99.0) >= Nanos(1_200));
+        // Series: fault lands in bucket 2, eviction in bucket 3.
+        assert_eq!(agg.series.len(), 4);
+        assert_eq!(agg.series[2].counts.major_faults, 1);
+        assert_eq!(agg.series[3].counts.evictions, 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let mut h = DurationHistogram::new();
+        for ns in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            h.record(Nanos(ns));
+        }
+        assert!(h.percentile(50.0) <= h.percentile(90.0));
+        assert!(h.percentile(90.0) <= h.percentile(100.0));
+        assert_eq!(h.max(), Nanos(100_000));
+        assert_eq!(h.count(), 6);
+        assert!(!h.nonzero_buckets().is_empty());
+    }
+}

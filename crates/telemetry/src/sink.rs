@@ -1,0 +1,120 @@
+//! Pluggable event sinks.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::event::Event;
+use crate::jsonl;
+
+/// A destination for trace events.
+///
+/// Implementations must be cheap per [`TraceSink::record`] call: sinks run
+/// inside the simulation's hot paths whenever tracing is enabled.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+
+    /// Returns the retained events, oldest first, for sinks that keep them
+    /// in memory. Streaming sinks return `None`.
+    fn snapshot(&self) -> Option<Vec<Event>> {
+        None
+    }
+}
+
+/// A bounded in-memory ring buffer: keeps the most recent `capacity`
+/// events and counts the rest as dropped.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+
+    fn snapshot(&self) -> Option<Vec<Event>> {
+        Some(self.buf.iter().cloned().collect())
+    }
+}
+
+/// An unbounded in-memory sink (tests and report aggregation).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+
+    fn snapshot(&self) -> Option<Vec<Event>> {
+        Some(self.events.clone())
+    }
+}
+
+/// Streams events as JSON Lines to any writer (see [`crate::jsonl`] for
+/// the schema).
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncates) `path` and streams events into it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Streams events into `out`.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        // Trace I/O errors are not allowed to kill a simulation run.
+        let _ = writeln!(self.out, "{}", jsonl::to_json(event));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}

@@ -1,0 +1,113 @@
+//! The shared tracing handle.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simtime::Nanos;
+
+use crate::event::{Event, EventKind};
+use crate::sink::{RingSink, TraceSink, VecSink};
+
+struct Hub {
+    sink: Box<dyn TraceSink>,
+    /// Collector label per pid (the simulation registers at most a handful
+    /// of processes).
+    labels: Vec<&'static str>,
+}
+
+/// A cloneable handle shared by the VMM and every collector of one
+/// simulation.
+///
+/// A disabled tracer (the default) is a `None` — emitting through it is a
+/// single branch, so fully-disabled runs pay no measurable overhead. The
+/// simulation is single-threaded by construction (a deterministic
+/// discrete-event loop), hence `Rc<RefCell<..>>` rather than locks.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<Hub>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: every emit is a single predictable branch.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer feeding `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Tracer {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(Hub {
+                sink,
+                labels: Vec::new(),
+            }))),
+        }
+    }
+
+    /// A tracer retaining the most recent `capacity` events in memory.
+    pub fn ring(capacity: usize) -> Tracer {
+        Tracer::new(Box::new(RingSink::new(capacity)))
+    }
+
+    /// A tracer retaining every event in memory (tests, report runs).
+    pub fn unbounded() -> Tracer {
+        Tracer::new(Box::new(VecSink::new()))
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Associates `pid` with a collector label; subsequent events from that
+    /// pid carry it.
+    pub fn set_label(&self, pid: u8, label: &'static str) {
+        if let Some(hub) = &self.inner {
+            let labels = &mut hub.borrow_mut().labels;
+            if labels.len() <= pid as usize {
+                labels.resize(pid as usize + 1, "?");
+            }
+            labels[pid as usize] = label;
+        }
+    }
+
+    /// Records one event. A no-op (one branch) when disabled.
+    #[inline]
+    pub fn emit(&self, pid: u8, t: Nanos, kind: EventKind) {
+        if let Some(hub) = &self.inner {
+            let mut hub = hub.borrow_mut();
+            let collector = hub.labels.get(pid as usize).copied().unwrap_or("?");
+            hub.sink.record(&Event {
+                t,
+                pid,
+                collector: Cow::Borrowed(collector),
+                kind,
+            });
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(hub) = &self.inner {
+            hub.borrow_mut().sink.flush();
+        }
+    }
+
+    /// Returns retained events (oldest first) for in-memory sinks; empty
+    /// for disabled tracers and streaming sinks.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .and_then(|hub| hub.borrow().sink.snapshot())
+            .unwrap_or_default()
+    }
+}

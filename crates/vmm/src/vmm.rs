@@ -3,11 +3,14 @@
 use std::collections::VecDeque;
 
 use simtime::{Clock, CostModel};
+use telemetry::{EventKind, Tracer};
 
 use crate::config::VmmConfig;
 use crate::events::VmEvent;
 use crate::lists::LazyQueue;
-use crate::page::{Access, ListTag, PageInfo, PageKey, PageState, ProcessId, TouchOutcome, VirtPage};
+use crate::page::{
+    Access, ListTag, PageInfo, PageKey, PageState, ProcessId, TouchOutcome, VirtPage,
+};
 use crate::stats::VmStats;
 
 /// One simulated process known to the manager.
@@ -61,6 +64,9 @@ pub struct Vmm {
     /// Pages surrendered via `vm_relinquish`: first in line for eviction.
     relinquish_queue: VecDeque<PageKey>,
     pump_seq: u64,
+    /// Structured-event sink shared with the collectors (disabled by
+    /// default: emitting is then a single branch).
+    tracer: Tracer,
 }
 
 impl Vmm {
@@ -78,7 +84,15 @@ impl Vmm {
             pending: VecDeque::new(),
             relinquish_queue: VecDeque::new(),
             pump_seq: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the telemetry tracer; VMM-side events (faults, evictions,
+    /// discards, relinquishments, protection traps) are stamped with the
+    /// owning process's id and the acting clock's simulated time.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Registers a new process and returns its id.
@@ -87,7 +101,10 @@ impl Vmm {
     ///
     /// Panics after 255 processes.
     pub fn register_process(&mut self) -> ProcessId {
-        assert!(self.processes.len() < u8::MAX as usize, "too many processes");
+        assert!(
+            self.processes.len() < u8::MAX as usize,
+            "too many processes"
+        );
         self.processes.push(Process::default());
         ProcessId((self.processes.len() - 1) as u8)
     }
@@ -179,6 +196,14 @@ impl Vmm {
                 proc.stats.note_resident();
                 clock.advance(self.costs.minor_fault);
                 outcome.zero_filled = true;
+                self.tracer.emit(
+                    pid.0,
+                    clock.now(),
+                    EventKind::Fault {
+                        page: page.0,
+                        major: false,
+                    },
+                );
             }
             PageState::Evicted => {
                 self.acquire_frame(clock);
@@ -193,6 +218,16 @@ impl Vmm {
                 if proc.notify {
                     proc.events.push_back(VmEvent::MadeResident { page });
                 }
+                self.tracer.emit(
+                    pid.0,
+                    clock.now(),
+                    EventKind::Fault {
+                        page: page.0,
+                        major: true,
+                    },
+                );
+                self.tracer
+                    .emit(pid.0, clock.now(), EventKind::MadeResident { page: page.0 });
             }
         }
         {
@@ -205,6 +240,11 @@ impl Vmm {
                 if proc.notify {
                     proc.events.push_back(VmEvent::ProtectionFault { page });
                 }
+                self.tracer.emit(
+                    pid.0,
+                    clock.now(),
+                    EventKind::ProtectionTrap { page: page.0 },
+                );
             }
         }
         let key = PageKey { pid, page };
@@ -291,6 +331,8 @@ impl Vmm {
                 proc.stats.note_nonresident();
                 self.free_frames += 1;
             }
+            self.tracer
+                .emit(pid.0, clock.now(), EventKind::Discard { page: page.0 });
         }
     }
 
@@ -337,7 +379,13 @@ impl Vmm {
     ///
     /// BC protects pages after bookmark-scanning them so that a touch before
     /// the eviction completes cannot go unnoticed (§3.4).
-    pub fn mprotect(&mut self, pid: ProcessId, pages: &[VirtPage], protect: bool, clock: &mut Clock) {
+    pub fn mprotect(
+        &mut self,
+        pid: ProcessId,
+        pages: &[VirtPage],
+        protect: bool,
+        clock: &mut Clock,
+    ) {
         clock.advance(self.costs.syscall);
         for &page in pages {
             self.processes[pid.0 as usize].page(page).protected = protect;
@@ -378,6 +426,8 @@ impl Vmm {
             self.inactive_count += 1;
             self.relinquish_queue.push_back(PageKey { pid, page });
             self.processes[pid.0 as usize].stats.relinquished += 1;
+            self.tracer
+                .emit(pid.0, clock.now(), EventKind::Relinquish { page: page.0 });
         }
     }
 
@@ -453,6 +503,11 @@ impl Vmm {
             proc.events
                 .push_back(VmEvent::EvictionScheduled { page: key.page });
             clock.advance(self.costs.notification);
+            self.tracer.emit(
+                key.pid.0,
+                clock.now(),
+                EventKind::EvictionScheduled { page: key.page.0 },
+            );
             scheduled += 1;
         }
     }
@@ -564,7 +619,12 @@ impl Vmm {
         let key = self.inactive.pop_front_valid(|k| {
             procs[k.pid.0 as usize]
                 .page_ref(k.page)
-                .map(|p| p.list == ListTag::Inactive && p.evictable() && !p.pending_eviction && !p.relinquished)
+                .map(|p| {
+                    p.list == ListTag::Inactive
+                        && p.evictable()
+                        && !p.pending_eviction
+                        && !p.relinquished
+                })
                 .unwrap_or(false)
         })?;
         self.processes[key.pid.0 as usize].page(key.page).list = ListTag::None;
@@ -610,6 +670,14 @@ impl Vmm {
         if proc.notify {
             proc.events.push_back(VmEvent::Evicted { page: key.page });
         }
+        self.tracer.emit(
+            key.pid.0,
+            clock.now(),
+            EventKind::Evicted {
+                page: key.page.0,
+                hard,
+            },
+        );
     }
 
     /// Clears stale pending flags when pressure abates, returning pages to
@@ -638,7 +706,10 @@ impl Vmm {
 
     /// Total resident pages across all processes (for invariant checks).
     pub fn total_resident(&self) -> usize {
-        self.processes.iter().map(|p| p.stats.resident as usize).sum()
+        self.processes
+            .iter()
+            .map(|p| p.stats.resident as usize)
+            .sum()
     }
 }
 
@@ -761,11 +832,7 @@ mod tests {
             vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
         }
         vmm.pump(&mut clock);
-        let noticed: Vec<VirtPage> = vmm
-            .take_events(pid)
-            .into_iter()
-            .map(|e| e.page())
-            .collect();
+        let noticed: Vec<VirtPage> = vmm.take_events(pid).into_iter().map(|e| e.page()).collect();
         assert!(!noticed.is_empty());
         for &p in &noticed {
             vmm.touch(pid, p, Access::Read, &mut clock);

@@ -54,12 +54,8 @@ fn run_ops(frames: usize, notify_p0: bool, ops: &[Op]) -> (Vmm, Vec<vmm::Process
                 }
             }
             Op::Munlock(p, g) => vmm.munlock(pids[p as usize], VirtPage(g), &mut clock),
-            Op::Discard(p, g) => {
-                vmm.madvise_dontneed(pids[p as usize], &[VirtPage(g)], &mut clock)
-            }
-            Op::Relinquish(p, g) => {
-                vmm.vm_relinquish(pids[p as usize], &[VirtPage(g)], &mut clock)
-            }
+            Op::Discard(p, g) => vmm.madvise_dontneed(pids[p as usize], &[VirtPage(g)], &mut clock),
+            Op::Relinquish(p, g) => vmm.vm_relinquish(pids[p as usize], &[VirtPage(g)], &mut clock),
             Op::Protect(p, g) => vmm.mprotect(pids[p as usize], &[VirtPage(g)], true, &mut clock),
             Op::Pump => vmm.pump(&mut clock),
         }

@@ -65,7 +65,7 @@ impl Program for CompressLike {
             let words = self.rng.random_range(4_096..16_384u32);
             let block = gc.alloc(ctx, AllocKind::DataArray { len: words })?;
             gc.write_data(ctx, block); // fill the buffer
-            // Dictionary lookups: touch random entries.
+                                       // Dictionary lookups: touch random entries.
             for _ in 0..32 {
                 let i = self.rng.random_range(0..self.dictionary.len());
                 gc.read_data(ctx, self.dictionary[i]);
@@ -264,7 +264,7 @@ impl Program for TreeBuilder {
         ctx.clock.advance(work * 16);
         let tree = self.build_tree(gc, ctx, self.depth)?;
         // Every 8th tree becomes long-lived; cap the long-lived set.
-        if self.iterations_left % 8 == 0 && self.long_lived.len() < 8 {
+        if self.iterations_left.is_multiple_of(8) && self.long_lived.len() < 8 {
             self.long_lived.push(tree);
         } else {
             gc.drop_handle(tree);
@@ -285,6 +285,7 @@ impl Program for TreeBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use heap::CollectKind;
     use simulate::{run, CollectorKind, RunConfig};
 
     fn run_program(p: Box<dyn Program>, heap: usize) -> simulate::RunResult {
@@ -320,18 +321,22 @@ mod tests {
 
     #[test]
     fn tree_structure_survives_collection_on_every_collector() {
-        for kind in [CollectorKind::Bc, CollectorKind::SemiSpace, CollectorKind::GenMs] {
+        for kind in [
+            CollectorKind::Bc,
+            CollectorKind::SemiSpace,
+            CollectorKind::GenMs,
+        ] {
             let mut vmm = vmm::Vmm::new(
                 vmm::VmmConfig::with_memory_bytes(64 << 20),
                 simtime::CostModel::default(),
             );
             let mut clock = simtime::Clock::new();
             let pid = vmm.register_process();
-            let mut gc = kind.build(8 << 20, &mut vmm, pid);
+            let mut gc = kind.build(8 << 20, telemetry::Tracer::disabled(), &mut vmm, pid);
             let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
             let builder = TreeBuilder::new(1, 8, 0);
             let root = builder.build_tree(gc.as_mut(), &mut ctx, 8).unwrap();
-            gc.collect(&mut ctx, true);
+            gc.collect(&mut ctx, CollectKind::Full);
             let nodes = TreeBuilder::count_nodes(gc.as_mut(), &mut ctx, root);
             assert_eq!(nodes, 255, "{kind}: tree mangled by collection");
         }

@@ -220,11 +220,22 @@ mod tests {
     #[test]
     fn knobs_are_sane() {
         for b in table1() {
-            assert!(b.survivor_fraction > 0.0 && b.survivor_fraction < 0.5, "{}", b.name);
+            assert!(
+                b.survivor_fraction > 0.0 && b.survivor_fraction < 0.5,
+                "{}",
+                b.name
+            );
             assert!(b.array_fraction >= 0.0 && b.array_fraction < 1.0);
-            assert!(b.large_fraction < 0.01, "{}: too many large objects", b.name);
-            assert!(b.immortal_bytes + b.live_window_bytes < b.paper_min_heap,
-                "{}: live exceeds the paper's min heap", b.name);
+            assert!(
+                b.large_fraction < 0.01,
+                "{}: too many large objects",
+                b.name
+            );
+            assert!(
+                b.immortal_bytes + b.live_window_bytes < b.paper_min_heap,
+                "{}: live exceeds the paper's min heap",
+                b.name
+            );
             assert!(b.mean_scalar_words >= 3);
         }
     }

@@ -118,12 +118,7 @@ impl SyntheticProgram {
 
     /// Links `new` from a random holder in the window (builds the old→young
     /// edges the write barrier exists for).
-    fn link_from_window(
-        &mut self,
-        gc: &mut dyn GcHeap,
-        ctx: &mut MemCtx<'_>,
-        new: &Held,
-    ) {
+    fn link_from_window(&mut self, gc: &mut dyn GcHeap, ctx: &mut MemCtx<'_>, new: &Held) {
         if self.window.is_empty() {
             return;
         }
@@ -311,7 +306,11 @@ mod tests {
     #[test]
     fn every_benchmark_completes_on_every_collector_at_small_scale() {
         for b in table1() {
-            for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::SemiSpace] {
+            for kind in [
+                CollectorKind::Bc,
+                CollectorKind::GenMs,
+                CollectorKind::SemiSpace,
+            ] {
                 // Heap: 2x the scaled min heap estimate.
                 let heap = (b.scaled_min_heap(0.02) * 4).max(2 << 20);
                 let config = RunConfig::new(kind, heap, 256 << 20);
@@ -353,10 +352,14 @@ mod distribution_tests {
     /// Drives a program to completion against a generously sized heap and
     /// returns its counters.
     fn run_and_count(spec: crate::BenchmarkSpec, scale: f64) -> AllocCounts {
-        let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(512 << 20), CostModel::default());
+        let mut vmm = Vmm::new(
+            VmmConfig::with_memory_bytes(512 << 20),
+            CostModel::default(),
+        );
         let mut clock = Clock::new();
         let pid = vmm.register_process();
-        let mut gc = CollectorKind::GenMs.build(64 << 20, &mut vmm, pid);
+        let mut gc =
+            CollectorKind::GenMs.build(64 << 20, telemetry::Tracer::disabled(), &mut vmm, pid);
         let mut p = spec.program(scale, 99);
         loop {
             let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);

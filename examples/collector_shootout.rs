@@ -23,7 +23,12 @@ fn main() {
     let memory = (224 << 20) / 20; // paper-equivalent 224 MB machine
     let tight = (60 << 20) / 20; // paper-equivalent 60 MB available
 
-    println!("pseudoJBB at {:.0}% volume, heap {} MiB, machine {} MiB", scale * 100.0, heap >> 20, memory >> 20);
+    println!(
+        "pseudoJBB at {:.0}% volume, heap {} MiB, machine {} MiB",
+        scale * 100.0,
+        heap >> 20,
+        memory >> 20
+    );
     println!();
     println!(
         "{:<22} {:>12} {:>12} {:>9}   {:>12} {:>12} {:>9}",

@@ -26,7 +26,11 @@ fn main() {
             "== two pseudoJBB instances, 77MB-equivalent heaps, {label} machine ({}MB-equivalent) ==",
             paper_memory >> 20
         );
-        for kind in [CollectorKind::Bc, CollectorKind::GenMs, CollectorKind::CopyMs] {
+        for kind in [
+            CollectorKind::Bc,
+            CollectorKind::GenMs,
+            CollectorKind::CopyMs,
+        ] {
             let r = multi_jvm(kind, heap, memory, &make);
             let finishes: Vec<String> = r.jvms.iter().map(|j| j.exec_time.to_string()).collect();
             let spread = {

@@ -13,7 +13,7 @@
 //! keep running without page faults.
 
 use bookmarking::{BcOptions, Bookmarking};
-use heap::{AllocKind, GcHeap, Handle, HeapConfig, MemCtx};
+use heap::{AllocKind, CollectKind, GcHeap, Handle, HeapConfig, MemCtx};
 use simtime::{Clock, CostModel};
 use vmm::{Vmm, VmmConfig};
 
@@ -26,7 +26,10 @@ fn main() {
 
     // The bookmarking collector with a 16 MiB heap, registered for paging
     // notifications (the paper's §4.1 kernel extension).
-    let mut gc = Bookmarking::new(HeapConfig::with_heap_bytes(16 << 20), BcOptions::default());
+    let mut gc = Bookmarking::new(
+        HeapConfig::builder().heap_bytes(16 << 20).build(),
+        BcOptions::default(),
+    );
     gc.register(&mut vmm, pid);
 
     // Build a linked structure: 100k nodes, ~2 MiB live.
@@ -57,7 +60,7 @@ fn main() {
             cur = node;
         }
         gc.drop_handle(cur);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         head
     };
     println!(
@@ -82,8 +85,15 @@ fn main() {
     }
     let s = gc.stats();
     println!("pinned {pinned} pages of the machine; under pressure BC:");
-    println!("  - discarded {} empty pages back to the OS", s.pages_discarded);
-    println!("  - shrank its heap {} times (now {} bytes)", s.heap_shrinks, gc.current_heap_budget());
+    println!(
+        "  - discarded {} empty pages back to the OS",
+        s.pages_discarded
+    );
+    println!(
+        "  - shrank its heap {} times (now {} bytes)",
+        s.heap_shrinks,
+        gc.current_heap_budget()
+    );
     println!(
         "  - bookmark-scanned {} pages, set {} bookmarks, relinquished {} pages",
         s.pages_bookmark_scanned, s.bookmarks_set, s.pages_relinquished
@@ -95,7 +105,7 @@ fn main() {
     let faults_before = vmm.stats(pid).major_faults;
     {
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
     }
     let gc_faults = vmm.stats(pid).major_faults - faults_before;
     println!(

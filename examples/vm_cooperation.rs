@@ -11,7 +11,7 @@
 //! `mprotect` race guard, and reload notifications.
 
 use simtime::{Clock, CostModel};
-use vmm::{Access, VirtPage, Vmm, VmmConfig, VmEvent};
+use vmm::{Access, VirtPage, VmEvent, Vmm, VmmConfig};
 
 fn main() {
     let mut config = VmmConfig::with_frames(64);
@@ -45,7 +45,11 @@ fn main() {
             _ => None,
         })
         .collect();
-    println!("eviction notices received for {} pages: {:?}", notices.len(), &notices[..notices.len().min(4)]);
+    println!(
+        "eviction notices received for {} pages: {:?}",
+        notices.len(),
+        &notices[..notices.len().min(4)]
+    );
     assert!(!notices.is_empty());
 
     // Rescue the first page by touching it; the grace period saves it.

@@ -13,6 +13,7 @@
 
 use simtime::{bmu_curve, Nanos};
 use simulate::{run, CollectorKind, Program, RunConfig};
+use telemetry::{JsonlSink, Tracer};
 use workloads::{spec, table1};
 
 #[derive(Debug)]
@@ -25,6 +26,7 @@ struct Args {
     scale: f64,
     seed: u64,
     bmu: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 #[derive(Debug)]
@@ -67,11 +69,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: gcsim [--collector C] [--benchmark B] [--heap SIZE] [--memory SIZE]
              [--pressure steady:FRAC|dynamic:AVAIL] [--scale F] [--seed N] [--bmu]
+             [--trace OUT.jsonl]
        gcsim --list
 
   Sizes are paper-equivalent (scaled by --scale). Collectors:
   bc, bc-resize, marksweep, semispace, gencopy, genms, copyms,
-  gencopy-fixed, genms-fixed."
+  gencopy-fixed, genms-fixed.
+  --trace streams every GC/VMM event to OUT.jsonl (see DESIGN.md for
+  the schema)."
     );
     std::process::exit(2)
 }
@@ -86,6 +91,7 @@ fn parse_args() -> Args {
         scale: 0.1,
         seed: 42,
         bmu: false,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,19 +107,25 @@ fn parse_args() -> Args {
                 }
                 std::process::exit(0);
             }
-            "--collector" => args.collector = parse_collector(&value()).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                usage()
-            }),
+            "--collector" => {
+                args.collector = parse_collector(&value()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--benchmark" => args.benchmark = value(),
-            "--heap" => args.heap = parse_size(&value()).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                usage()
-            }),
-            "--memory" => args.memory = parse_size(&value()).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                usage()
-            }),
+            "--heap" => {
+                args.heap = parse_size(&value()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--memory" => {
+                args.memory = parse_size(&value()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--pressure" => {
                 let v = value();
                 args.pressure = Some(match v.split_once(':') {
@@ -121,12 +133,10 @@ fn parse_args() -> Args {
                         eprintln!("bad fraction in '{v}'");
                         usage()
                     })),
-                    Some(("dynamic", a)) => {
-                        Pressure::Dynamic(parse_size(a).unwrap_or_else(|e| {
-                            eprintln!("{e}");
-                            usage()
-                        }))
-                    }
+                    Some(("dynamic", a)) => Pressure::Dynamic(parse_size(a).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    })),
                     _ => {
                         eprintln!("bad pressure spec '{v}'");
                         usage()
@@ -136,6 +146,7 @@ fn parse_args() -> Args {
             "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--bmu" => args.bmu = true,
+            "--trace" => args.trace = Some(std::path::PathBuf::from(value())),
             _ => usage(),
         }
     }
@@ -155,24 +166,36 @@ fn main() {
     let memory = scaled(args.memory);
     let make = move || -> Box<dyn Program> { Box::new(benchmark.program(scale, seed)) };
 
-    let result = match args.pressure {
-        None => run(&RunConfig::new(args.collector, heap, memory), make()),
-        Some(Pressure::Steady(frac)) => simulate::experiments::steady_pressure(
-            args.collector,
-            heap,
-            memory,
-            frac,
-            &make,
-        ),
-        Some(Pressure::Dynamic(avail)) => simulate::experiments::dynamic_pressure(
+    let tracer = match &args.trace {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            Tracer::new(Box::new(sink))
+        }
+        None => Tracer::disabled(),
+    };
+
+    let mut config = match args.pressure {
+        None => RunConfig::new(args.collector, heap, memory),
+        Some(Pressure::Steady(frac)) => {
+            simulate::experiments::steady_pressure_config(args.collector, heap, memory, frac)
+        }
+        Some(Pressure::Dynamic(avail)) => simulate::experiments::dynamic_pressure_config(
             args.collector,
             heap,
             memory,
             scaled(avail),
             scale,
-            &make,
         ),
     };
+    config.tracer = tracer.clone();
+    let result = run(&config, make());
+    tracer.flush();
+    if let Some(path) = &args.trace {
+        println!("trace            {}", path.display());
+    }
 
     println!("collector        {}", args.collector);
     println!("benchmark        {}", result.benchmark);

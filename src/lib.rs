@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use bookmarking_gc::bookmarking::{BcOptions, Bookmarking};
-//! use bookmarking_gc::heap::{AllocKind, GcHeap, HeapConfig, MemCtx};
+//! use bookmarking_gc::heap::{AllocKind, CollectKind, GcHeap, HeapConfig, MemCtx};
 //! use bookmarking_gc::simtime::{Clock, CostModel};
 //! use bookmarking_gc::vmm::{Vmm, VmmConfig};
 //!
@@ -28,11 +28,11 @@
 //! let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
 //! let mut clock = Clock::new();
 //! let pid = vmm.register_process();
-//! let mut gc = Bookmarking::new(HeapConfig::with_heap_bytes(8 << 20), BcOptions::default());
+//! let mut gc = Bookmarking::new(HeapConfig::builder().heap_bytes(8 << 20).build(), BcOptions::default());
 //! gc.register(&mut vmm, pid);
 //! let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
 //! let list = gc.alloc(&mut ctx, AllocKind::Scalar { data_words: 3, num_refs: 1 })?;
-//! gc.collect(&mut ctx, true);
+//! gc.collect(&mut ctx, CollectKind::Full);
 //! gc.drop_handle(list);
 //! # Ok(())
 //! # }

@@ -18,7 +18,13 @@ fn all_collectors_complete_all_benchmarks() {
             let heap = (b.scaled_min_heap(0.01) * 4).max(2 << 20);
             let config = RunConfig::new(kind, heap, 256 << 20);
             let r = run(&config, Box::new(b.program(0.01, 5)));
-            assert!(r.ok(), "{} on {kind}: oom={} timeout={}", b.name, r.oom, r.timed_out);
+            assert!(
+                r.ok(),
+                "{} on {kind}: oom={} timeout={}",
+                b.name,
+                r.oom,
+                r.timed_out
+            );
             volumes.push(r.gc.bytes_allocated);
         }
         assert!(
@@ -33,7 +39,11 @@ fn all_collectors_complete_all_benchmarks() {
 /// bit-identical metrics.
 #[test]
 fn simulation_is_deterministic() {
-    for kind in [CollectorKind::Bc, CollectorKind::GenCopy, CollectorKind::MarkSweep] {
+    for kind in [
+        CollectorKind::Bc,
+        CollectorKind::GenCopy,
+        CollectorKind::MarkSweep,
+    ] {
         let once = || {
             let config = RunConfig::new(kind, 4 << 20, 64 << 20);
             let r = run(&config, program("_202_jess", 0.01, 9));
@@ -91,13 +101,13 @@ fn pause_records_are_well_formed() {
         let config = RunConfig::new(kind, 4 << 20, 256 << 20);
         let r = run(&config, program("_205_raytrace", 0.02, 8));
         assert!(r.ok(), "{kind}");
-        assert!(r.pauses.total <= r.exec_time, "{kind}: paused longer than it ran");
+        assert!(
+            r.pauses.total <= r.exec_time,
+            "{kind}: paused longer than it ran"
+        );
         let recs = &r.pause_records;
         for w in recs.windows(2) {
-            assert!(
-                w[0].end() <= w[1].start,
-                "{kind}: overlapping pauses {w:?}"
-            );
+            assert!(w[0].end() <= w[1].start, "{kind}: overlapping pauses {w:?}");
         }
         if let Some(last) = recs.last() {
             assert!(last.end() <= r.exec_time);

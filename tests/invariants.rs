@@ -13,7 +13,7 @@ fn jess(scale: f64, seed: u64) -> Box<dyn Program> {
 /// paid back by the time the run ends.
 #[test]
 fn heap_budget_is_respected_at_completion() {
-    use heap::MemCtx;
+    use heap::{CollectKind, MemCtx};
     for kind in CollectorKind::ALL {
         let heap_bytes = 4 << 20;
         let mut vmm = vmm::Vmm::new(
@@ -22,7 +22,7 @@ fn heap_budget_is_respected_at_completion() {
         );
         let mut clock = simtime::Clock::new();
         let pid = vmm.register_process();
-        let mut gc = kind.build(heap_bytes, &mut vmm, pid);
+        let mut gc = kind.build(heap_bytes, telemetry::Tracer::disabled(), &mut vmm, pid);
         let mut program = spec("_202_jess").unwrap().program(0.02, 1);
         loop {
             let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
@@ -34,7 +34,7 @@ fn heap_budget_is_respected_at_completion() {
         }
         // Collect once so transient overruns are settled, then check.
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
-        gc.collect(&mut ctx, true);
+        gc.collect(&mut ctx, CollectKind::Full);
         let budget_pages = heap_bytes / 4096;
         assert!(
             gc.heap_pages_used() <= budget_pages,
@@ -134,9 +134,7 @@ fn pressure_runs_are_deterministic() {
 #[test]
 fn pressure_monotonically_hurts_genms() {
     let time_at = |paper_avail: usize| {
-        let make = || -> Box<dyn Program> {
-            Box::new(spec("pseudoJBB").unwrap().program(0.02, 7))
-        };
+        let make = || -> Box<dyn Program> { Box::new(spec("pseudoJBB").unwrap().program(0.02, 7)) };
         dynamic_pressure(
             CollectorKind::GenMs,
             (100 << 20) / 50,
@@ -153,5 +151,8 @@ fn pressure_monotonically_hurts_genms() {
     let tight = time_at(44 << 20);
     assert!(medium >= loose * 0.95, "medium {medium} vs loose {loose}");
     assert!(tight >= medium * 0.95, "tight {tight} vs medium {medium}");
-    assert!(tight > loose * 1.5, "pressure never bit: {loose} -> {tight}");
+    assert!(
+        tight > loose * 1.5,
+        "pressure never bit: {loose} -> {tight}"
+    );
 }

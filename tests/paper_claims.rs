@@ -48,7 +48,11 @@ fn under_pressure_bc_beats_oblivious_collectors() {
     let target = eq(60 << 20);
     let bc = dynamic_pressure(CollectorKind::Bc, heap, memory, target, SCALE, &make);
     assert!(bc.ok());
-    for kind in [CollectorKind::GenMs, CollectorKind::CopyMs, CollectorKind::SemiSpace] {
+    for kind in [
+        CollectorKind::GenMs,
+        CollectorKind::CopyMs,
+        CollectorKind::SemiSpace,
+    ] {
         let other = dynamic_pressure(kind, heap, memory, target, SCALE, &make);
         assert!(
             other.exec_time > bc.exec_time,
@@ -82,7 +86,11 @@ fn bc_collector_faults_stay_negligible_under_pressure() {
     let target = eq(60 << 20);
     let bc = dynamic_pressure(CollectorKind::Bc, heap, memory, target, SCALE, &make);
     assert!(bc.ok());
-    assert!(bc.gc.pages_discarded > 0, "BC never gave pages back: {:?}", bc.gc);
+    assert!(
+        bc.gc.pages_discarded > 0,
+        "BC never gave pages back: {:?}",
+        bc.gc
+    );
     assert!(bc.gc.heap_shrinks > 0, "BC never shrank its heap");
     // Collector-attributed faults (taken inside pauses) are essentially
     // zero; a small allowance covers unscanned-page resolution (§3.4.3).
@@ -128,7 +136,10 @@ fn resizing_only_pauses_degrade_where_bookmarks_do_not() {
         let ratio = resize.pauses.mean.as_nanos() as f64 / bc.pauses.mean.as_nanos().max(1) as f64;
         best_ratio = best_ratio.max(ratio);
     }
-    assert!(bookmarks_engaged, "pressure too mild: bookmarks never engaged");
+    assert!(
+        bookmarks_engaged,
+        "pressure too mild: bookmarks never engaged"
+    );
     assert!(
         best_ratio > 2.0,
         "resizing-only pauses never exceeded 2x BC's (best ratio {best_ratio:.2})"
@@ -144,7 +155,14 @@ fn fixed_nurseries_do_not_save_genms() {
     let memory = eq(224 << 20);
     let target = eq(60 << 20);
     let bc = dynamic_pressure(CollectorKind::Bc, heap, memory, target, SCALE, &make);
-    let fixed = dynamic_pressure(CollectorKind::GenMsFixed, heap, memory, target, SCALE, &make);
+    let fixed = dynamic_pressure(
+        CollectorKind::GenMsFixed,
+        heap,
+        memory,
+        target,
+        SCALE,
+        &make,
+    );
     assert!(
         fixed.exec_time > bc.exec_time,
         "GenMS-fixed {} should still trail BC {}",

@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use heap::{AllocKind, GcHeap, Handle, MemCtx};
+use heap::{AllocKind, CollectKind, GcHeap, Handle, MemCtx};
 use simtime::{Clock, CostModel};
 use simulate::CollectorKind;
 use vmm::{ProcessId, Vmm, VmmConfig};
@@ -37,10 +37,13 @@ struct Driver {
 
 impl Driver {
     fn new(kind: CollectorKind, memory_bytes: usize, heap_bytes: usize, seed: u64) -> Driver {
-        let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(memory_bytes), CostModel::default());
+        let mut vmm = Vmm::new(
+            VmmConfig::with_memory_bytes(memory_bytes),
+            CostModel::default(),
+        );
         let pid = vmm.register_process();
         let hog = vmm.register_process();
-        let gc = kind.build(heap_bytes, &mut vmm, pid);
+        let gc = kind.build(heap_bytes, telemetry::Tracer::disabled(), &mut vmm, pid);
         Driver {
             vmm,
             clock: Clock::new(),
@@ -158,9 +161,9 @@ impl Driver {
         self.gc.handle_vm_events(&mut ctx);
     }
 
-    fn collect(&mut self, full: bool) {
+    fn collect(&mut self, kind: CollectKind) {
         let mut ctx = MemCtx::new(&mut self.vmm, &mut self.clock, self.pid);
-        self.gc.collect(&mut ctx, full);
+        self.gc.collect(&mut ctx, kind);
     }
 
     fn run(&mut self, ops: usize, with_pressure: bool) {
@@ -176,8 +179,8 @@ impl Driver {
                         self.pump();
                     }
                 }
-                96..=97 => self.collect(false),
-                _ => self.collect(true),
+                96..=97 => self.collect(CollectKind::Minor),
+                _ => self.collect(CollectKind::Full),
             }
             if i % 256 == 0 {
                 self.pump();
@@ -215,7 +218,11 @@ fn shadow_stress_resize_only_under_pressure() {
 
 #[test]
 fn shadow_stress_oblivious_collectors_under_pressure() {
-    for kind in [CollectorKind::GenMs, CollectorKind::SemiSpace, CollectorKind::CopyMs] {
+    for kind in [
+        CollectorKind::GenMs,
+        CollectorKind::SemiSpace,
+        CollectorKind::CopyMs,
+    ] {
         let mut d = Driver::new(kind, 8 << 20, 4 << 20, 5);
         d.run(4_000, true);
     }

@@ -1,0 +1,157 @@
+//! End-to-end telemetry integration: run BC under signalmem-style memory
+//! pressure with a live tracer and check the recorded event stream tells
+//! the paper's story — eviction notices arrive, the collector
+//! bookmark-scans the victim pages, and only then relinquishes them
+//! (§3.4/§4.2: the bookmark scan must precede the page handover).
+
+use simulate::experiments::dynamic_pressure_config;
+use simulate::{run, CollectorKind, Program};
+use telemetry::{jsonl, EventKind, Tracer};
+use workloads::spec;
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn eq(paper_bytes: usize) -> usize {
+    (paper_bytes as f64 * SCALE) as usize
+}
+
+fn traced_bc_run() -> (simulate::RunResult, Vec<telemetry::Event>) {
+    let b = spec("pseudoJBB").unwrap();
+    let make = move || -> Box<dyn Program> { Box::new(b.program(SCALE, SEED)) };
+    let tracer = Tracer::unbounded();
+    let mut config = dynamic_pressure_config(
+        CollectorKind::Bc,
+        eq(100 << 20),
+        eq(224 << 20),
+        eq(44 << 20),
+        SCALE,
+    );
+    config.tracer = tracer.clone();
+    let result = run(&config, make());
+    let events = tracer.snapshot();
+    (result, events)
+}
+
+#[test]
+fn bc_under_pressure_emits_evict_bookmark_scan_relinquish_in_order() {
+    let (result, events) = traced_bc_run();
+    assert!(result.ok(), "BC must survive this pressure regime");
+    assert!(!events.is_empty(), "tracing was enabled; events must exist");
+
+    // Each process's clock is independent, so the machine-wide stream is
+    // only guaranteed time-ordered per pid.
+    let mut last_per_pid = std::collections::HashMap::new();
+    for e in &events {
+        let last = last_per_pid.entry(e.pid).or_insert(simtime::Nanos::ZERO);
+        assert!(*last <= e.t, "per-pid event stream must be time-ordered");
+        *last = e.t;
+    }
+
+    // The cooperation sequence: an eviction notice, then a bookmark scan
+    // of a victim page, then a relinquish — in that order.
+    let first_notice = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::EvictionScheduled { .. }))
+        .expect("pressure must schedule evictions");
+    let first_scan = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::BookmarkScanned { .. }))
+        .expect("BC must bookmark-scan victim pages");
+    let first_relinquish = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::Relinquish { .. }))
+        .expect("BC must relinquish scanned pages");
+    assert!(
+        first_notice < first_scan,
+        "notice (idx {first_notice}) must precede bookmark scan (idx {first_scan})"
+    );
+    assert!(
+        first_scan < first_relinquish,
+        "bookmark scan (idx {first_scan}) must precede relinquish (idx {first_relinquish})"
+    );
+
+    // Collection and phase spans are present and balanced.
+    let begins = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CollectionBegin { .. }))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CollectionEnd { .. }))
+        .count();
+    assert!(begins >= 1, "at least one collection must have run");
+    assert_eq!(begins, ends, "collection spans must be balanced");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PhaseBegin { .. })),
+        "collections must emit phase spans"
+    );
+
+    // Every BC-attributed event carries its collector label.
+    assert!(events.iter().any(|e| e.collector == "BC"));
+}
+
+#[test]
+fn disabled_tracing_leaves_the_simulation_bit_identical() {
+    // Emitting never advances the simulated clock, so a traced run and an
+    // untraced run of the same configuration are the *same* simulation —
+    // the strongest form of "no overhead when disabled".
+    let b = spec("pseudoJBB").unwrap();
+    let make = move || -> Box<dyn Program> { Box::new(b.program(SCALE, SEED)) };
+    let mut config = dynamic_pressure_config(
+        CollectorKind::Bc,
+        eq(100 << 20),
+        eq(224 << 20),
+        eq(44 << 20),
+        SCALE,
+    );
+    let untraced = run(&config, make());
+    config.tracer = Tracer::unbounded();
+    let traced = run(&config, make());
+    assert_eq!(untraced.exec_time, traced.exec_time);
+    assert_eq!(untraced.gc, traced.gc);
+    assert_eq!(untraced.vm, traced.vm);
+    assert_eq!(untraced.pauses.count, traced.pauses.count);
+    assert!(untraced.metrics.trace.is_none());
+    assert!(traced.metrics.trace.is_some());
+}
+
+#[test]
+fn traced_run_round_trips_through_jsonl() {
+    let (_, events) = traced_bc_run();
+    let doc: String = events.iter().map(|e| jsonl::to_json(e) + "\n").collect();
+    let parsed = jsonl::parse_all(&doc).expect("every emitted event must parse back");
+    assert_eq!(parsed, events, "JSONL round-trip must be lossless");
+}
+
+#[test]
+fn metrics_snapshot_unifies_gc_and_vm_views() {
+    let (result, events) = traced_bc_run();
+    let m = &result.metrics;
+    assert_eq!(m.collector, "BC");
+    // The legacy views and the unified snapshot agree.
+    assert_eq!(m.gc, result.gc);
+    assert_eq!(m.vm, result.vm);
+    assert_eq!(m.total_gcs(), result.gc.total_gcs());
+    assert_eq!(m.major_faults(), result.vm.major_faults);
+    // The aggregate is derived from the same stream the tracer recorded.
+    let agg = m.trace.as_ref().expect("tracing was on");
+    assert_eq!(
+        agg.counts.collections,
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CollectionBegin { .. }))
+            .count() as u64
+    );
+    assert!(
+        !agg.phases.is_empty(),
+        "per-phase histograms must be populated"
+    );
+    assert!(
+        agg.counts.bookmark_scans > 0 && agg.counts.relinquished > 0,
+        "cooperation counters must reflect the run"
+    );
+    assert!(!agg.series.is_empty(), "time-bucketed series must exist");
+}

@@ -132,12 +132,19 @@ fn bench_swap_device(c: &mut Criterion) {
             let make = pseudo_jbb();
             let heap = eq(100 << 20);
             let memory = eq(224 << 20);
-            let mut out = Vec::new();
+            // The 2x2 (device x collector) grid fans out across workers;
+            // results come back in grid order, so the printout is stable.
+            let mut grid: Vec<(&str, Nanos, CollectorKind)> = Vec::new();
             for (label, fault) in [
                 ("disk (5ms, paper)", Nanos::from_millis(5)),
                 ("ssd (100us)", Nanos::from_micros(100)),
             ] {
                 for kind in [CollectorKind::Bc, CollectorKind::GenMs] {
+                    grid.push((label, fault, kind));
+                }
+            }
+            let results =
+                bench::parallel_map(bench::default_jobs(), &grid, |_, &(_, fault, kind)| {
                     let mut config = RunConfig::new(kind, heap, memory);
                     config.costs.major_fault = fault;
                     config.pressure = Some({
@@ -150,16 +157,18 @@ fn bench_swap_device(c: &mut Criterion) {
                         p.interval = Nanos((p.interval.as_nanos() as f64 * SCALE * 0.2) as u64);
                         p
                     });
-                    let r = run(&config, make());
-                    println!(
-                        "  {label:<20} {:<8} exec {:>9}  mean pause {:>9}  faults {:>6}",
-                        kind.label(),
-                        r.exec_time.to_string(),
-                        r.pauses.mean.to_string(),
-                        r.vm.major_faults
-                    );
-                    out.push(r.exec_time);
-                }
+                    run(&config, make())
+                });
+            let mut out = Vec::new();
+            for ((label, _, kind), r) in grid.iter().zip(&results) {
+                println!(
+                    "  {label:<20} {:<8} exec {:>9}  mean pause {:>9}  faults {:>6}",
+                    kind.label(),
+                    r.exec_time.to_string(),
+                    r.pauses.mean.to_string(),
+                    r.vm.major_faults
+                );
+                out.push(r.exec_time);
             }
             out
         })

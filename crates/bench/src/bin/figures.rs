@@ -1,8 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|phases|all> [--scale F] [--seed N]
+//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|phases|all>
+//!         [--scale F] [--seed N] [--jobs N] [--quick] [--csv DIR]
 //! ```
+//!
+//! `--jobs N` fans the run matrix across N worker threads (default: all
+//! cores). Output is byte-identical for every N — each figure cell is an
+//! independent deterministic simulation, assembled by cell index.
 
 use bench::pressure_figs::{
     fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
@@ -41,6 +46,15 @@ fn main() {
                 i += 1;
                 params.seed = args[i].parse().expect("--seed takes an integer");
             }
+            "--jobs" => {
+                i += 1;
+                params.jobs = args[i].parse().expect("--jobs takes an integer");
+            }
+            "--quick" => {
+                let jobs = params.jobs;
+                params = Params::quick();
+                params.jobs = jobs;
+            }
             "--csv" => {
                 i += 1;
                 csv_dir = Some(args[i].clone());
@@ -54,8 +68,8 @@ fn main() {
         i += 1;
     }
     eprintln!(
-        "# workload scale {} (1.0 = the paper's volumes), seed {}",
-        params.scale, params.seed
+        "# workload scale {} (1.0 = the paper's volumes), seed {}, jobs {}",
+        params.scale, params.seed, params.jobs
     );
     let run = |name: &str| which == "all" || which == name;
     if run("table1") {

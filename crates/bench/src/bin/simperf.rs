@@ -1,0 +1,232 @@
+//! Simulator performance tracker: times a fixed workload mix on the host
+//! clock and writes `BENCH_simperf.json`, so the harness's wall-clock
+//! trajectory (touches/sec above all) is visible from PR to PR.
+//!
+//! ```text
+//! simperf [--quick] [--scale F] [--seed N] [--jobs N] [--out PATH]
+//! ```
+//!
+//! The mix covers the three run shapes the figures use: calm fig2-style
+//! cells (hot-path throughput), fig5a-style dynamic-pressure cells
+//! (eviction/fault machinery), and fig7-style multi-JVM cells (shared-VMM
+//! scheduling). Each group fans out through the same worker pool as the
+//! `figures` binary; per-group wall-clock therefore reflects `--jobs`.
+
+use std::time::Instant;
+
+use bench::{default_jobs, parallel_map, scaled, Params, SweepDepth};
+use simtime::Nanos;
+use simulate::experiments::{dynamic_pressure, multi_jvm};
+use simulate::{run, CollectorKind, Program, RunConfig, RunResult};
+use workloads::spec;
+
+/// One workload group's accumulated counters.
+struct GroupPerf {
+    name: &'static str,
+    cells: usize,
+    wall: std::time::Duration,
+    sim_time: Nanos,
+    touches: u64,
+    major_faults: u64,
+    minor_faults: u64,
+}
+
+impl GroupPerf {
+    fn new(name: &'static str) -> GroupPerf {
+        GroupPerf {
+            name,
+            cells: 0,
+            wall: std::time::Duration::ZERO,
+            sim_time: Nanos::ZERO,
+            touches: 0,
+            major_faults: 0,
+            minor_faults: 0,
+        }
+    }
+
+    fn absorb(&mut self, r: &RunResult) {
+        self.cells += 1;
+        self.sim_time = self.sim_time.max(r.exec_time);
+        self.touches += r.vm.touches;
+        self.major_faults += r.vm.major_faults;
+        self.minor_faults += r.vm.minor_faults;
+    }
+
+    fn touches_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.touches as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cells\":{},\"wall_ms\":{:.3},",
+                "\"sim_time_ns\":{},\"touches\":{},\"touches_per_sec\":{:.0},",
+                "\"major_faults\":{},\"minor_faults\":{}}}"
+            ),
+            self.name,
+            self.cells,
+            self.wall.as_secs_f64() * 1e3,
+            self.sim_time.as_nanos(),
+            self.touches,
+            self.touches_per_sec(),
+            self.major_faults,
+            self.minor_faults,
+        )
+    }
+}
+
+fn pseudo_jbb(params: &Params) -> impl Fn() -> Box<dyn Program> + Sync {
+    let b = spec("pseudoJBB").expect("pseudoJBB spec");
+    let scale = params.scale;
+    let seed = params.seed;
+    move || Box::new(b.program(scale, seed))
+}
+
+/// Calm fig2-style cells: every Figure 2 collector on pseudoJBB, ample
+/// memory. Dominated by the `Vmm::touch` fast path.
+fn no_pressure(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("fig2_no_pressure");
+    let make = pseudo_jbb(params);
+    let heap = scaled(params, 100 << 20);
+    let kinds = CollectorKind::FIGURE2;
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &kinds, |_, &kind| {
+        run(&RunConfig::new(kind, heap, 512 << 20), make())
+    });
+    g.wall = start.elapsed();
+    for r in &results {
+        g.absorb(r);
+    }
+    g
+}
+
+/// Fig5a-style dynamic-pressure cells: the paging machinery under load.
+fn dynamic(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("fig5a_dynamic_pressure");
+    let make = pseudo_jbb(params);
+    let heap = scaled(params, 100 << 20);
+    let memory = scaled(params, 224 << 20);
+    let kinds = CollectorKind::PRESSURE;
+    let avails = params.thin(&[160 << 20, 93 << 20, 36 << 20]);
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&k| avails.iter().map(move |&a| (k, a)))
+        .collect();
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, avail)| {
+        let target = scaled(params, avail);
+        dynamic_pressure(kind, heap, memory, target, params.scale, &make)
+    });
+    g.wall = start.elapsed();
+    for r in &results {
+        g.absorb(r);
+    }
+    g
+}
+
+/// Fig7-style multi-JVM cells: two instances sharing the VMM.
+fn multi(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("fig7_multi_jvm");
+    let make = pseudo_jbb(params);
+    let heap = scaled(params, 77 << 20);
+    let kinds = CollectorKind::PRESSURE;
+    let memories = params.thin(&[256 << 20, 192 << 20]);
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&k| memories.iter().map(move |&m| (k, m)))
+        .collect();
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, mem)| {
+        multi_jvm(kind, heap, scaled(params, mem), &make)
+    });
+    g.wall = start.elapsed();
+    for m in &results {
+        for r in &m.jvms {
+            g.absorb(r);
+        }
+        g.sim_time = g.sim_time.max(m.total_elapsed);
+    }
+    g
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = Params {
+        scale: 0.05,
+        seed: 42,
+        sweep: SweepDepth::Quick,
+        jobs: default_jobs(),
+    };
+    let mut out_path = String::from("BENCH_simperf.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => params.scale = 0.01,
+            "--scale" => {
+                i += 1;
+                params.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--jobs" => {
+                i += 1;
+                params.jobs = args[i].parse().expect("--jobs takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    eprintln!(
+        "# simperf: scale {}, seed {}, jobs {}",
+        params.scale, params.seed, params.jobs
+    );
+    let total_start = Instant::now();
+    let groups = [no_pressure(&params), dynamic(&params), multi(&params)];
+    let total_wall = total_start.elapsed();
+    let touches: u64 = groups.iter().map(|g| g.touches).sum();
+    for g in &groups {
+        eprintln!(
+            "  {:<24} {:>4} cells  {:>9.1} ms  {:>13} touches  {:>12.0} touches/s",
+            g.name,
+            g.cells,
+            g.wall.as_secs_f64() * 1e3,
+            g.touches,
+            g.touches_per_sec(),
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"simperf-v1\",\"jobs\":{},\"scale\":{},\"seed\":{},",
+            "\"total_wall_ms\":{:.3},\"total_touches\":{},",
+            "\"total_touches_per_sec\":{:.0},\"figures\":[{}]}}\n"
+        ),
+        params.jobs,
+        params.scale,
+        params.seed,
+        total_wall.as_secs_f64() * 1e3,
+        touches,
+        touches as f64 / total_wall.as_secs_f64().max(1e-9),
+        groups
+            .iter()
+            .map(|g| g.to_json())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    std::fs::write(&out_path, &json).expect("write simperf json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

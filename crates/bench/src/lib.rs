@@ -17,12 +17,14 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod pressure_figs;
 pub mod report;
 
 use simulate::{min_heap_search, CollectorKind};
 use workloads::{table1, BenchmarkSpec};
 
+pub use pool::{default_jobs, parallel_map};
 pub use report::{fmt_time, geomean, Table};
 
 /// How many sweep points each figure evaluates.
@@ -46,6 +48,10 @@ pub struct Params {
     pub seed: u64,
     /// Sweep thinning.
     pub sweep: SweepDepth,
+    /// Worker threads for the experiment matrix (`figures --jobs N`).
+    /// Results are assembled by cell index, so any value produces output
+    /// byte-identical to `jobs: 1`.
+    pub jobs: usize,
 }
 
 impl Params {
@@ -55,6 +61,7 @@ impl Params {
             scale: 0.01,
             seed: 42,
             sweep: SweepDepth::Quick,
+            jobs: pool::default_jobs(),
         }
     }
 
@@ -65,6 +72,7 @@ impl Params {
             scale: 0.1,
             seed: 42,
             sweep: SweepDepth::Full,
+            jobs: pool::default_jobs(),
         }
     }
 
@@ -103,12 +111,14 @@ pub fn table1_report(params: &Params) -> Table {
         "Paper min heap",
         "Measured min heap (rescaled)",
     ]);
-    for b in table1() {
-        let make = || -> Box<dyn simulate::Program> { Box::new(b.program(0.0, 0)) };
-        let _ = make; // the search builds its own programs below
-        let scale = params.scale;
-        let seed = params.seed;
-        let mk = move || -> Box<dyn simulate::Program> { Box::new(b.program(scale, seed)) };
+    let benchmarks = table1();
+    let scale = params.scale;
+    let seed = params.seed;
+    // One worker per benchmark: the search and the confirming run are a
+    // self-contained deterministic cell.
+    let cells = pool::parallel_map(params.jobs, &benchmarks, |_, b| {
+        let spec = *b;
+        let mk = move || -> Box<dyn simulate::Program> { Box::new(spec.program(scale, seed)) };
         let lo =
             (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
         let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
@@ -118,10 +128,13 @@ pub fn table1_report(params: &Params) -> Table {
             &simulate::RunConfig::new(CollectorKind::Bc, hi, 512 << 20),
             mk(),
         );
+        (run.gc.bytes_allocated, min)
+    });
+    for (b, (bytes_allocated, min)) in benchmarks.iter().zip(cells) {
         t.row(vec![
             b.name.to_string(),
             format!("{}", b.paper_total_alloc),
-            format!("{:.0}", run.gc.bytes_allocated as f64 / scale),
+            format!("{:.0}", bytes_allocated as f64 / scale),
             format!("{}", b.paper_min_heap),
             min.map(|m| format!("{:.0}", m as f64 / scale))
                 .unwrap_or_else(|| "-".into()),
@@ -142,67 +155,64 @@ pub fn fig2_report(params: &Params) -> Table {
     let multipliers = params.thin(&[1.25, 1.5, 2.0, 2.5, 3.0]);
     let multipliers: &[f64] = &multipliers;
     let benchmarks = table1();
-    // Per-benchmark base heaps (GenMS minimum).
-    let mut bases = Vec::new();
-    for b in &benchmarks {
-        let scale = params.scale;
-        let seed = params.seed;
+    let scale = params.scale;
+    let seed = params.seed;
+    // Per-benchmark base heaps (GenMS minimum): one search per benchmark.
+    let bases = pool::parallel_map(params.jobs, &benchmarks, |_, b| {
         let spec = *b;
         let mk = move || -> Box<dyn simulate::Program> { Box::new(spec.program(scale, seed)) };
         let lo =
             (((b.immortal_bytes + b.live_window_bytes) as f64 * scale) as usize).max(256 << 10);
         let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
-        let base = min_heap_search(CollectorKind::GenMs, 512 << 20, &mk, lo, hi, 256 << 10)
-            .unwrap_or(hi / 2);
-        bases.push(base);
+        min_heap_search(CollectorKind::GenMs, 512 << 20, &mk, lo, hi, 256 << 10).unwrap_or(hi / 2)
+    });
+    // The full (collector × multiplier × benchmark) matrix as a flat cell
+    // list; every cell runs exactly once, and the BC row doubles as the
+    // denominator for every other collector's ratio.
+    let kinds = CollectorKind::FIGURE2;
+    let mut cells: Vec<(CollectorKind, usize, usize)> = Vec::new();
+    for &kind in &kinds {
+        for mi in 0..multipliers.len() {
+            for bi in 0..benchmarks.len() {
+                cells.push((kind, mi, bi));
+            }
+        }
     }
-    // exec[collector][multiplier][benchmark]
+    let times = pool::parallel_map(params.jobs, &cells, |_, &(kind, mi, bi)| {
+        let heap = (bases[bi] as f64 * multipliers[mi]) as usize;
+        let r = run_bench(kind, &benchmarks[bi], heap, 512 << 20, params);
+        if r.ok() {
+            r.exec_time.as_nanos() as f64
+        } else {
+            f64::NAN
+        }
+    });
+    let cell_time = |kind: CollectorKind, mi: usize, bi: usize| -> f64 {
+        let ki = kinds.iter().position(|&k| k == kind).expect("known kind");
+        times[(ki * multipliers.len() + mi) * benchmarks.len() + bi]
+    };
     let mut t = Table::new(
         std::iter::once("Collector".to_string())
             .chain(multipliers.iter().map(|m| format!("{m}x min heap")))
             .collect(),
     );
-    let mut bc_times: Vec<Vec<f64>> = Vec::new(); // [mult][bench]
-    for (mi, &mult) in multipliers.iter().enumerate() {
-        bc_times.push(Vec::new());
-        for (bi, b) in benchmarks.iter().enumerate() {
-            let heap = (bases[bi] as f64 * mult) as usize;
-            let r = run_bench(CollectorKind::Bc, b, heap, 512 << 20, params);
-            bc_times[mi].push(if r.ok() {
-                r.exec_time.as_nanos() as f64
-            } else {
-                f64::NAN
-            });
-        }
-    }
-    for kind in CollectorKind::FIGURE2 {
-        let mut cells = vec![kind.label().to_string()];
-        for (mi, &mult) in multipliers.iter().enumerate() {
+    for kind in kinds {
+        let mut row = vec![kind.label().to_string()];
+        for mi in 0..multipliers.len() {
             let mut ratios = Vec::new();
-            for (bi, b) in benchmarks.iter().enumerate() {
-                let heap = (bases[bi] as f64 * mult) as usize;
-                let time = if kind == CollectorKind::Bc {
-                    bc_times[mi][bi]
-                } else {
-                    let r = run_bench(kind, b, heap, 512 << 20, params);
-                    if r.ok() {
-                        r.exec_time.as_nanos() as f64
-                    } else {
-                        f64::NAN
-                    }
-                };
-                let ratio = time / bc_times[mi][bi];
+            for bi in 0..benchmarks.len() {
+                let ratio = cell_time(kind, mi, bi) / cell_time(CollectorKind::Bc, mi, bi);
                 if ratio.is_finite() {
                     ratios.push(ratio);
                 }
             }
-            cells.push(if ratios.is_empty() {
+            row.push(if ratios.is_empty() {
                 "-".into()
             } else {
                 format!("{:.3}", geomean(&ratios))
             });
         }
-        t.row(cells);
+        t.row(row);
     }
     t
 }
@@ -227,29 +237,30 @@ pub fn phases_report(params: &Params) -> Table {
         "Total",
     ]);
     let benchmarks = table1();
-    let b = benchmarks
+    let b = *benchmarks
         .iter()
         .find(|b| b.name == "pseudoJBB")
         .unwrap_or(&benchmarks[0]);
     let heap = scaled(params, 100 << 20);
     let memory = scaled(params, 224 << 20);
     let available = scaled(params, 93 << 20);
-    for kind in CollectorKind::PRESSURE {
+    let scale = params.scale;
+    let seed = params.seed;
+    // One traced run per collector. The tracer is thread-local state
+    // (`Rc`-based), so each worker builds its own and reduces the trace to
+    // finished rows before returning.
+    let kinds = CollectorKind::PRESSURE;
+    let rows = pool::parallel_map(params.jobs, &kinds, |_, &kind| {
         let tracer = telemetry::Tracer::unbounded();
-        let mut config = simulate::experiments::dynamic_pressure_config(
-            kind,
-            heap,
-            memory,
-            available,
-            params.scale,
-        );
+        let mut config =
+            simulate::experiments::dynamic_pressure_config(kind, heap, memory, available, scale);
         config.tracer = tracer.clone();
-        let scale = params.scale;
-        let seed = params.seed;
         let result = simulate::run(&config, Box::new(b.program(scale, seed)));
+        let _ = result; // the table reports the trace, not the run summary
         let agg = telemetry::aggregate(&tracer.snapshot(), simtime::Nanos::ZERO);
+        let mut rows: Vec<Vec<String>> = Vec::new();
         for (phase, hist) in &agg.phases {
-            t.row(vec![
+            rows.push(vec![
                 kind.label().to_string(),
                 phase.name().to_string(),
                 format!("{}", hist.count()),
@@ -260,7 +271,10 @@ pub fn phases_report(params: &Params) -> Table {
                 fmt_time(hist.total()),
             ]);
         }
-        let _ = result; // the table reports the trace, not the run summary
+        rows
+    });
+    for row in rows.into_iter().flatten() {
+        t.row(row);
     }
     t
 }

@@ -1,0 +1,115 @@
+//! A minimal scoped-thread worker pool for the experiment harness.
+//!
+//! Every figure cell (collector × benchmark × heap × pressure scenario) is
+//! an independent, deterministic simulation, so the run matrix fans out
+//! across threads with no synchronization beyond a shared work counter.
+//! Results land in per-cell slots indexed by the item's position, which is
+//! what makes parallel output **byte-identical** to a serial run: assembly
+//! order is the slice order, never completion order.
+//!
+//! Std-only by design (`std::thread::scope` + atomics), matching the
+//! repository's vendored-shim policy of no external dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, using up to `jobs` worker threads, and
+/// returns the results **in item order**.
+///
+/// `f` receives `(index, &item)` and must be callable from any worker
+/// (`Sync`); per-run state that is not `Send` — tracers, programs, the
+/// simulator itself — is constructed inside `f`, never shared. With
+/// `jobs <= 1` (or one item) everything runs on the calling thread, making
+/// `--jobs 1` an exact serial replay.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads join (via
+/// `std::thread::scope`).
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Each worker keeps (index, result) pairs locally; the
+                    // scan index is the only shared state.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker panicked") {
+                debug_assert!(slots[i].is_none(), "cell {i} claimed twice");
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker filled every slot"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_regardless_of_jobs() {
+        let items: Vec<usize> = (0..64).collect();
+        let serial = parallel_map(1, &items, |i, &x| (i, x * x));
+        for jobs in [2, 4, 16, 100] {
+            let parallel = parallel_map(jobs, &items, |i, &x| (i, x * x));
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let none: Vec<u32> = parallel_map(8, &[], |_, x: &u32| *x);
+        assert!(none.is_empty());
+        let one = parallel_map(8, &[7u32], |i, x| x + i as u32);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn every_index_is_processed_exactly_once() {
+        let counts: Vec<std::sync::atomic::AtomicUsize> =
+            (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..200).collect();
+        parallel_map(8, &items, |i, _| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -9,6 +9,7 @@ use simulate::experiments::{dynamic_pressure, multi_jvm, steady_pressure};
 use simulate::{CollectorKind, Program, RunResult};
 use workloads::spec;
 
+use crate::pool::parallel_map;
 use crate::report::Table;
 use crate::{scaled, Params};
 
@@ -54,18 +55,26 @@ pub fn fig3_report(params: &Params) -> (Table, Table) {
     let mut tb = Table::new(headers);
     tb.caption = "Figure 3b: average GC pause under steady pressure".into();
     let make = pseudo_jbb(params);
-    for kind in CollectorKind::PRESSURE {
+    let kinds = CollectorKind::PRESSURE;
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| paper_heaps.iter().map(move |&h| (kind, h)))
+        .collect();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, paper_heap)| {
+        let heap = scaled(params, paper_heap);
+        // Figure 3's caption: "available memory is sufficient to hold
+        // only 40% of the heap" — signalmem pins 60% of the heap out of
+        // a machine sized just above the heap itself.
+        let memory = heap + scaled(params, 8 << 20);
+        steady_pressure(kind, heap, memory, 0.6, &make)
+    });
+    for (ki, &kind) in kinds.iter().enumerate() {
+        let row = &results[ki * paper_heaps.len()..(ki + 1) * paper_heaps.len()];
         let mut ra = vec![kind.label().to_string()];
         let mut rb = vec![kind.label().to_string()];
-        for &paper_heap in &paper_heaps {
-            let heap = scaled(params, paper_heap);
-            // Figure 3's caption: "available memory is sufficient to hold
-            // only 40% of the heap" — signalmem pins 60% of the heap out of
-            // a machine sized just above the heap itself.
-            let memory = heap + scaled(params, 8 << 20);
-            let r = steady_pressure(kind, heap, memory, 0.6, &make);
-            ra.push(cell_time(&r));
-            rb.push(cell_pause(&r));
+        for r in row {
+            ra.push(cell_time(r));
+            rb.push(cell_pause(r));
         }
         ta.row(ra);
         tb.row(rb);
@@ -114,11 +123,17 @@ fn dynamic_table(
         .collect();
     let mut t = Table::new(headers);
     t.caption = caption.into();
-    for &kind in kinds {
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| sweep.iter().map(move |&avail| (kind, avail)))
+        .collect();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, avail)| {
+        dynamic_run(params, kind, avail)
+    });
+    for (ki, &kind) in kinds.iter().enumerate() {
         let mut row = vec![kind.label().to_string()];
-        for &avail in &sweep {
-            let r = dynamic_run(params, kind, avail);
-            row.push(cell(&r));
+        for r in &results[ki * sweep.len()..(ki + 1) * sweep.len()] {
+            row.push(cell(r));
         }
         t.row(row);
     }
@@ -197,10 +212,10 @@ pub fn fig6_report(params: &Params) -> Vec<Table> {
     for &(avail, label) in levels {
         // Evaluate BMU at fixed fractions of each run's length so rows are
         // comparable; report the absolute windows of the BC run.
-        let mut rows: Vec<(CollectorKind, RunResult)> = Vec::new();
-        for &kind in &kinds {
-            rows.push((kind, dynamic_run(params, kind, avail)));
-        }
+        let results = parallel_map(params.jobs, &kinds, |_, &kind| {
+            dynamic_run(params, kind, avail)
+        });
+        let rows: Vec<(CollectorKind, RunResult)> = kinds.iter().copied().zip(results).collect();
         let windows: Vec<Nanos> = {
             // Span from sub-pause windows up to the slowest run's length,
             // as the paper's log-scale x-axis does (its windows reach
@@ -254,13 +269,20 @@ pub fn fig7_report(params: &Params) -> (Table, Table) {
     let mut tb = Table::new(headers);
     tb.caption = "Figure 7b: average GC pause, two pseudoJBB instances".into();
     let make = pseudo_jbb(params);
-    for kind in CollectorKind::PRESSURE {
+    let kinds = CollectorKind::PRESSURE;
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| paper_memory.iter().map(move |&m| (kind, m)))
+        .collect();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, mem)| {
+        let heap = scaled(params, 77 << 20);
+        let memory = scaled(params, mem);
+        multi_jvm(kind, heap, memory, &make)
+    });
+    for (ki, &kind) in kinds.iter().enumerate() {
         let mut ra = vec![kind.label().to_string()];
         let mut rb = vec![kind.label().to_string()];
-        for &mem in &paper_memory {
-            let heap = scaled(params, 77 << 20);
-            let memory = scaled(params, mem);
-            let result = multi_jvm(kind, heap, memory, &make);
+        for result in &results[ki * paper_memory.len()..(ki + 1) * paper_memory.len()] {
             ra.push(result.total_elapsed.to_string());
             let total_pause: u64 = result.jvms.iter().map(|r| r.pauses.total.as_nanos()).sum();
             let count: u64 = result.jvms.iter().map(|r| r.pauses.count).sum();

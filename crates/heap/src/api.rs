@@ -151,12 +151,6 @@ impl HeapConfig {
             },
         }
     }
-
-    /// A configuration with the given heap size and Appel nursery.
-    #[deprecated(note = "use `HeapConfig::builder().heap_bytes(..).build()`")]
-    pub fn with_heap_bytes(heap_bytes: usize) -> HeapConfig {
-        HeapConfig::builder().heap_bytes(heap_bytes).build()
-    }
 }
 
 /// Builder for [`HeapConfig`]; see [`HeapConfig::builder`].

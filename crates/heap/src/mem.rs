@@ -68,38 +68,66 @@ impl SimMemory {
     }
 
     /// Zeroes `[addr, addr + bytes)` (word-aligned on both ends).
+    ///
+    /// Runs one `fill(0)` per page rather than a word loop. Pages never
+    /// materialized are skipped — they already read as zero.
     pub fn zero(&mut self, addr: Address, bytes: u32) {
         assert!(addr.is_word_aligned() && bytes.is_multiple_of(4));
-        let mut a = addr;
-        let end = addr.offset(bytes);
+        let start = addr.0 as u64;
+        let end = start + bytes as u64;
+        let mut a = start;
         while a < end {
-            // Fast path: whole pages.
-            if a.0.is_multiple_of(BYTES_PER_PAGE) && end.0 - a.0 >= BYTES_PER_PAGE {
-                let idx = (a.0 / BYTES_PER_PAGE) as usize;
-                if idx < self.pages.len() {
-                    if let Some(p) = &mut self.pages[idx] {
-                        p.fill(0);
-                    }
-                }
-                a = a.offset(BYTES_PER_PAGE);
-            } else {
-                self.write_word(a, 0);
-                a = a.offset(4);
+            let idx = (a / BYTES_PER_PAGE as u64) as usize;
+            let off = (a % BYTES_PER_PAGE as u64) as usize / 4;
+            let run = (((end - a) / 4) as usize).min(PAGE / 4 - off);
+            if let Some(Some(p)) = self.pages.get_mut(idx) {
+                p[off..off + run].fill(0);
             }
+            a += (run * 4) as u64;
         }
     }
 
     /// Copies `bytes` (word multiple) from `src` to `dst`. Ranges must not
     /// overlap.
+    ///
+    /// Copies page-sized slice runs instead of looping word-by-word; an
+    /// unmaterialized source page reads as zeroes, so the destination run is
+    /// zero-filled instead of copied.
     pub fn copy(&mut self, src: Address, dst: Address, bytes: u32) {
         assert!(src.is_word_aligned() && dst.is_word_aligned() && bytes.is_multiple_of(4));
         debug_assert!(
             src.0 + bytes <= dst.0 || dst.0 + bytes <= src.0,
             "overlapping copy {src}..+{bytes} -> {dst}"
         );
-        for off in (0..bytes).step_by(4) {
-            let w = self.read_word(src.offset(off));
-            self.write_word(dst.offset(off), w);
+        let total = bytes as u64;
+        let mut done: u64 = 0;
+        while done < total {
+            let s = src.0 as u64 + done;
+            let d = dst.0 as u64 + done;
+            let s_idx = (s / BYTES_PER_PAGE as u64) as usize;
+            let s_off = (s % BYTES_PER_PAGE as u64) as usize / 4;
+            let d_idx = (d / BYTES_PER_PAGE as u64) as usize;
+            let d_off = (d % BYTES_PER_PAGE as u64) as usize / 4;
+            let run = (((total - done) / 4) as usize)
+                .min(PAGE / 4 - s_off)
+                .min(PAGE / 4 - d_off);
+            let src_present = matches!(self.pages.get(s_idx), Some(Some(_)));
+            if !src_present {
+                // Source reads as zero; only clear a materialized target.
+                if let Some(Some(p)) = self.pages.get_mut(d_idx) {
+                    p[d_off..d_off + run].fill(0);
+                }
+            } else if s_idx == d_idx {
+                let p = self.pages[s_idx].as_mut().expect("present above");
+                p.copy_within(s_off..s_off + run, d_off);
+            } else {
+                // Detach the source page so the destination can be borrowed
+                // (and lazily materialized) at the same time.
+                let sp = self.pages[s_idx].take().expect("present above");
+                self.page_mut(d_idx)[d_off..d_off + run].copy_from_slice(&sp[s_off..s_off + run]);
+                self.pages[s_idx] = Some(sp);
+            }
+            done += (run * 4) as u64;
         }
     }
 
@@ -152,6 +180,62 @@ mod tests {
         assert_eq!(mem.read_word(Address(8192)), 0);
         assert_eq!(mem.read_word(Address(10236)), 0);
         assert_eq!(mem.read_word(Address(10240)), 7);
+    }
+
+    #[test]
+    fn copy_from_unmaterialized_source_zeroes_destination() {
+        let mut mem = SimMemory::new();
+        for off in (0..64u32).step_by(4) {
+            mem.write_word(Address(0x1000 + off), 9);
+        }
+        // Source range was never written: reads as zero, so the copy must
+        // leave the destination reading as zero too.
+        mem.copy(Address(0x8000), Address(0x1000), 64);
+        for off in (0..64u32).step_by(4) {
+            assert_eq!(mem.read_word(Address(0x1000 + off)), 0);
+        }
+    }
+
+    #[test]
+    fn copy_spans_page_boundaries() {
+        let mut mem = SimMemory::new();
+        // Source straddles the page 0 / page 1 boundary.
+        for i in 0..64u32 {
+            mem.write_word(Address(4096 - 128 + i * 4), i + 1);
+        }
+        // Destination straddles the page 4 / page 5 boundary at a
+        // different offset, so runs are re-chunked on both sides.
+        mem.copy(Address(4096 - 128), Address(5 * 4096 - 60), 256);
+        for i in 0..64u32 {
+            assert_eq!(mem.read_word(Address(5 * 4096 - 60 + i * 4)), i + 1);
+        }
+    }
+
+    #[test]
+    fn same_page_copy_uses_copy_within() {
+        let mut mem = SimMemory::new();
+        for i in 0..8u32 {
+            mem.write_word(Address(i * 4), i + 50);
+        }
+        mem.copy(Address(0), Address(512), 32);
+        for i in 0..8u32 {
+            assert_eq!(mem.read_word(Address(512 + i * 4)), i + 50);
+        }
+        assert_eq!(mem.materialized_pages(), 1);
+    }
+
+    #[test]
+    fn zero_partial_run_within_one_page() {
+        let mut mem = SimMemory::new();
+        for i in 0..32u32 {
+            mem.write_word(Address(i * 4), 3);
+        }
+        mem.zero(Address(16), 48);
+        assert_eq!(mem.read_word(Address(12)), 3);
+        for off in (16..64u32).step_by(4) {
+            assert_eq!(mem.read_word(Address(off)), 0);
+        }
+        assert_eq!(mem.read_word(Address(64)), 3);
     }
 
     #[test]

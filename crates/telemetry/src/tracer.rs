@@ -80,19 +80,29 @@ impl Tracer {
         }
     }
 
-    /// Records one event. A no-op (one branch) when disabled.
-    #[inline]
+    /// Records one event.
+    ///
+    /// The disabled case inlines to a single null check at every call site;
+    /// the recording machinery is outlined as a cold function so it never
+    /// bloats the hot loops that call `emit`.
+    #[inline(always)]
     pub fn emit(&self, pid: u8, t: Nanos, kind: EventKind) {
         if let Some(hub) = &self.inner {
-            let mut hub = hub.borrow_mut();
-            let collector = hub.labels.get(pid as usize).copied().unwrap_or("?");
-            hub.sink.record(&Event {
-                t,
-                pid,
-                collector: Cow::Borrowed(collector),
-                kind,
-            });
+            Self::record(hub, pid, t, kind);
         }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn record(hub: &Rc<RefCell<Hub>>, pid: u8, t: Nanos, kind: EventKind) {
+        let mut hub = hub.borrow_mut();
+        let collector = hub.labels.get(pid as usize).copied().unwrap_or("?");
+        hub.sink.record(&Event {
+            t,
+            pid,
+            collector: Cow::Borrowed(collector),
+            kind,
+        });
     }
 
     /// Flushes the underlying sink.

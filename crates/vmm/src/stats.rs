@@ -28,6 +28,9 @@ pub struct VmStats {
     pub peak_resident: u64,
     /// Currently mlocked pages (subset of `resident`).
     pub locked: u64,
+    /// Total `touch` calls by this process (every simulated memory access,
+    /// fast path or slow). Denominator for touches/sec in `simperf`.
+    pub touches: u64,
 }
 
 impl VmStats {

@@ -13,8 +13,11 @@ use crate::page::{
 };
 use crate::stats::VmStats;
 
+/// Sentinel for [`Process::last_touched`]: no page is cached.
+const NO_TOUCH_CACHE: u32 = u32::MAX;
+
 /// One simulated process known to the manager.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Process {
     /// Dense page table indexed by virtual page number.
     pages: Vec<PageInfo>,
@@ -25,6 +28,24 @@ struct Process {
     /// The queued real-time-signal mailbox.
     events: VecDeque<VmEvent>,
     stats: VmStats,
+    /// The page number of the most recent fast-path touch, or
+    /// [`NO_TOUCH_CACHE`]. While set, the page is guaranteed resident,
+    /// unprotected, and on the active list, so consecutive touches to the
+    /// same page skip every state check. Any operation that could break
+    /// that invariant must call [`Process::forget_touch_cache`].
+    last_touched: u32,
+}
+
+impl Default for Process {
+    fn default() -> Process {
+        Process {
+            pages: Vec::new(),
+            notify: false,
+            events: VecDeque::new(),
+            stats: VmStats::default(),
+            last_touched: NO_TOUCH_CACHE,
+        }
+    }
 }
 
 impl Process {
@@ -38,6 +59,13 @@ impl Process {
 
     fn page_ref(&self, page: VirtPage) -> Option<&PageInfo> {
         self.pages.get(page.0 as usize)
+    }
+
+    /// Drops the consecutive-touch cache if it refers to `page`.
+    fn forget_touch_cache(&mut self, page: VirtPage) {
+        if self.last_touched == page.0 {
+            self.last_touched = NO_TOUCH_CACHE;
+        }
     }
 }
 
@@ -177,7 +205,69 @@ impl Vmm {
     ///
     /// The touch sets the referenced bit and, for writes, the dirty bit, and
     /// promotes inactive pages to the active list.
+    /// The overwhelmingly common case — the page is resident, unprotected,
+    /// and already on the active list — is a single page-info lookup, one
+    /// clock advance, and an early return; every other case takes the
+    /// outlined [`touch_slow`](Vmm::touch_slow) path.
     pub fn touch(
+        &mut self,
+        pid: ProcessId,
+        page: VirtPage,
+        access: Access,
+        clock: &mut Clock,
+    ) -> TouchOutcome {
+        let ram_word = self.costs.ram_word;
+        let proc = &mut self.processes[pid.0 as usize];
+        proc.stats.touches += 1;
+        // Consecutive touches to the same page: the cache certifies the
+        // fast-path invariant, so skip even the state checks. The cached
+        // page always has `pending_eviction`/`relinquished` clear (both
+        // setters move the page to the inactive list and drop the cache).
+        if proc.last_touched == page.0 {
+            let info = &mut proc.pages[page.0 as usize];
+            debug_assert!(
+                info.state == PageState::Resident
+                    && !info.protected
+                    && info.list == ListTag::Active,
+                "stale touch cache for {page}"
+            );
+            info.referenced = true;
+            if access == Access::Write {
+                info.dirty = true;
+            }
+            clock.advance(ram_word);
+            return TouchOutcome {
+                events_queued: !proc.events.is_empty(),
+                ..TouchOutcome::default()
+            };
+        }
+        if let Some(info) = proc.pages.get_mut(page.0 as usize) {
+            if info.state == PageState::Resident && !info.protected && info.list == ListTag::Active
+            {
+                info.referenced = true;
+                if access == Access::Write {
+                    info.dirty = true;
+                }
+                // A touch rescues a page from any scheduled eviction.
+                info.pending_eviction = false;
+                info.relinquished = false;
+                proc.last_touched = page.0;
+                clock.advance(ram_word);
+                return TouchOutcome {
+                    events_queued: !proc.events.is_empty(),
+                    ..TouchOutcome::default()
+                };
+            }
+        }
+        self.touch_slow(pid, page, access, clock)
+    }
+
+    /// The uncommon touch cases: faults (demand-zero, major), protection
+    /// traps, and list promotion. Outlined so the fast path above stays
+    /// small enough to inline.
+    #[cold]
+    #[inline(never)]
+    fn touch_slow(
         &mut self,
         pid: ProcessId,
         page: VirtPage,
@@ -248,7 +338,9 @@ impl Vmm {
             }
         }
         let key = PageKey { pid, page };
-        let info = self.processes[pid.0 as usize].page(page);
+        let ram_word = self.costs.ram_word;
+        let proc = &mut self.processes[pid.0 as usize];
+        let info = proc.page(page);
         info.referenced = true;
         if access == Access::Write {
             info.dirty = true;
@@ -257,24 +349,36 @@ impl Vmm {
         info.pending_eviction = false;
         info.relinquished = false;
         let locked = info.locked;
-        match info.list {
-            ListTag::Active => {}
+        // The page ends up resident and unprotected; if it also ends up on
+        // the active list the fast-path invariant holds and the touch cache
+        // may certify it. (Locked pages live on no list and stay uncached.)
+        let on_active_list = match info.list {
+            ListTag::Active => true,
             ListTag::Inactive => {
                 info.list = ListTag::Active;
                 self.inactive_count -= 1;
                 self.active_count += 1;
                 self.active.push_back(key);
+                true
             }
             ListTag::None => {
                 if !locked {
                     info.list = ListTag::Active;
                     self.active_count += 1;
                     self.active.push_back(key);
+                    true
+                } else {
+                    false
                 }
             }
-        }
-        clock.advance(self.costs.ram_word);
-        outcome.events_queued = !self.processes[pid.0 as usize].events.is_empty();
+        };
+        proc.last_touched = if on_active_list {
+            page.0
+        } else {
+            NO_TOUCH_CACHE
+        };
+        clock.advance(ram_word);
+        outcome.events_queued = !proc.events.is_empty();
         outcome
     }
 
@@ -325,6 +429,7 @@ impl Vmm {
                 ListTag::None => {}
             }
             let proc = &mut self.processes[pid.0 as usize];
+            proc.forget_touch_cache(page);
             *proc.page(page) = PageInfo::default();
             proc.stats.discards += 1;
             if was_resident {
@@ -343,6 +448,7 @@ impl Vmm {
     pub fn mlock(&mut self, pid: ProcessId, page: VirtPage, clock: &mut Clock) {
         clock.advance(self.costs.syscall);
         self.touch(pid, page, Access::Write, clock);
+        self.processes[pid.0 as usize].forget_touch_cache(page);
         let info = self.processes[pid.0 as usize].page(page);
         if !info.locked {
             info.locked = true;
@@ -361,6 +467,7 @@ impl Vmm {
     /// `munlock`: unpins a page, returning it to the active list.
     pub fn munlock(&mut self, pid: ProcessId, page: VirtPage, clock: &mut Clock) {
         clock.advance(self.costs.syscall);
+        self.processes[pid.0 as usize].forget_touch_cache(page);
         let info = self.processes[pid.0 as usize].page(page);
         if info.locked {
             info.locked = false;
@@ -387,8 +494,10 @@ impl Vmm {
         clock: &mut Clock,
     ) {
         clock.advance(self.costs.syscall);
+        let proc = &mut self.processes[pid.0 as usize];
         for &page in pages {
-            self.processes[pid.0 as usize].page(page).protected = protect;
+            proc.forget_touch_cache(page);
+            proc.page(page).protected = protect;
         }
     }
 
@@ -410,7 +519,9 @@ impl Vmm {
                 continue;
             }
             let list = {
-                let info = self.processes[pid.0 as usize].page(page);
+                let proc = &mut self.processes[pid.0 as usize];
+                proc.forget_touch_cache(page);
+                let info = proc.page(page);
                 let list = info.list;
                 info.relinquished = true;
                 info.pending_eviction = false;
@@ -594,16 +705,22 @@ impl Vmm {
                 (info.evictable(), info.referenced)
             };
             if !evictable {
-                self.processes[key.pid.0 as usize].page(key.page).list = ListTag::None;
+                let proc = &mut self.processes[key.pid.0 as usize];
+                proc.forget_touch_cache(key.page);
+                proc.page(key.page).list = ListTag::None;
                 self.active_count -= 1;
                 continue;
             }
             if referenced {
-                // Second chance.
+                // Second chance. (The touch cache stays valid: the page
+                // remains on the active list, and a cached touch re-sets
+                // the referenced bit just as the fast path does.)
                 self.processes[key.pid.0 as usize].page(key.page).referenced = false;
                 self.active.rotate_to_back(key);
             } else {
-                self.processes[key.pid.0 as usize].page(key.page).list = ListTag::Inactive;
+                let proc = &mut self.processes[key.pid.0 as usize];
+                proc.forget_touch_cache(key.page);
+                proc.page(key.page).list = ListTag::Inactive;
                 self.active_count -= 1;
                 self.inactive_count += 1;
                 self.inactive.push_back(key);
@@ -635,7 +752,9 @@ impl Vmm {
     /// Evicts a resident page to swap.
     fn evict(&mut self, key: PageKey, clock: &mut Clock, hard: bool) {
         let (dirty, list) = {
-            let info = self.processes[key.pid.0 as usize].page(key.page);
+            let proc = &mut self.processes[key.pid.0 as usize];
+            proc.forget_touch_cache(key.page);
+            let info = proc.page(key.page);
             debug_assert!(info.evictable());
             let dirty = info.dirty;
             let list = info.list;
@@ -985,6 +1104,103 @@ mod tests {
         assert!(vmm.take_events(pid).is_empty());
         assert_eq!(vmm.stats(pid).notices, 0);
         assert!(vmm.stats(pid).evictions > 0);
+    }
+
+    #[test]
+    fn repeat_touch_fast_path_charges_one_ram_word_and_no_list_churn() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        vmm.touch(pid, VirtPage(7), Access::Write, &mut clock);
+        // The page is now resident, unprotected, and on the active list.
+        let raw_len = vmm.active.raw_len();
+        let active = vmm.active_count;
+        let inactive = vmm.inactive_count;
+        let before = clock.now();
+        let o = vmm.touch(pid, VirtPage(7), Access::Read, &mut clock);
+        assert_eq!(clock.now() - before, CostModel::default().ram_word);
+        assert!(!o.zero_filled && !o.major_fault && !o.protection_fault);
+        assert_eq!(
+            vmm.active.raw_len(),
+            raw_len,
+            "fast path re-queued the page"
+        );
+        assert_eq!(vmm.active_count, active);
+        assert_eq!(vmm.inactive_count, inactive);
+        // And again via the last-touched cache: same cost, same lists.
+        let before = clock.now();
+        vmm.touch(pid, VirtPage(7), Access::Read, &mut clock);
+        assert_eq!(clock.now() - before, CostModel::default().ram_word);
+        assert_eq!(vmm.active.raw_len(), raw_len);
+    }
+
+    #[test]
+    fn touch_counter_counts_every_access() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        for _ in 0..5 {
+            vmm.touch(pid, VirtPage(0), Access::Read, &mut clock);
+        }
+        vmm.touch(pid, VirtPage(1), Access::Write, &mut clock);
+        assert_eq!(vmm.stats(pid).touches, 6);
+    }
+
+    #[test]
+    fn mprotect_invalidates_touch_cache() {
+        let (mut vmm, mut clock) = small_vmm(32);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        // Prime the last-touched cache on page 4, then protect it.
+        vmm.touch(pid, VirtPage(4), Access::Write, &mut clock);
+        vmm.touch(pid, VirtPage(4), Access::Read, &mut clock);
+        vmm.mprotect(pid, &[VirtPage(4)], true, &mut clock);
+        let o = vmm.touch(pid, VirtPage(4), Access::Read, &mut clock);
+        assert!(
+            o.protection_fault,
+            "cached fast path skipped the protection check"
+        );
+    }
+
+    #[test]
+    fn relinquish_invalidates_touch_cache() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        vmm.register_notifications(pid);
+        for p in 0..14 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        // Prime the cache on page 3, relinquish it, then touch it again:
+        // the slow path must run so the rescue clears `relinquished`.
+        vmm.touch(pid, VirtPage(3), Access::Read, &mut clock);
+        vmm.touch(pid, VirtPage(3), Access::Read, &mut clock);
+        vmm.vm_relinquish(pid, &[VirtPage(3)], &mut clock);
+        vmm.touch(pid, VirtPage(3), Access::Read, &mut clock);
+        vmm.pump(&mut clock);
+        assert!(
+            vmm.is_resident(pid, VirtPage(3)),
+            "relinquished page evicted despite the rescuing touch"
+        );
+        assert_eq!(vmm.stats(pid).evictions, 0);
+    }
+
+    #[test]
+    fn eviction_invalidates_touch_cache() {
+        let (mut vmm, mut clock) = small_vmm(16);
+        let pid = vmm.register_process();
+        // Prime the cache on the page most likely to be evicted (page 0,
+        // coldest), then overflow memory so it gets swapped out.
+        vmm.touch(pid, VirtPage(0), Access::Write, &mut clock);
+        vmm.touch(pid, VirtPage(0), Access::Read, &mut clock);
+        for p in 1..32 {
+            vmm.touch(pid, VirtPage(p), Access::Write, &mut clock);
+        }
+        let evicted = (0..32)
+            .map(VirtPage)
+            .find(|&p| vmm.page_state(pid, p) == PageState::Evicted)
+            .expect("an evicted page");
+        let before = vmm.stats(pid).major_faults;
+        let o = vmm.touch(pid, evicted, Access::Read, &mut clock);
+        assert!(o.major_fault, "evicted page must fault on touch");
+        assert_eq!(vmm.stats(pid).major_faults, before + 1);
     }
 }
 

@@ -1,0 +1,28 @@
+//! The parallel experiment scheduler must be invisible in the output:
+//! every figure cell is an independent deterministic simulation, assembled
+//! by cell index, so any `--jobs` value renders byte-identical reports.
+
+use bench::pressure_figs::fig5a_report;
+use bench::{fig2_report, Params};
+
+fn quick_with_jobs(jobs: usize) -> Params {
+    let mut p = Params::quick();
+    p.jobs = jobs;
+    p
+}
+
+#[test]
+fn fig2_report_is_identical_serial_and_parallel() {
+    let serial = fig2_report(&quick_with_jobs(1));
+    let parallel = fig2_report(&quick_with_jobs(4));
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn fig5a_report_is_identical_serial_and_parallel() {
+    let serial = fig5a_report(&quick_with_jobs(1));
+    let parallel = fig5a_report(&quick_with_jobs(4));
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}

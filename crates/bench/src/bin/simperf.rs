@@ -4,13 +4,24 @@
 //!
 //! ```text
 //! simperf [--quick] [--scale F] [--seed N] [--jobs N] [--out PATH]
+//!         [--baseline PATH] [--max-regression F]
 //! ```
 //!
-//! The mix covers the three run shapes the figures use: calm fig2-style
+//! The mix covers the three run shapes the figures use — calm fig2-style
 //! cells (hot-path throughput), fig5a-style dynamic-pressure cells
 //! (eviction/fault machinery), and fig7-style multi-JVM cells (shared-VMM
-//! scheduling). Each group fans out through the same worker pool as the
-//! `figures` binary; per-group wall-clock therefore reflects `--jobs`.
+//! scheduling) — plus two collector-hot-path groups: `full_heap_trace`
+//! (a tight heap, so the tracing loop dominates) and `alloc_rate` (a roomy
+//! heap, so the allocation fast paths dominate). Each group fans out
+//! through the same worker pool as the `figures` binary; per-group
+//! wall-clock therefore reflects `--jobs`.
+//!
+//! With `--baseline PATH`, each group's wall-clock is compared against the
+//! committed baseline after the run; any group slower than
+//! `--max-regression` times its baseline (default 2.0) fails the process.
+//! The `SIMPERF_MAX_REGRESSION` environment variable overrides the factor
+//! — the knob for noisy CI runners. Groups whose baseline wall-clock is
+//! under 50 ms are skipped (too small to compare meaningfully).
 
 use std::time::Instant;
 
@@ -29,6 +40,8 @@ struct GroupPerf {
     touches: u64,
     major_faults: u64,
     minor_faults: u64,
+    objects_traced: u64,
+    objects_allocated: u64,
 }
 
 impl GroupPerf {
@@ -41,6 +54,8 @@ impl GroupPerf {
             touches: 0,
             major_faults: 0,
             minor_faults: 0,
+            objects_traced: 0,
+            objects_allocated: 0,
         }
     }
 
@@ -50,15 +65,21 @@ impl GroupPerf {
         self.touches += r.vm.touches;
         self.major_faults += r.vm.major_faults;
         self.minor_faults += r.vm.minor_faults;
+        self.objects_traced += r.gc.objects_traced;
+        self.objects_allocated += r.gc.objects_allocated;
     }
 
-    fn touches_per_sec(&self) -> f64 {
+    fn per_sec(&self, count: u64) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs > 0.0 {
-            self.touches as f64 / secs
+            count as f64 / secs
         } else {
             0.0
         }
+    }
+
+    fn touches_per_sec(&self) -> f64 {
+        self.per_sec(self.touches)
     }
 
     fn to_json(&self) -> String {
@@ -66,7 +87,9 @@ impl GroupPerf {
             concat!(
                 "{{\"name\":\"{}\",\"cells\":{},\"wall_ms\":{:.3},",
                 "\"sim_time_ns\":{},\"touches\":{},\"touches_per_sec\":{:.0},",
-                "\"major_faults\":{},\"minor_faults\":{}}}"
+                "\"major_faults\":{},\"minor_faults\":{},",
+                "\"objects_traced\":{},\"objects_traced_per_sec\":{:.0},",
+                "\"allocs\":{},\"allocs_per_sec\":{:.0}}}"
             ),
             self.name,
             self.cells,
@@ -76,6 +99,10 @@ impl GroupPerf {
             self.touches_per_sec(),
             self.major_faults,
             self.minor_faults,
+            self.objects_traced,
+            self.per_sec(self.objects_traced),
+            self.objects_allocated,
+            self.per_sec(self.objects_allocated),
         )
     }
 }
@@ -129,6 +156,52 @@ fn dynamic(params: &Params) -> GroupPerf {
     g
 }
 
+/// Full-heap-collection-dominated cells: whole-heap collectors on
+/// pseudoJBB in a heap a small multiple of the live set, ample memory.
+/// Nearly all simulated work is mark/trace/sweep, so this group's
+/// `objects_traced_per_sec` tracks the host cost of the tracing loop.
+fn full_heap_trace(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("full_heap_trace");
+    let b = spec("pseudoJBB").expect("pseudoJBB spec");
+    let live = ((b.immortal_bytes + b.live_window_bytes) as f64 * params.scale) as usize;
+    let heap = (live * 2).max(768 << 10);
+    let make = pseudo_jbb(params);
+    let kinds = [
+        CollectorKind::MarkSweep,
+        CollectorKind::Bc,
+        CollectorKind::GenMs,
+    ];
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &kinds, |_, &kind| {
+        run(&RunConfig::new(kind, heap, 512 << 20), make())
+    });
+    g.wall = start.elapsed();
+    for r in &results {
+        g.absorb(r);
+    }
+    g
+}
+
+/// Allocation-rate cells: a roomy heap and ample memory, so almost all
+/// simulated work is the mutator allocating. This group's
+/// `allocs_per_sec` tracks the host cost of the allocation fast paths
+/// (nursery bump, mark-sweep allocation runs).
+fn alloc_rate(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("alloc_rate");
+    let make = pseudo_jbb(params);
+    let heap = scaled(params, 400 << 20);
+    let kinds = CollectorKind::FIGURE2;
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &kinds, |_, &kind| {
+        run(&RunConfig::new(kind, heap, 512 << 20), make())
+    });
+    g.wall = start.elapsed();
+    for r in &results {
+        g.absorb(r);
+    }
+    g
+}
+
 /// Fig7-style multi-JVM cells: two instances sharing the VMM.
 fn multi(params: &Params) -> GroupPerf {
     let mut g = GroupPerf::new("fig7_multi_jvm");
@@ -154,6 +227,68 @@ fn multi(params: &Params) -> GroupPerf {
     g
 }
 
+/// Extracts `(name, wall_ms)` per group from a simperf JSON document.
+/// Hand-rolled (the workspace carries no JSON dependency); anchors on the
+/// `{"name":"` that opens each group object.
+fn parse_group_walls(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(p) = rest.find("{\"name\":\"") {
+        rest = &rest[p + 9..];
+        let Some(q) = rest.find('"') else { break };
+        let name = rest[..q].to_string();
+        let Some(w) = rest[q..].find("\"wall_ms\":") else {
+            break;
+        };
+        let tail = &rest[q + w + 10..];
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
+        if let Ok(ms) = tail[..end].parse::<f64>() {
+            out.push((name, ms));
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Fails (exit 1) when any group regressed past `max_regression` times its
+/// baseline wall-clock. Groups absent from either side, and groups whose
+/// baseline ran under `MIN_COMPARABLE_MS`, are skipped.
+fn check_against_baseline(baseline_json: &str, fresh: &[GroupPerf], max_regression: f64) {
+    const MIN_COMPARABLE_MS: f64 = 50.0;
+    let base = parse_group_walls(baseline_json);
+    let mut failed = false;
+    for g in fresh {
+        let Some((_, base_ms)) = base.iter().find(|(n, _)| n == g.name) else {
+            eprintln!("  {:<24} no baseline entry, skipped", g.name);
+            continue;
+        };
+        let fresh_ms = g.wall.as_secs_f64() * 1e3;
+        if *base_ms < MIN_COMPARABLE_MS {
+            eprintln!(
+                "  {:<24} baseline {base_ms:.1} ms under {MIN_COMPARABLE_MS} ms, skipped",
+                g.name
+            );
+            continue;
+        }
+        let ratio = fresh_ms / base_ms;
+        let verdict = if ratio > max_regression {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {:<24} {fresh_ms:>9.1} ms vs baseline {base_ms:>9.1} ms ({ratio:.2}x) {verdict}",
+            g.name
+        );
+    }
+    if failed {
+        eprintln!("simperf: wall-clock regression beyond {max_regression}x; see above");
+        eprintln!("         (override the threshold with SIMPERF_MAX_REGRESSION=<factor>)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut params = Params {
@@ -163,6 +298,8 @@ fn main() {
         jobs: default_jobs(),
     };
     let mut out_path = String::from("BENCH_simperf.json");
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 2.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -183,6 +320,14 @@ fn main() {
                 i += 1;
                 out_path = args[i].clone();
             }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args[i].clone());
+            }
+            "--max-regression" => {
+                i += 1;
+                max_regression = args[i].parse().expect("--max-regression takes a float");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -190,22 +335,36 @@ fn main() {
         }
         i += 1;
     }
+    if let Ok(v) = std::env::var("SIMPERF_MAX_REGRESSION") {
+        max_regression = v.parse().expect("SIMPERF_MAX_REGRESSION takes a float");
+    }
     eprintln!(
         "# simperf: scale {}, seed {}, jobs {}",
         params.scale, params.seed, params.jobs
     );
     let total_start = Instant::now();
-    let groups = [no_pressure(&params), dynamic(&params), multi(&params)];
+    let groups = [
+        no_pressure(&params),
+        dynamic(&params),
+        multi(&params),
+        full_heap_trace(&params),
+        alloc_rate(&params),
+    ];
     let total_wall = total_start.elapsed();
     let touches: u64 = groups.iter().map(|g| g.touches).sum();
     for g in &groups {
         eprintln!(
-            "  {:<24} {:>4} cells  {:>9.1} ms  {:>13} touches  {:>12.0} touches/s",
+            concat!(
+                "  {:<24} {:>4} cells  {:>9.1} ms  {:>13} touches  ",
+                "{:>12.0} touches/s  {:>11.0} traced/s  {:>11.0} allocs/s"
+            ),
             g.name,
             g.cells,
             g.wall.as_secs_f64() * 1e3,
             g.touches,
             g.touches_per_sec(),
+            g.per_sec(g.objects_traced),
+            g.per_sec(g.objects_allocated),
         );
     }
     let json = format!(
@@ -229,4 +388,10 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write simperf json");
     eprintln!("wrote {out_path}");
     println!("{json}");
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        eprintln!("# baseline check against {path} (max {max_regression}x)");
+        check_against_baseline(&baseline, &groups, max_regression);
+    }
 }

@@ -221,7 +221,7 @@ impl Bookmarking {
     /// Whether the whole object at `addr` (header included) is resident
     /// according to BC's bit array. Resizing-only instances treat all pages
     /// as resident (their collections fault like any other collector's).
-    pub(crate) fn object_resident(&mut self, addr: Address) -> bool {
+    pub(crate) fn object_resident(&self, addr: Address) -> bool {
         if !self.options.bookmarking {
             return true;
         }
@@ -318,9 +318,9 @@ impl Bookmarking {
     /// for pointers from the mature space and instead marks the card for
     /// the source object in the card table".
     pub(crate) fn process_write_buffer(&mut self, ctx: &mut MemCtx<'_>) {
-        let costs = ctx.vmm.costs().clone();
+        let ram_word = ctx.vmm.costs().ram_word;
         let entries = self.wbuf.drain();
-        ctx.clock.advance(costs.ram_word * entries.len() as u64);
+        ctx.clock.advance(ram_word * entries.len() as u64);
         for slot in entries {
             self.cards.mark(slot);
         }
@@ -347,10 +347,10 @@ impl Bookmarking {
         if lo >= hi {
             return Vec::new();
         }
-        let costs = ctx.vmm.costs().clone();
+        let costs = ctx.vmm.costs();
+        let (scan_object, scan_ref) = (costs.scan_object, costs.scan_ref);
         let count = (hi - lo) / WORD;
-        ctx.clock
-            .advance(costs.scan_object + costs.scan_ref * count as u64);
+        ctx.clock.advance(scan_object + scan_ref * count as u64);
         ctx.touch(&mut self.core.mem, Address(lo), hi - lo, Access::Read);
         let mut out = Vec::new();
         let mut slot = lo - (lo - first_slot) % WORD;
@@ -434,14 +434,15 @@ impl Bookmarking {
         if lo >= hi {
             return Vec::new();
         }
-        let costs = ctx.vmm.costs().clone();
-        ctx.clock.advance(costs.scan_object);
+        let costs = ctx.vmm.costs();
+        let (scan_object, scan_ref) = (costs.scan_object, costs.scan_ref);
+        ctx.clock.advance(scan_object);
         let mut out = Vec::new();
         let mut slot = lo - (lo - first_slot) % WORD;
         while slot < hi {
             let a = Address(slot);
             if self.residency.page_resident(a.page()) {
-                ctx.clock.advance(costs.scan_ref);
+                ctx.clock.advance(scan_ref);
                 ctx.touch(&mut self.core.mem, a, WORD, Access::Read);
                 let target = Address(self.core.mem.read_word(a));
                 if !target.is_null() {
@@ -514,7 +515,7 @@ impl Bookmarking {
             // Reading the superpage header (always resident, §3.4).
             let base = self.ms.sp_base(sp);
             ctx.touch(&mut self.core.mem, base, 12, Access::Read);
-            for cell in self.ms.allocated_cells(sp) {
+            for cell in self.ms.allocated_cells_iter(sp) {
                 if !self.object_resident(cell) {
                     continue;
                 }
@@ -538,23 +539,27 @@ impl Bookmarking {
     /// unexamined ("a sweep of the memory-resident pages completes the
     /// collection", §3.4.1).
     pub(crate) fn sweep_resident(&mut self, ctx: &mut MemCtx<'_>) {
+        let mut dead = std::mem::take(&mut self.core.sweep_scratch);
         for sp in self.ms.assigned_sps() {
-            let mut freed_any = false;
-            for cell in self.ms.allocated_cells(sp) {
+            dead.clear();
+            for cell in self.ms.allocated_cells_iter(sp) {
                 if !self.object_resident(cell) {
                     continue;
                 }
                 if self.core.is_marked(ctx, cell) {
                     self.core.clear_mark(ctx, cell);
                 } else {
-                    let _ = self.ms.free_cell(&mut self.core.pool, cell);
-                    freed_any = true;
+                    dead.push(cell);
                 }
             }
-            if freed_any && self.ms.info(sp).assignment.is_some() {
+            for &cell in &dead {
+                let _ = self.ms.free_cell(&mut self.core.pool, cell);
+            }
+            if !dead.is_empty() && self.ms.info(sp).assignment.is_some() {
                 self.ms.note_partial(sp);
             }
         }
+        self.core.sweep_scratch = dead;
         for (obj, _pages) in self.los.objects() {
             if self.core.is_marked(ctx, obj) {
                 self.core.clear_mark(ctx, obj);

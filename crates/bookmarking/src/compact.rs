@@ -157,7 +157,7 @@ impl Bookmarking {
         }
         // ---- Clear marks on the survivors.
         for sp in self.ms.assigned_sps() {
-            for cell in self.ms.allocated_cells(sp) {
+            for cell in self.ms.allocated_cells_iter(sp) {
                 if self.object_resident(cell) {
                     self.core.clear_mark(ctx, cell);
                 }
@@ -181,16 +181,22 @@ impl Bookmarking {
     /// Frees unmarked resident cells and large objects, preserving marks on
     /// the survivors.
     fn sweep_keep_marks(&mut self, ctx: &mut MemCtx<'_>) {
+        let mut dead = std::mem::take(&mut self.core.sweep_scratch);
         for sp in self.ms.assigned_sps() {
-            for cell in self.ms.allocated_cells(sp) {
+            dead.clear();
+            for cell in self.ms.allocated_cells_iter(sp) {
                 if !self.object_resident(cell) {
                     continue;
                 }
                 if !self.core.is_marked(ctx, cell) {
-                    let _ = self.ms.free_cell(&mut self.core.pool, cell);
+                    dead.push(cell);
                 }
             }
+            for &cell in &dead {
+                let _ = self.ms.free_cell(&mut self.core.pool, cell);
+            }
         }
+        self.core.sweep_scratch = dead;
         for (obj, _pages) in self.los.objects() {
             if !self.core.is_marked(ctx, obj) {
                 let _ = self.los.free(&mut self.core.pool, obj);
@@ -271,7 +277,7 @@ impl Bookmarking {
             if self.ms.info(sp).incoming_bookmarks == 0 {
                 continue;
             }
-            for cell in self.ms.allocated_cells(sp) {
+            for cell in self.ms.allocated_cells_iter(sp) {
                 if !self.object_resident(cell) {
                     continue;
                 }
@@ -353,7 +359,7 @@ impl Bookmarking {
         // Clear every bookmark bit and counter.
         for sp in self.ms.assigned_sps() {
             self.ms.reset_incoming_bookmarks(sp);
-            for cell in self.ms.allocated_cells(sp) {
+            for cell in self.ms.allocated_cells_iter(sp) {
                 ctx.touch(&mut self.core.mem, cell, WORD, Access::Read);
                 let w0 = self.core.mem.read_word(cell);
                 if Header::is_bookmarked(w0) {

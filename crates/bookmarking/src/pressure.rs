@@ -247,9 +247,9 @@ impl Bookmarking {
             Err(_) => return Vec::new(),
         };
         let n = h.kind.num_ref_fields();
-        let costs = ctx.vmm.costs().clone();
-        ctx.clock
-            .advance(costs.scan_object + costs.scan_ref * n as u64);
+        let costs = ctx.vmm.costs();
+        let (scan_object, scan_ref) = (costs.scan_object, costs.scan_ref);
+        ctx.clock.advance(scan_object + scan_ref * n as u64);
         if n == 0 {
             return Vec::new();
         }
@@ -460,8 +460,9 @@ impl Bookmarking {
         let lo = cell.offset(heap::object::HEADER_BYTES);
         let hi = lo.offset(n * WORD);
         let mut out = Vec::new();
-        let costs = ctx.vmm.costs().clone();
-        ctx.clock.advance(costs.scan_object);
+        let costs = ctx.vmm.costs();
+        let (scan_object, scan_ref) = (costs.scan_object, costs.scan_ref);
+        ctx.clock.advance(scan_object);
         let mut slot = lo;
         while slot < hi {
             if !self.residency.page_resident(slot.page()) {
@@ -469,7 +470,7 @@ impl Bookmarking {
                 continue;
             }
             ctx.touch(&mut self.core.mem, slot, WORD, Access::Read);
-            ctx.clock.advance(costs.scan_ref);
+            ctx.clock.advance(scan_ref);
             let target = Address(self.core.mem.read_word(slot));
             if !target.is_null() {
                 out.push((slot, target));
@@ -662,7 +663,7 @@ impl Bookmarking {
                 page: self.ms.sp_base(sp).page().0,
             },
         );
-        for cell in self.ms.allocated_cells(sp) {
+        for cell in self.ms.allocated_cells_iter(sp) {
             if !self.residency.page_resident(cell.page()) {
                 continue;
             }

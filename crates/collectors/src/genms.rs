@@ -107,20 +107,24 @@ impl GenMs {
     }
 
     fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
+        let mut dead = std::mem::take(&mut self.core.sweep_scratch);
         for sp in self.ms.assigned_sps() {
-            let mut freed_any = false;
-            for cell in self.ms.allocated_cells(sp) {
+            dead.clear();
+            for cell in self.ms.allocated_cells_iter(sp) {
                 if self.core.is_marked(ctx, cell) {
                     self.core.clear_mark(ctx, cell);
                 } else {
-                    let _ = self.ms.free_cell(&mut self.core.pool, cell);
-                    freed_any = true;
+                    dead.push(cell);
                 }
             }
-            if freed_any && self.ms.info(sp).assignment.is_some() {
+            for &cell in &dead {
+                let _ = self.ms.free_cell(&mut self.core.pool, cell);
+            }
+            if !dead.is_empty() && self.ms.info(sp).assignment.is_some() {
                 self.ms.note_partial(sp);
             }
         }
+        self.core.sweep_scratch = dead;
         for (obj, _pages) in self.los.objects() {
             if self.core.is_marked(ctx, obj) {
                 self.core.clear_mark(ctx, obj);

@@ -43,26 +43,37 @@ impl BumpSpace {
     /// Bump-allocates `bytes` (word multiple), growing the extent from
     /// `pool` as needed. Returns `None` when the pool budget (or the region)
     /// is exhausted — the caller should collect.
+    #[inline]
     pub fn alloc(&mut self, pool: &mut PagePool, bytes: u32) -> Option<Address> {
         debug_assert!(bytes.is_multiple_of(4) && bytes > 0);
         let new_top = self.top.0.checked_add(bytes)?;
         if new_top > self.extent.0 {
-            let deficit = new_top - self.extent.0;
-            let grow_pages = deficit.div_ceil(BYTES_PER_PAGE).max(GROW_PAGES);
-            let grow_pages = grow_pages.min((self.region_limit.0 - self.extent.0) / BYTES_PER_PAGE);
-            if self.extent.0 + grow_pages * BYTES_PER_PAGE < new_top {
-                return None; // region exhausted
+            return self.grow_and_alloc(pool, new_top);
+        }
+        let obj = self.top;
+        self.top = Address(new_top);
+        Some(obj)
+    }
+
+    /// The out-of-line growth path of [`alloc`](BumpSpace::alloc): extends
+    /// the mapped extent from `pool`, then bumps.
+    #[cold]
+    fn grow_and_alloc(&mut self, pool: &mut PagePool, new_top: u32) -> Option<Address> {
+        let deficit = new_top - self.extent.0;
+        let grow_pages = deficit.div_ceil(BYTES_PER_PAGE).max(GROW_PAGES);
+        let grow_pages = grow_pages.min((self.region_limit.0 - self.extent.0) / BYTES_PER_PAGE);
+        if self.extent.0 + grow_pages * BYTES_PER_PAGE < new_top {
+            return None; // region exhausted
+        }
+        if !pool.acquire(grow_pages as usize) {
+            // Try the exact deficit before giving up.
+            let exact = deficit.div_ceil(BYTES_PER_PAGE);
+            if exact == grow_pages || !pool.acquire(exact as usize) {
+                return None;
             }
-            if !pool.acquire(grow_pages as usize) {
-                // Try the exact deficit before giving up.
-                let exact = deficit.div_ceil(BYTES_PER_PAGE);
-                if exact == grow_pages || !pool.acquire(exact as usize) {
-                    return None;
-                }
-                self.extent = self.extent.offset(exact * BYTES_PER_PAGE);
-            } else {
-                self.extent = self.extent.offset(grow_pages * BYTES_PER_PAGE);
-            }
+            self.extent = self.extent.offset(exact * BYTES_PER_PAGE);
+        } else {
+            self.extent = self.extent.offset(grow_pages * BYTES_PER_PAGE);
         }
         let obj = self.top;
         self.top = Address(new_top);

@@ -44,6 +44,14 @@ pub struct Core {
     pub queue: MarkQueue,
     /// Set when a collection could not reclaim enough memory.
     pub oom: bool,
+    /// Reusable `(slot, target)` scratch for the tracing loop. [`drain_gray`]
+    /// borrows it for the duration of a drain; after warm-up the loop
+    /// performs no heap allocations per traced object.
+    scan_scratch: Vec<(Address, Address)>,
+    /// Reusable dead-cell scratch for sweep loops: collectors gather a
+    /// superpage's unmarked cells here (the mark checks run against an
+    /// [`MsSpace`](crate::MsSpace) iterator borrow), then free them.
+    pub sweep_scratch: Vec<Address>,
 }
 
 impl Core {
@@ -57,6 +65,8 @@ impl Core {
             pauses: PauseLog::new(),
             queue: MarkQueue::new(),
             oom: false,
+            scan_scratch: Vec::new(),
+            sweep_scratch: Vec::new(),
             config,
         }
     }
@@ -125,23 +135,43 @@ impl Core {
         let (w0, w1) = Header::new(kind).encode();
         self.mem.write_word(obj, w0);
         self.mem.write_word(obj.offset(WORD), w1);
-        let costs = ctx.vmm.costs().clone();
+        let costs = ctx.vmm.costs();
+        let (alloc_object, ram_word) = (costs.alloc_object, costs.ram_word);
         ctx.clock
-            .advance(costs.alloc_object + costs.ram_word * (size / WORD) as u64);
+            .advance(alloc_object + ram_word * (size / WORD) as u64);
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size as u64;
     }
 
     /// Reads the reference fields of `obj`, returning `(slot, target)` for
     /// each non-null one, charging the scan.
+    ///
+    /// Convenience wrapper over [`Core::scan_refs_into`]; the tracing loop
+    /// uses the `_into` form with a reused scratch buffer instead.
     pub fn scan_refs(&mut self, ctx: &mut MemCtx<'_>, obj: Address) -> Vec<(Address, Address)> {
+        let mut out = Vec::new();
+        self.scan_refs_into(ctx, obj, &mut out);
+        out
+    }
+
+    /// Reads the reference fields of `obj` into `out` (cleared first),
+    /// charging the scan. Performs no heap allocation once `out` has grown
+    /// to the largest ref count seen, and copies no cost table: only the
+    /// two cost fields the scan charges are read.
+    pub fn scan_refs_into(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        obj: Address,
+        out: &mut Vec<(Address, Address)>,
+    ) {
+        out.clear();
         let h = self.header(ctx, obj);
         let n = h.kind.num_ref_fields();
-        let costs = ctx.vmm.costs().clone();
-        ctx.clock
-            .advance(costs.scan_object + costs.scan_ref * n as u64);
+        let costs = ctx.vmm.costs();
+        let (scan_object, scan_ref) = (costs.scan_object, costs.scan_ref);
+        ctx.clock.advance(scan_object + scan_ref * n as u64);
         if n == 0 {
-            return Vec::new();
+            return;
         }
         // One touch for the whole referenced span, then raw reads.
         ctx.touch(
@@ -150,7 +180,7 @@ impl Core {
             n * WORD,
             Access::Read,
         );
-        let mut out = Vec::with_capacity(n as usize);
+        out.reserve(n as usize);
         for i in 0..n {
             let slot = field_addr(obj, i);
             let target = Address(self.mem.read_word(slot));
@@ -158,7 +188,6 @@ impl Core {
                 out.push((slot, target));
             }
         }
-        out
     }
 
     /// Copies an object's `size` bytes from `from` to `to` and leaves a
@@ -170,8 +199,8 @@ impl Core {
         let (w0, w1) = Header::forwarding_stub(to);
         self.mem.write_word(from, w0);
         self.mem.write_word(from.offset(WORD), w1);
-        let costs = ctx.vmm.costs().clone();
-        ctx.clock.advance(costs.copy_byte * size as u64);
+        let copy_byte = ctx.vmm.costs().copy_byte;
+        ctx.clock.advance(copy_byte * size as u64);
         self.stats.objects_moved += 1;
         self.stats.bytes_moved += size as u64;
     }
@@ -190,8 +219,8 @@ impl Core {
     /// [`Core::end_pause`]. Emits a [`EventKind::CollectionBegin`] span
     /// opener when tracing is enabled.
     pub fn begin_pause(&mut self, ctx: &mut MemCtx<'_>, kind: PauseKind) -> PauseToken {
-        let costs = ctx.vmm.costs().clone();
-        ctx.clock.advance(costs.gc_setup);
+        let gc_setup = ctx.vmm.costs().gc_setup;
+        ctx.clock.advance(gc_setup);
         self.trace_event(
             ctx,
             EventKind::CollectionBegin {
@@ -299,18 +328,27 @@ pub fn forward_roots<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
 
 /// Drains the gray queue: scans each pending object and forwards its
 /// outgoing references, updating fields that moved.
+///
+/// The loop is allocation-free per traced object: the `(slot, target)`
+/// pairs land in the [`Core`]'s reusable scratch buffer (taken for the
+/// duration of the drain, handed back at the end), and the pop / count /
+/// scan bookkeeping shares one `core_mut()` re-borrow per object.
 pub fn drain_gray<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
-    while let Some(obj) = f.core_mut().queue.pop() {
-        f.core_mut().stats.objects_traced += 1;
-        let refs = f.core_mut().scan_refs(ctx, obj);
-        for (slot, target) in refs {
+    let mut scratch = std::mem::take(&mut f.core_mut().scan_scratch);
+    loop {
+        let core = f.core_mut();
+        let Some(obj) = core.queue.pop() else { break };
+        core.stats.objects_traced += 1;
+        core.scan_refs_into(ctx, obj, &mut scratch);
+        for &(slot, target) in &scratch {
             let new = f.forward(ctx, target);
             if new != target {
-                let core = f.core_mut();
-                core.mem.write_word(slot, new.0); // page already touched by scan
+                // Page already touched by the scan.
+                f.core_mut().mem.write_word(slot, new.0);
             }
         }
     }
+    f.core_mut().scan_scratch = scratch;
 }
 
 /// Appel-style nursery sizing shared by the generational collectors.

@@ -56,7 +56,7 @@ pub use card::CardTable;
 pub use ctx::MemCtx;
 pub use los::LargeObjectSpace;
 pub use mem::SimMemory;
-pub use ms::{BlockKind, MsSpace, SpIndex, SuperpageInfo};
+pub use ms::{AllocatedCells, BlockKind, MsSpace, SpIndex, SuperpageInfo};
 pub use object::{Header, ObjectKind, LARGEST_CELL_BYTES, MAX_SMALL_OBJECT_BYTES};
 pub use pool::PagePool;
 pub use roots::{Handle, RootSet};

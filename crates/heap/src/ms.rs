@@ -71,6 +71,79 @@ impl SpState {
             *w &= !(1 << (cell % 64));
         }
     }
+
+    /// First free cell at or after `from` (exclusive upper bound `limit`),
+    /// found by whole-word bit scanning.
+    fn first_free_from(&self, from: u32, limit: u32) -> Option<u32> {
+        let mut word_idx = (from / 64) as usize;
+        let last_word = limit.div_ceil(64) as usize;
+        // Mask off bits below `from` in the first word.
+        let mut mask = !0u64 << (from % 64);
+        while word_idx < last_word {
+            let free = !self.alloc_bits[word_idx] & mask;
+            if free != 0 {
+                let cell = word_idx as u32 * 64 + free.trailing_zeros();
+                return (cell < limit).then_some(cell);
+            }
+            word_idx += 1;
+            mask = !0;
+        }
+        None
+    }
+
+    /// One past the last cell of the contiguous free run starting at
+    /// `from` (bounded by `limit`).
+    fn free_run_end(&self, from: u32, limit: u32) -> u32 {
+        let mut word_idx = (from / 64) as usize;
+        let last_word = limit.div_ceil(64) as usize;
+        // Ignore bits below `from` in the first word: the run end is the
+        // first *allocated* cell at or after `from`.
+        let mut mask = !0u64 << (from % 64);
+        while word_idx < last_word {
+            let used = self.alloc_bits[word_idx] & mask;
+            if used != 0 {
+                let end = word_idx as u32 * 64 + used.trailing_zeros();
+                return end.min(limit);
+            }
+            word_idx += 1;
+            mask = !0;
+        }
+        limit
+    }
+}
+
+/// A cached **allocation run**: a contiguous range of free cells reserved
+/// (by position, not by bits) from one superpage, in the spirit of Nofl's
+/// bump regions. While a run is live, consecutive same-(class, kind)
+/// allocations are served by bumping `next` — one bit-set and one counter
+/// update, no partial-list walk and no bit scan.
+///
+/// # Invalidation invariants
+///
+/// A run may only be served while the state it summarized still holds:
+///
+/// * every cell in `[next, end)` is free in the superpage's `alloc_bits`;
+/// * the superpage is still assigned to the run's (class, kind);
+/// * the superpage is still the head of that (class, kind) partial list,
+///   and its first-free hint still points into the run — so bump order is
+///   *exactly* the order the bit-scan path would produce.
+///
+/// Every operation that can break one of these drops the affected runs:
+/// [`MsSpace::free_cell`] (hint moves backwards), [`MsSpace::release_sp`]
+/// (unassignment, e.g. compaction freeing source superpages), `assign`
+/// (recycled superpage re-used, possibly for another class),
+/// [`MsSpace::note_partial`] (sweep pushes a new partial-list head), and
+/// [`MsSpace::reserve_free_cells_in_bytes`] (eviction reserves cells that
+/// may sit inside the run).
+#[derive(Clone, Copy, Debug)]
+struct AllocRun {
+    sp: u32,
+    /// Next cell to hand out.
+    next: u32,
+    /// One past the last known-free cell of the run.
+    end: u32,
+    /// The class's cell size, cached for pure address arithmetic.
+    cell_bytes: u32,
 }
 
 /// The segregated-fit mark-sweep space.
@@ -86,6 +159,8 @@ pub struct MsSpace {
     free_sps: Vec<u32>,
     /// Per (class, kind): superpages with at least one free cell.
     partial: Vec<Vec<u32>>,
+    /// Per (class, kind): the cached allocation run, if any.
+    runs: Vec<Option<AllocRun>>,
 }
 
 impl MsSpace {
@@ -107,6 +182,7 @@ impl MsSpace {
             extent_sps: 0,
             free_sps: Vec::new(),
             partial: vec![Vec::new(); n_classes * 2],
+            runs: vec![None; n_classes * 2],
         }
     }
 
@@ -124,8 +200,25 @@ impl MsSpace {
     /// exhausted.
     pub fn alloc(&mut self, pool: &mut PagePool, class: u8, kind: BlockKind) -> Option<Address> {
         let pidx = Self::partial_idx(class, kind);
+        // Fast path: bump the cached allocation run.
+        if let Some(run) = self.runs[pidx] {
+            if run.next < run.end {
+                let st = &mut self.sps[run.sp as usize];
+                debug_assert_eq!(st.assignment, Some((class, kind)));
+                debug_assert!(!st.is_allocated(run.next), "stale allocation run");
+                st.set_allocated(run.next, true);
+                st.live_cells += 1;
+                st.hint = run.next + 1;
+                self.runs[pidx] = Some(AllocRun {
+                    next: run.next + 1,
+                    ..run
+                });
+                return Some(self.cell_addr(SpIndex(run.sp), run.next, run.cell_bytes));
+            }
+            self.runs[pidx] = None;
+        }
         while let Some(&sp) = self.partial[pidx].last() {
-            if let Some(addr) = self.alloc_in_sp(SpIndex(sp), class) {
+            if let Some(addr) = self.alloc_with_run(SpIndex(sp), pidx, class) {
                 return Some(addr);
             }
             self.partial[pidx].pop();
@@ -134,7 +227,43 @@ impl MsSpace {
         let sp = self.take_free_superpage(pool)?;
         self.assign(sp, class, kind);
         self.partial[pidx].push(sp.0);
-        self.alloc_in_sp(sp, class)
+        self.alloc_with_run(sp, pidx, class)
+    }
+
+    /// Slow-path allocation in `sp` that also (re)establishes the run
+    /// cache for `pidx`: the allocated cell is found by bit scan, and the
+    /// contiguous free cells right after it become the new run.
+    fn alloc_with_run(&mut self, sp: SpIndex, pidx: usize, class: u8) -> Option<Address> {
+        let sc = self.classes.class(class);
+        let (cell_bytes, cells) = (sc.cell_bytes, sc.cells_per_superpage);
+        let cell = self.alloc_cell_in_sp(sp, class)?;
+        let end = self.sps[sp.0 as usize].free_run_end(cell + 1, cells);
+        self.runs[pidx] = (cell + 1 < end).then_some(AllocRun {
+            sp: sp.0,
+            next: cell + 1,
+            end,
+            cell_bytes,
+        });
+        Some(self.cell_addr(sp, cell, cell_bytes))
+    }
+
+    /// Drops a cached run pointing at `sp`, if any. A run for a superpage
+    /// always lives at the partial index of that superpage's assignment,
+    /// so this is a single-slot check.
+    fn invalidate_runs_for_sp(&mut self, sp: SpIndex) {
+        if let Some((class, kind)) = self.sps[sp.0 as usize].assignment {
+            let pidx = Self::partial_idx(class, kind);
+            if self.runs[pidx].is_some_and(|r| r.sp == sp.0) {
+                self.runs[pidx] = None;
+            }
+        }
+    }
+
+    /// Drops every cached allocation run. Allocation falls back to the
+    /// bit-scan slow path until runs are re-established. Safe at any time;
+    /// tests use it to compare cached against uncached allocation order.
+    pub fn invalidate_runs(&mut self) {
+        self.runs.iter_mut().for_each(|r| *r = None);
     }
 
     /// Like [`alloc`](MsSpace::alloc), but overruns the pool budget rather
@@ -164,8 +293,9 @@ impl MsSpace {
             SpIndex(sp)
         };
         self.assign(sp, class, kind);
-        self.partial[Self::partial_idx(class, kind)].push(sp.0);
-        self.alloc_in_sp(sp, class)
+        let pidx = Self::partial_idx(class, kind);
+        self.partial[pidx].push(sp.0);
+        self.alloc_with_run(sp, pidx, class)
     }
 
     /// Acquires a completely free superpage (budget charged to `pool`),
@@ -193,6 +323,9 @@ impl MsSpace {
     }
 
     fn assign(&mut self, sp: SpIndex, class: u8, kind: BlockKind) {
+        // A freshly (re)assigned superpage can have no cached run:
+        // `release_sp` drops the run when the superpage is unassigned.
+        debug_assert!(self.runs.iter().flatten().all(|r| r.sp != sp.0));
         let cells = self.classes.class(class).cells_per_superpage;
         let st = &mut self.sps[sp.0 as usize];
         debug_assert!(st.assignment.is_none() && st.live_cells == 0);
@@ -204,30 +337,30 @@ impl MsSpace {
 
     /// Allocates a cell within a specific superpage (used by compaction to
     /// fill target superpages). Returns `None` when the superpage is full.
+    ///
+    /// Drops any cached run on `sp` first: the caller bypasses the
+    /// partial-list discipline the run relies on.
     pub fn alloc_in_sp(&mut self, sp: SpIndex, class: u8) -> Option<Address> {
+        self.invalidate_runs_for_sp(sp);
         let cell_bytes = self.classes.class(class).cell_bytes;
+        self.alloc_cell_in_sp(sp, class)
+            .map(|cell| self.cell_addr(sp, cell, cell_bytes))
+    }
+
+    /// The bit-scan allocation path: first free cell at or after the hint,
+    /// wrapping once in case earlier cells were freed (the hint is kept
+    /// at-or-below the first free cell, so the wrap is defensive).
+    fn alloc_cell_in_sp(&mut self, sp: SpIndex, class: u8) -> Option<u32> {
         let cells = self.classes.class(class).cells_per_superpage;
         let st = &mut self.sps[sp.0 as usize];
         debug_assert_eq!(st.assignment.map(|(c, _)| c), Some(class));
-        let mut cell = st.hint;
-        while cell < cells && st.is_allocated(cell) {
-            cell += 1;
-        }
-        if cell >= cells {
-            // Wrap once in case earlier cells were freed (the hint is kept
-            // at-or-below the first free cell, so this is defensive).
-            cell = 0;
-            while cell < st.hint && st.is_allocated(cell) {
-                cell += 1;
-            }
-            if cell >= st.hint {
-                return None; // superpage full
-            }
-        }
+        let cell = st
+            .first_free_from(st.hint, cells)
+            .or_else(|| st.first_free_from(0, st.hint))?;
         st.set_allocated(cell, true);
         st.live_cells += 1;
         st.hint = cell + 1;
-        Some(self.cell_addr(sp, cell, cell_bytes))
+        Some(cell)
     }
 
     fn cell_addr(&self, sp: SpIndex, cell: u32, cell_bytes: u32) -> Address {
@@ -280,6 +413,9 @@ impl MsSpace {
         let off = addr.0 - self.sp_base(sp).0 - SUPERPAGE_METADATA_BYTES;
         assert_eq!(off % cell_bytes, 0, "{addr} is not a cell boundary");
         let cell = off / cell_bytes;
+        // Freeing below the hint moves the hint backwards, which would make
+        // a cached run's bump order diverge from the bit-scan order.
+        self.invalidate_runs_for_sp(sp);
         let st = &mut self.sps[sp.0 as usize];
         assert!(st.is_allocated(cell), "double free of {addr}");
         st.set_allocated(cell, false);
@@ -298,6 +434,7 @@ impl MsSpace {
     /// Unassigns a superpage outright (compaction frees whole source
     /// superpages), returning budget to `pool`.
     pub fn release_sp(&mut self, pool: &mut PagePool, sp: SpIndex) {
+        self.invalidate_runs_for_sp(sp);
         let st = &mut self.sps[sp.0 as usize];
         debug_assert!(st.assignment.is_some());
         st.assignment = None;
@@ -322,6 +459,9 @@ impl MsSpace {
             let pidx = Self::partial_idx(class, kind);
             if !self.partial[pidx].contains(&sp.0) {
                 self.partial[pidx].push(sp.0);
+                // The partial-list head changed: a cached run for this
+                // (class, kind) no longer tracks the head superpage.
+                self.runs[pidx] = None;
             }
         }
     }
@@ -409,16 +549,34 @@ impl MsSpace {
     }
 
     /// Addresses of all allocated cells in a superpage, ascending.
+    ///
+    /// Prefer [`MsSpace::allocated_cells_iter`] in loops: it walks the
+    /// allocation bitmap directly without building a `Vec`.
     pub fn allocated_cells(&self, sp: SpIndex) -> Vec<Address> {
+        self.allocated_cells_iter(sp).collect()
+    }
+
+    /// Iterates the addresses of all allocated cells in a superpage,
+    /// ascending, straight off `alloc_bits` — no per-superpage `Vec`.
+    /// Yields nothing for an unassigned superpage.
+    pub fn allocated_cells_iter(&self, sp: SpIndex) -> AllocatedCells<'_> {
         let st = &self.sps[sp.0 as usize];
-        let Some((class, _)) = st.assignment else {
-            return Vec::new();
-        };
-        let c = self.classes.class(class);
-        (0..c.cells_per_superpage)
-            .filter(|&i| st.is_allocated(i))
-            .map(|i| self.cell_addr(sp, i, c.cell_bytes))
-            .collect()
+        match st.assignment {
+            Some((class, _)) => AllocatedCells {
+                words: &st.alloc_bits,
+                word_idx: 0,
+                word: st.alloc_bits.first().copied().unwrap_or(0),
+                base: self.cell_addr(sp, 0, 0),
+                cell_bytes: self.classes.class(class).cell_bytes,
+            },
+            None => AllocatedCells {
+                words: &[],
+                word_idx: 0,
+                word: 0,
+                base: Address(0),
+                cell_bytes: 0,
+            },
+        }
     }
 
     /// Addresses of allocated cells overlapping one page of a superpage
@@ -472,6 +630,8 @@ impl MsSpace {
         let Some((class, _)) = self.sps[sp.0 as usize].assignment else {
             return Vec::new();
         };
+        // The reserved cells may sit inside a cached run's free range.
+        self.invalidate_runs_for_sp(sp);
         let c = self.classes.class(class);
         let first = start.saturating_sub(SUPERPAGE_METADATA_BYTES) / c.cell_bytes;
         let last = (end - 1).saturating_sub(SUPERPAGE_METADATA_BYTES) / c.cell_bytes;
@@ -501,6 +661,33 @@ impl MsSpace {
         let sp = self.sp_of(page_base);
         let off = (page_base.0 - self.sp_base(sp).0) / BYTES_PER_PAGE;
         (sp, off)
+    }
+}
+
+/// Iterator over a superpage's allocated cell addresses, in ascending
+/// order. See [`MsSpace::allocated_cells_iter`].
+#[derive(Clone, Debug)]
+pub struct AllocatedCells<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    /// Remaining bits of the current word.
+    word: u64,
+    /// Address of cell 0 (superpage base plus metadata).
+    base: Address,
+    cell_bytes: u32,
+}
+
+impl Iterator for AllocatedCells<'_> {
+    type Item = Address;
+
+    fn next(&mut self) -> Option<Address> {
+        while self.word == 0 {
+            self.word_idx += 1;
+            self.word = *self.words.get(self.word_idx)?;
+        }
+        let cell = self.word_idx as u32 * 64 + self.word.trailing_zeros();
+        self.word &= self.word - 1; // clear lowest set bit
+        Some(Address(self.base.0 + cell * self.cell_bytes))
     }
 }
 
@@ -638,6 +825,134 @@ mod tests {
         assert!(ms.free_cell(&mut pool, addrs[1]).is_none());
         let again = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
         assert_eq!(again, addrs[1], "freed cell is reused first");
+    }
+
+    #[test]
+    fn word_scan_helpers_cross_word_boundaries() {
+        let mut st = SpState {
+            alloc_bits: vec![0u64; 4],
+            ..SpState::default()
+        };
+        st.set_allocated(0, true);
+        st.set_allocated(70, true);
+        assert_eq!(st.first_free_from(0, 256), Some(1));
+        assert_eq!(st.first_free_from(70, 256), Some(71));
+        assert_eq!(st.first_free_from(255, 256), Some(255));
+        assert_eq!(st.first_free_from(256, 256), None);
+        // The free run starting after cell 0 ends at the next allocated
+        // cell (70), even across a word boundary.
+        assert_eq!(st.free_run_end(1, 256), 70);
+        assert_eq!(st.free_run_end(71, 256), 256);
+        assert_eq!(st.free_run_end(1, 64), 64);
+        // Starting on an allocated cell: the run is empty.
+        assert_eq!(st.free_run_end(0, 256), 0);
+        assert_eq!(st.free_run_end(70, 256), 70);
+    }
+
+    #[test]
+    fn run_cache_invalidated_by_sweep_free() {
+        // Sweep frees cells via free_cell and re-lists the superpage with
+        // note_partial; a run cached past the freed cells must not survive,
+        // or allocation order would diverge from the bit-scan order.
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(64).unwrap().index;
+        let addrs: Vec<Address> = (0..8)
+            .map(|_| ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap())
+            .collect();
+        let _ = ms.free_cell(&mut pool, addrs[2]);
+        let _ = ms.free_cell(&mut pool, addrs[5]);
+        ms.note_partial(ms.sp_of(addrs[0]));
+        // Bit-scan order: lowest free cell first, then the next one.
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let b = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        assert_eq!(a, addrs[2], "freed cell reused first");
+        assert_eq!(b, addrs[5], "then the next freed cell");
+        // After the holes are refilled, allocation resumes past the top.
+        let c = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        assert_eq!(c.0, addrs[7].0 + 64);
+    }
+
+    #[test]
+    fn run_cache_invalidated_by_release_and_reassign() {
+        // Compaction releases whole source superpages and they are later
+        // reassigned, possibly to a different class. Allocating into a
+        // stale run pointing at the released superpage must be impossible.
+        let (mut ms, mut pool) = space();
+        let sc = ms.classes().class_for(8184).unwrap();
+        assert_eq!(sc.cells_per_superpage, 2);
+        let a = ms.alloc(&mut pool, sc.index, BlockKind::Scalar).unwrap();
+        let sp = ms.sp_of(a);
+        // The cached run covers cell 1. Release the superpage outright.
+        ms.release_sp(&mut pool, sp);
+        assert!(ms.info(sp).assignment.is_none());
+        // The next alloc must reassign from scratch and start at cell 0,
+        // not bump into cell 1 of the released run.
+        let b = ms.alloc(&mut pool, sc.index, BlockKind::Scalar).unwrap();
+        assert_eq!(ms.sp_of(b), sp, "free superpage reused");
+        assert_eq!(b, a, "allocation restarts at cell 0 after reassignment");
+        // Reassignment to a different class and kind is equally safe.
+        ms.release_sp(&mut pool, sp);
+        let tiny = ms.classes().class_for(8).unwrap().index;
+        let c = ms.alloc(&mut pool, tiny, BlockKind::Array).unwrap();
+        assert_eq!(ms.sp_of(c), sp);
+        assert!(ms.is_allocated_cell(c));
+        assert_eq!(ms.info(sp).live_cells, 1);
+    }
+
+    #[test]
+    fn run_cache_invalidated_by_alloc_in_sp() {
+        // Compaction fills target superpages via alloc_in_sp, bypassing
+        // the partial lists. A cached run must not hand out a cell the
+        // direct path already allocated.
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(64).unwrap().index;
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let sp = ms.sp_of(a);
+        let b = ms.alloc_in_sp(sp, class).unwrap();
+        let c = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        assert_eq!(b.0, a.0 + 64);
+        assert_eq!(c.0, b.0 + 64, "run rebuilt past the direct allocation");
+        assert_eq!(ms.allocated_cells(sp).len(), 3);
+    }
+
+    #[test]
+    fn run_cache_invalidated_by_reservation() {
+        // Evicted-page reservations mark free cells allocated mid-run; the
+        // next alloc must skip them exactly as a bit scan would.
+        let (mut ms, mut pool) = space();
+        let class = ms.classes().class_for(64).unwrap().index;
+        let a = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        let sp = ms.sp_of(a);
+        // Reserve the byte range holding cells 1 and 2.
+        let off = a.0 % BYTES_PER_SUPERPAGE;
+        let reserved = ms.reserve_free_cells_in_bytes(sp, off + 64, off + 192);
+        assert_eq!(reserved.len(), 2);
+        let b = ms.alloc(&mut pool, class, BlockKind::Scalar).unwrap();
+        assert_eq!(b.0, a.0 + 3 * 64, "allocation skips reserved cells");
+    }
+
+    #[test]
+    fn allocated_cells_iter_matches_bit_scan() {
+        // The word-level iterator visits exactly the cells whose alloc
+        // bits are set, in address order, across word boundaries.
+        let (mut ms, mut pool) = space();
+        let sc = ms.classes().class_for(8).unwrap();
+        let addrs: Vec<Address> = (0..200)
+            .map(|_| ms.alloc(&mut pool, sc.index, BlockKind::Scalar).unwrap())
+            .collect();
+        let sp = ms.sp_of(addrs[0]);
+        for &a in addrs.iter().step_by(3) {
+            let _ = ms.free_cell(&mut pool, a);
+        }
+        let manual: Vec<Address> = (0..sc.cells_per_superpage)
+            .map(|i| Address(ms.sp_base(sp).0 + SUPERPAGE_METADATA_BYTES + i * sc.cell_bytes))
+            .filter(|&a| ms.is_allocated_cell(a))
+            .collect();
+        let via_iter: Vec<Address> = ms.allocated_cells_iter(sp).collect();
+        assert_eq!(via_iter, manual);
+        // Unassigned superpages iterate as empty.
+        ms.release_sp(&mut pool, sp);
+        assert_eq!(ms.allocated_cells_iter(sp).count(), 0);
     }
 
     #[test]

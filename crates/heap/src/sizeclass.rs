@@ -119,6 +119,7 @@ impl SizeClasses {
     ///
     /// Returns `None` when the request exceeds the largest cell and must go
     /// to the large object space.
+    #[inline]
     pub fn class_for(&self, bytes: u32) -> Option<SizeClass> {
         let idx = *self.lookup.get(bytes.max(1) as usize)?;
         Some(self.classes[idx as usize])
@@ -129,6 +130,7 @@ impl SizeClasses {
     /// # Panics
     ///
     /// Panics if `index >= CLASS_COUNT`.
+    #[inline]
     pub fn class(&self, index: u8) -> SizeClass {
         self.classes[index as usize]
     }

@@ -63,6 +63,76 @@ proptest! {
         prop_assert_eq!(pool.used(), ms.assigned_sps().len() * 4);
     }
 
+    /// Run-cached allocation hands out the exact cell sequence the
+    /// pre-cache bit-scan path produced: drive a cached space and an
+    /// uncached twin (runs dropped before every alloc, forcing the slow
+    /// path) through an identical alloc/free/relist/compact schedule and
+    /// compare every returned address and the final bitmaps.
+    #[test]
+    fn run_cache_matches_bit_scan_order(
+        ops in proptest::collection::vec((0u8..8, 8u32..=2048, 0u32..1_000_000), 1..250)
+    ) {
+        let mut cached = MsSpace::new(Address(0x1040_0000), Address(0x1140_0000));
+        let mut plain = MsSpace::new(Address(0x1040_0000), Address(0x1140_0000));
+        let mut pool_c = PagePool::new(4096);
+        let mut pool_p = PagePool::new(4096);
+        let mut live: Vec<Address> = Vec::new();
+        for &(op, size, idx) in &ops {
+            let pick = |live: &Vec<Address>| live[idx as usize % live.len()];
+            match op {
+                // Free a live cell (both spaces see the same address).
+                0 if !live.is_empty() => {
+                    let victim = live.swap_remove(idx as usize % live.len());
+                    let freed_c = cached.free_cell(&mut pool_c, victim);
+                    let freed_p = plain.free_cell(&mut pool_p, victim);
+                    prop_assert_eq!(freed_c, freed_p);
+                }
+                // Re-list a superpage as partial, sweep-style.
+                1 if !live.is_empty() => {
+                    let sp = cached.sp_of(pick(&live));
+                    if cached.info(sp).assignment.is_some() {
+                        cached.note_partial(sp);
+                        plain.note_partial(sp);
+                    }
+                }
+                // Direct in-superpage allocation, compaction-style.
+                2 if !live.is_empty() => {
+                    let sp = cached.sp_of(pick(&live));
+                    if let Some((class, _)) = cached.info(sp).assignment {
+                        let a = cached.alloc_in_sp(sp, class);
+                        let b = plain.alloc_in_sp(sp, class);
+                        prop_assert_eq!(a, b);
+                        if let Some(a) = a {
+                            live.push(a);
+                        }
+                    }
+                }
+                // Allocate through the public path. The plain twin drops
+                // its runs first, so it always takes the bit-scan path.
+                _ => {
+                    let class = cached.classes().class_for(size).unwrap().index;
+                    let kind = if size % 2 == 0 { BlockKind::Scalar } else { BlockKind::Array };
+                    plain.invalidate_runs();
+                    let a = cached.alloc(&mut pool_c, class, kind);
+                    let b = plain.alloc(&mut pool_p, class, kind);
+                    prop_assert_eq!(a, b, "cached and bit-scan paths diverged");
+                    if let Some(a) = a {
+                        live.push(a);
+                    }
+                }
+            }
+        }
+        // The spaces end in identical states, superpage by superpage.
+        prop_assert_eq!(cached.assigned_sps(), plain.assigned_sps());
+        for sp in cached.assigned_sps() {
+            prop_assert_eq!(cached.allocated_cells(sp), plain.allocated_cells(sp));
+            prop_assert_eq!(
+                cached.info(sp).live_cells,
+                cached.allocated_cells_iter(sp).count() as u32
+            );
+        }
+    }
+
     /// LOS allocations are page-aligned, disjoint, and freeing coalesces
     /// (allocating the total after freeing everything succeeds in one run).
     #[test]

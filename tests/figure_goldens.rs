@@ -1,0 +1,50 @@
+//! Figure outputs are pinned byte-for-byte against checked-in goldens:
+//! performance work on the simulator hot paths (allocation-run caches,
+//! zero-allocation tracing, sweep restructuring) must never change
+//! simulated behaviour, only wall-clock time.
+//!
+//! The goldens mirror exactly what the `figures` binary writes for
+//! `figures fig2 --quick --csv <dir>` / `figures fig5a --quick --csv <dir>`
+//! at the default seed. After an *intentional* model change, regenerate
+//! them with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- fig2 --quick --csv tests/golden > tests/golden/fig2_quick.txt
+//! mv tests/golden/fig2.csv tests/golden/fig2_quick.csv
+//! cargo run --release -p bench --bin figures -- fig5a --quick --csv tests/golden > tests/golden/fig5a_quick.txt
+//! mv tests/golden/fig5a.csv tests/golden/fig5a_quick.csv
+//! ```
+
+use bench::pressure_figs::fig5a_report;
+use bench::{fig2_report, Params};
+
+#[test]
+fn fig2_matches_golden() {
+    let t = fig2_report(&Params::quick());
+    let txt = format!("== Figure 2: geomean execution time relative to BC (no pressure) ==\n{t}\n");
+    assert_eq!(
+        txt,
+        include_str!("golden/fig2_quick.txt"),
+        "fig2 text output drifted from tests/golden/fig2_quick.txt"
+    );
+    assert_eq!(
+        t.to_csv(),
+        include_str!("golden/fig2_quick.csv"),
+        "fig2 CSV output drifted from tests/golden/fig2_quick.csv"
+    );
+}
+
+#[test]
+fn fig5a_matches_golden() {
+    let t = fig5a_report(&Params::quick());
+    assert_eq!(
+        format!("{t}\n"),
+        include_str!("golden/fig5a_quick.txt"),
+        "fig5a text output drifted from tests/golden/fig5a_quick.txt"
+    );
+    assert_eq!(
+        t.to_csv(),
+        include_str!("golden/fig5a_quick.csv"),
+        "fig5a CSV output drifted from tests/golden/fig5a_quick.csv"
+    );
+}

@@ -12,7 +12,8 @@
 //! (eviction/fault machinery), and fig7-style multi-JVM cells (shared-VMM
 //! scheduling) — plus two collector-hot-path groups: `full_heap_trace`
 //! (a tight heap, so the tracing loop dominates) and `alloc_rate` (a roomy
-//! heap, so the allocation fast paths dominate). Each group fans out
+//! heap, so the allocation fast paths dominate) — and `policy_pareto`,
+//! the fig_policy collector × heap-sizing-policy matrix. Each group fans out
 //! through the same worker pool as the `figures` binary; per-group
 //! wall-clock therefore reflects `--jobs`.
 //!
@@ -25,6 +26,7 @@
 
 use std::time::Instant;
 
+use bench::pressure_figs::fig_policy_runs;
 use bench::{default_jobs, parallel_map, scaled, Params, SweepDepth};
 use simtime::Nanos;
 use simulate::experiments::{dynamic_pressure, multi_jvm};
@@ -202,6 +204,22 @@ fn alloc_rate(params: &Params) -> GroupPerf {
     g
 }
 
+/// Policy-matrix cells: every fig5a collector under each heap-sizing
+/// policy (fixed / bc-footprint / membalancer), dynamic pressure. Covers
+/// the policy layer's hot paths — sizing hooks after every collection,
+/// VMM notification pumping, shrink/regrow bookkeeping — so the baseline
+/// gate catches wall-clock regressions in that machinery.
+fn policy_pareto(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("policy_pareto");
+    let start = Instant::now();
+    let runs = fig_policy_runs(params);
+    g.wall = start.elapsed();
+    for (_, _, r) in &runs {
+        g.absorb(r);
+    }
+    g
+}
+
 /// Fig7-style multi-JVM cells: two instances sharing the VMM.
 fn multi(params: &Params) -> GroupPerf {
     let mut g = GroupPerf::new("fig7_multi_jvm");
@@ -349,6 +367,7 @@ fn main() {
         multi(&params),
         full_heap_trace(&params),
         alloc_rate(&params),
+        policy_pareto(&params),
     ];
     let total_wall = total_start.elapsed();
     let touches: u64 = groups.iter().map(|g| g.touches).sum();

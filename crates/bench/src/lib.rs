@@ -271,6 +271,23 @@ pub fn phases_report(params: &Params) -> Table {
                 fmt_time(hist.total()),
             ]);
         }
+        // Heap-sizing decisions (count-only rows): how often this run's
+        // sizing policy shrank and regrew the budget.
+        for (label, count) in [
+            ("heap-shrinks", agg.counts.heap_shrinks),
+            ("heap-grows", agg.counts.heap_grows),
+        ] {
+            rows.push(vec![
+                kind.label().to_string(),
+                label.to_string(),
+                format!("{count}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
         rows
     });
     for row in rows.into_iter().flatten() {

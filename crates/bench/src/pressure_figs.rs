@@ -5,8 +5,10 @@
 //! is the only one of our benchmarks with a significant memory footprint").
 
 use simtime::{bmu_curve, Nanos};
-use simulate::experiments::{dynamic_pressure, multi_jvm, steady_pressure};
-use simulate::{CollectorKind, Program, RunResult};
+use simulate::experiments::{
+    dynamic_pressure, dynamic_pressure_config, multi_jvm, steady_pressure,
+};
+use simulate::{CollectorKind, PolicyKind, Program, RunResult};
 use workloads::spec;
 
 use crate::pool::parallel_map;
@@ -254,6 +256,106 @@ pub fn fig6_report(params: &Params) -> Vec<Table> {
         out.push(t);
     }
     out
+}
+
+/// The sizing policies the policy figure compares, in reporting order.
+pub const POLICY_MATRIX: [PolicyKind; 3] = [
+    PolicyKind::Fixed,
+    PolicyKind::BcFootprint { regrow: false },
+    PolicyKind::MemBalancer,
+];
+
+/// **Policy figure**: every pressure collector × heap-sizing policy under
+/// Figure 5's dynamic pressure, as a total-memory × end-to-end-time Pareto
+/// table.
+///
+/// Each collector's rows are its three policies; `pareto` marks rows no
+/// other same-collector policy dominates (≤ on both the execution-time and
+/// peak-heap axes, < on at least one). Failed runs (OOM/timeout) never earn
+/// the marker and cannot dominate.
+pub fn fig_policy_report(params: &Params) -> Table {
+    let mut t = Table::new(vec![
+        "Collector",
+        "Policy",
+        "Time",
+        "Peak heap (pages)",
+        "Major faults",
+        "GCs",
+        "Shrinks",
+        "Grows",
+        "Pareto",
+    ]);
+    t.caption =
+        "Policy figure: total memory x end-to-end time under dynamic pressure (fig5 setup)"
+            .into();
+    let runs = fig_policy_runs(params);
+    for group in runs.chunks(POLICY_MATRIX.len()) {
+        for (pi, (kind, policy, r)) in group.iter().enumerate() {
+            let dominated = r.ok()
+                && group
+                    .iter()
+                    .enumerate()
+                    .any(|(oi, (_, _, o))| oi != pi && o.ok() && dominates(o, r));
+            t.row(vec![
+                kind.label().to_string(),
+                policy.label().to_string(),
+                cell_time(r),
+                format!("{}", r.metrics.heap_pages_peak),
+                format!("{}", r.vm.major_faults),
+                format!("{}", r.gc.total_gcs()),
+                format!("{}", r.gc.heap_shrinks),
+                format!("{}", r.gc.heap_regrows),
+                if !r.ok() {
+                    "-".into()
+                } else if dominated {
+                    "".into()
+                } else {
+                    "*".into()
+                },
+            ]);
+        }
+    }
+    t
+}
+
+/// The raw runs behind [`fig_policy_report`]: the policy matrix for every
+/// Figure 5a collector, grouped collector-major in [`POLICY_MATRIX`]
+/// order.
+pub fn fig_policy_runs(params: &Params) -> Vec<(CollectorKind, PolicyKind, RunResult)> {
+    let kinds = [
+        CollectorKind::Bc,
+        CollectorKind::BcResizeOnly,
+        CollectorKind::SemiSpace,
+        CollectorKind::GenCopy,
+        CollectorKind::GenMs,
+        CollectorKind::CopyMs,
+    ];
+    let make = pseudo_jbb(params);
+    let cells: Vec<(CollectorKind, PolicyKind)> = kinds
+        .iter()
+        .flat_map(|&kind| POLICY_MATRIX.iter().map(move |&p| (kind, p)))
+        .collect();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, policy)| {
+        let heap = scaled(params, DYNAMIC_PAPER_HEAP);
+        let memory = scaled(params, DYNAMIC_PAPER_MEMORY);
+        let target = scaled(params, 36 << 20);
+        let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
+        config.policy = Some(policy);
+        simulate::run(&config, make())
+    });
+    cells
+        .into_iter()
+        .zip(results)
+        .map(|((kind, policy), r)| (kind, policy, r))
+        .collect()
+}
+
+/// Whether run `a` Pareto-dominates run `b` on (execution time, peak heap):
+/// no worse on both axes and strictly better on at least one.
+pub fn dominates(a: &RunResult, b: &RunResult) -> bool {
+    let (ta, tb) = (a.exec_time, b.exec_time);
+    let (pa, pb) = (a.metrics.heap_pages_peak, b.metrics.heap_pages_peak);
+    ta <= tb && pa <= pb && (ta < tb || pa < pb)
 }
 
 /// **Figure 7**: two simultaneous pseudoJBB JVMs, 77 MB heaps each, as

@@ -161,7 +161,17 @@ pub struct Bookmarking {
 
 impl Bookmarking {
     /// Creates a bookmarking collector.
-    pub fn new(config: HeapConfig, options: BcOptions) -> Bookmarking {
+    ///
+    /// Shrink-to-footprint is BC's *baseline* behaviour (§3.3.3), so the
+    /// default [`heap::PolicyKind::Fixed`] selector is rewritten to
+    /// [`heap::PolicyKind::BcFootprint`] (with the §7 regrow extension
+    /// following `options.regrow`); an explicitly chosen policy is kept.
+    pub fn new(mut config: HeapConfig, options: BcOptions) -> Bookmarking {
+        if config.policy == heap::PolicyKind::Fixed {
+            config.policy = heap::PolicyKind::BcFootprint {
+                regrow: options.regrow,
+            };
+        }
         let l = config.layout;
         let sizer = NurserySizer::new(config.nursery);
         let configured_heap_bytes = config.heap_bytes;
@@ -476,6 +486,9 @@ impl Bookmarking {
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_nursery_limit();
+        }
         self.finish_deferred_evictions(ctx);
     }
 
@@ -605,6 +618,9 @@ impl Bookmarking {
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_nursery_limit();
+        }
         self.emit_residency_snapshots(ctx);
         self.finish_deferred_evictions(ctx);
     }
@@ -635,29 +651,14 @@ impl Bookmarking {
 
     /// §7 extension: once pressure has clearly abated, grow the heap budget
     /// back toward its configured size so a transient spike does not
-    /// permanently constrain throughput. Runs at safe points.
+    /// permanently constrain throughput. Runs at safe points; the step and
+    /// slack rules live in the policy layer
+    /// ([`heap::policy::BcFootprint`]'s idle hook).
     pub(crate) fn maybe_regrow(&mut self, ctx: &mut MemCtx<'_>) {
-        if !self.options.regrow {
+        if !self.core.policy.idle_active() {
             return;
         }
-        let configured = self.configured_heap_bytes / BYTES_PER_PAGE as usize;
-        let budget = self.core.pool.budget();
-        if budget >= configured {
-            return;
-        }
-        // Only regrow while the machine has comfortable slack: at least
-        // twice the reclaim high watermark of free frames.
-        if ctx.vmm.free_frames() > ctx.vmm.config().high_watermark * 2 {
-            const REGROW_STEP_PAGES: usize = 64;
-            let new_budget = (budget + REGROW_STEP_PAGES).min(configured);
-            self.core.pool.set_budget(new_budget);
-            self.core.stats.heap_regrows += 1;
-            self.core.trace_event(
-                ctx,
-                EventKind::HeapGrow {
-                    budget_pages: new_budget as u32,
-                },
-            );
+        if self.core.policy_idle(ctx) {
             self.recompute_nursery_limit();
         }
     }
@@ -853,6 +854,10 @@ impl GcHeap for Bookmarking {
 
     fn heap_pages_used(&self) -> usize {
         self.core.pool.used()
+    }
+
+    fn heap_pages_peak(&self) -> usize {
+        self.core.pool.peak()
     }
 
     fn name(&self) -> &'static str {

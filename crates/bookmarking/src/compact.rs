@@ -8,7 +8,7 @@ use heap::{
     Address, AllocKind, BlockKind, CollectKind, Header, MemCtx, OutOfMemory, SpIndex, WORD,
 };
 use simtime::PauseKind;
-use telemetry::{EventKind, GcPhase};
+use telemetry::GcPhase;
 use vmm::Access;
 
 use crate::collector::{Bookmarking, Phase};
@@ -65,14 +65,14 @@ impl Bookmarking {
         while self.core.pool.budget() < configured {
             let step = (kind.size_bytes() as usize / heap::BYTES_PER_PAGE as usize + 256)
                 .min(configured - self.core.pool.budget());
-            self.core.pool.set_budget(self.core.pool.budget() + step);
-            self.core.stats.heap_regrows += 1;
-            self.core.trace_event(
+            let grown = self.core.apply_decision(
                 ctx,
-                EventKind::HeapGrow {
-                    budget_pages: self.core.pool.budget() as u32,
+                heap::SizingDecision {
+                    limit_pages: self.core.pool.budget() + step,
+                    reason: "failsafe-grow",
                 },
             );
+            debug_assert!(grown);
             self.recompute_nursery_limit();
             if let Some(a) = self.alloc_raw_public(kind) {
                 return Ok(a);

@@ -276,21 +276,13 @@ impl Bookmarking {
         }
     }
 
-    /// §3.3.3: pins the heap budget to (slightly above) the current
-    /// footprint so the collector stops growing into memory it doesn't have.
+    /// §3.3.3: an eviction notice means the footprint exceeds available
+    /// memory. The sizing arithmetic lives in the shared policy layer
+    /// ([`heap::policy`], [`heap::policy::BcFootprint`] by default); this
+    /// collector only forwards the signal and refreshes its nursery limit
+    /// when the budget moved.
     pub(crate) fn shrink_to_footprint(&mut self, ctx: &MemCtx<'_>) {
-        const HEADROOM_PAGES: usize = 64; // 256 KiB of slack
-        let target = (self.core.pool.used() + HEADROOM_PAGES)
-            .min(self.configured_heap_bytes / BYTES_PER_PAGE as usize);
-        if target < self.core.pool.budget() {
-            self.core.pool.set_budget(target);
-            self.core.stats.heap_shrinks += 1;
-            self.core.trace_event(
-                ctx,
-                EventKind::HeapShrink {
-                    budget_pages: target as u32,
-                },
-            );
+        if self.core.policy_pressure(ctx) {
             self.recompute_nursery_limit();
         }
     }

@@ -218,10 +218,15 @@ impl GcHeap for CopyMs {
         self.core.stats.full_gcs += 1;
         self.recompute_copy_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_copy_limit();
+        }
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
-        let _ = ctx.vmm.take_events(ctx.pid);
+        if self.core.pump_policy_events(ctx) {
+            self.recompute_copy_limit();
+        }
     }
 
     fn stats(&self) -> &GcStats {
@@ -238,6 +243,10 @@ impl GcHeap for CopyMs {
 
     fn heap_pages_used(&self) -> usize {
         self.core.pool.used()
+    }
+
+    fn heap_pages_peak(&self) -> usize {
+        self.core.pool.peak()
     }
 
     fn name(&self) -> &'static str {

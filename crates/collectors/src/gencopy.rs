@@ -127,6 +127,9 @@ impl GenCopy {
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_nursery_limit();
+        }
     }
 
     fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
@@ -162,6 +165,9 @@ impl GenCopy {
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_nursery_limit();
+        }
     }
 }
 
@@ -321,7 +327,9 @@ impl GcHeap for GenCopy {
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
-        let _ = ctx.vmm.take_events(ctx.pid);
+        if self.core.pump_policy_events(ctx) {
+            self.recompute_nursery_limit();
+        }
     }
 
     fn stats(&self) -> &GcStats {
@@ -338,6 +346,10 @@ impl GcHeap for GenCopy {
 
     fn heap_pages_used(&self) -> usize {
         self.core.pool.used()
+    }
+
+    fn heap_pages_peak(&self) -> usize {
+        self.core.pool.peak()
     }
 
     fn name(&self) -> &'static str {

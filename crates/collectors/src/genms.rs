@@ -158,6 +158,9 @@ impl GenMs {
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_nursery_limit();
+        }
     }
 
     fn major_gc(&mut self, ctx: &mut MemCtx<'_>) {
@@ -178,6 +181,9 @@ impl GenMs {
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+        if self.core.policy_after_gc(ctx) {
+            self.recompute_nursery_limit();
+        }
     }
 }
 
@@ -317,7 +323,9 @@ impl GcHeap for GenMs {
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
-        let _ = ctx.vmm.take_events(ctx.pid);
+        if self.core.pump_policy_events(ctx) {
+            self.recompute_nursery_limit();
+        }
     }
 
     fn stats(&self) -> &GcStats {
@@ -334,6 +342,10 @@ impl GcHeap for GenMs {
 
     fn heap_pages_used(&self) -> usize {
         self.core.pool.used()
+    }
+
+    fn heap_pages_peak(&self) -> usize {
+        self.core.pool.peak()
     }
 
     fn name(&self) -> &'static str {

@@ -176,12 +176,13 @@ impl GcHeap for MarkSweep {
         self.core.phase_end(ctx, GcPhase::Sweep);
         self.core.stats.full_gcs += 1;
         self.core.end_pause(ctx, pause);
+        let _ = self.core.policy_after_gc(ctx);
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
-        // VM-oblivious: never registered, so the queue is empty; drain it
-        // defensively anyway.
-        let _ = ctx.vmm.take_events(ctx.pid);
+        // Under `Fixed` the queue is always empty (never registered); a
+        // sizing policy may consume pressure events here.
+        let _ = self.core.pump_policy_events(ctx);
     }
 
     fn stats(&self) -> &GcStats {
@@ -198,6 +199,10 @@ impl GcHeap for MarkSweep {
 
     fn heap_pages_used(&self) -> usize {
         self.core.pool.used()
+    }
+
+    fn heap_pages_peak(&self) -> usize {
+        self.core.pool.peak()
     }
 
     fn name(&self) -> &'static str {

@@ -221,10 +221,11 @@ impl GcHeap for SemiSpace {
         self.core.stats.full_gcs += 1;
         self.core.stats.compacting_gcs += 1;
         self.core.end_pause(ctx, pause);
+        let _ = self.core.policy_after_gc(ctx);
     }
 
     fn handle_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
-        let _ = ctx.vmm.take_events(ctx.pid);
+        let _ = self.core.pump_policy_events(ctx);
     }
 
     fn stats(&self) -> &GcStats {
@@ -241,6 +242,10 @@ impl GcHeap for SemiSpace {
 
     fn heap_pages_used(&self) -> usize {
         self.core.pool.used()
+    }
+
+    fn heap_pages_peak(&self) -> usize {
+        self.core.pool.peak()
     }
 
     fn name(&self) -> &'static str {

@@ -14,6 +14,7 @@ use telemetry::Tracer;
 use crate::addr::Layout;
 use crate::ctx::MemCtx;
 use crate::object::ObjectKind;
+use crate::policy::PolicyKind;
 use crate::roots::Handle;
 use crate::stats::GcStats;
 
@@ -133,6 +134,9 @@ pub struct HeapConfig {
     pub nursery: NurseryPolicy,
     /// Address-space layout.
     pub layout: Layout,
+    /// Heap-sizing policy (see [`crate::policy`]); [`PolicyKind::Fixed`]
+    /// (the default) reproduces each collector's historical behaviour.
+    pub policy: PolicyKind,
     /// Structured-event sink; [`Tracer::disabled`] (the default) records
     /// nothing and costs one branch per would-be event.
     pub tracer: Tracer,
@@ -147,6 +151,7 @@ impl HeapConfig {
                 heap_bytes: 32 << 20,
                 nursery: NurseryPolicy::Appel,
                 layout: Layout::standard(),
+                policy: PolicyKind::Fixed,
                 tracer: Tracer::disabled(),
             },
         }
@@ -175,6 +180,12 @@ impl HeapConfigBuilder {
     /// Sets the address-space layout.
     pub fn layout(mut self, layout: Layout) -> HeapConfigBuilder {
         self.config.layout = layout;
+        self
+    }
+
+    /// Sets the heap-sizing policy.
+    pub fn policy(mut self, policy: PolicyKind) -> HeapConfigBuilder {
+        self.config.policy = policy;
         self
     }
 
@@ -214,6 +225,9 @@ pub struct MetricsSnapshot {
     pub pauses: PauseStats,
     /// Heap pages currently charged against the budget.
     pub heap_pages_used: usize,
+    /// High-water mark of heap pages ever charged at once — the run's
+    /// total-memory axis in the `fig_policy` Pareto tables.
+    pub heap_pages_peak: usize,
     /// Aggregated telemetry — per-phase/per-kind histograms and a
     /// time-bucketed series — when the tracer retains events in memory;
     /// `None` for disabled tracers and streaming (JSONL) sinks.
@@ -298,6 +312,11 @@ pub trait GcHeap {
     /// Heap pages currently charged against the budget.
     fn heap_pages_used(&self) -> usize;
 
+    /// High-water mark of heap pages ever charged at once.
+    fn heap_pages_peak(&self) -> usize {
+        self.heap_pages_used()
+    }
+
     /// Short collector name ("BC", "GenMS", …) for reports.
     fn name(&self) -> &'static str;
 
@@ -321,6 +340,7 @@ pub trait GcHeap {
             vm: *vm,
             pauses: self.pause_log().stats(),
             heap_pages_used: self.heap_pages_used(),
+            heap_pages_peak: self.heap_pages_peak(),
             trace,
         }
     }

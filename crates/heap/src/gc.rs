@@ -9,11 +9,12 @@
 //! whatever forwarding policy a collector supplies (mark, copy, or BC's
 //! residency-aware mark).
 
-use crate::addr::{Address, WORD};
+use crate::addr::{Address, BYTES_PER_PAGE, WORD};
 use crate::api::{AllocKind, HeapConfig, NurseryPolicy};
 use crate::ctx::MemCtx;
 use crate::mem::SimMemory;
 use crate::object::{field_addr, Header, ObjectKind, HEADER_BYTES};
+use crate::policy::{HeapSizePolicy, SizingDecision, SizingInput};
 use crate::pool::PagePool;
 use crate::roots::RootSet;
 use crate::stats::GcStats;
@@ -44,6 +45,9 @@ pub struct Core {
     pub queue: MarkQueue,
     /// Set when a collection could not reclaim enough memory.
     pub oom: bool,
+    /// The heap-sizing policy (built from `config.policy`); every budget
+    /// move goes through [`Core::apply_decision`].
+    pub policy: Box<dyn HeapSizePolicy>,
     /// Reusable `(slot, target)` scratch for the tracing loop. [`drain_gray`]
     /// borrows it for the duration of a drain; after warm-up the loop
     /// performs no heap allocations per traced object.
@@ -65,6 +69,7 @@ impl Core {
             pauses: PauseLog::new(),
             queue: MarkQueue::new(),
             oom: false,
+            policy: config.policy.build(),
             scan_scratch: Vec::new(),
             sweep_scratch: Vec::new(),
             config,
@@ -267,6 +272,117 @@ impl Core {
     #[inline]
     pub fn trace_event(&self, ctx: &MemCtx<'_>, kind: EventKind) {
         self.config.tracer.emit(ctx.pid.0, ctx.clock.now(), kind);
+    }
+
+    // ----- heap sizing (crate::policy) ----------------------------------
+
+    /// The policy's O(1) observation of current collector and VMM state.
+    pub fn sizing_input(&self, ctx: &MemCtx<'_>) -> SizingInput {
+        let last_pause = self
+            .pauses
+            .records()
+            .last()
+            .map(|r| r.duration)
+            .unwrap_or(Nanos::ZERO);
+        SizingInput {
+            now: ctx.clock.now(),
+            used_pages: self.pool.used(),
+            limit_pages: self.pool.budget(),
+            configured_pages: self.config.heap_bytes / BYTES_PER_PAGE as usize,
+            bytes_allocated: self.stats.bytes_allocated,
+            objects_allocated: self.stats.objects_allocated,
+            objects_traced: self.stats.objects_traced,
+            last_pause,
+            under_pressure: ctx.vmm.under_pressure(),
+            free_frames: ctx.vmm.free_frames(),
+            high_watermark: ctx.vmm.config().high_watermark,
+        }
+    }
+
+    /// Applies a sizing decision: moves the budget, bumps the shrink/grow
+    /// counter, and emits the [`EventKind::HeapShrink`]/[`EventKind::HeapGrow`]
+    /// event carrying the policy's reasoning. Returns whether the budget
+    /// actually moved (callers recompute nursery limits on `true`).
+    pub fn apply_decision(&mut self, ctx: &MemCtx<'_>, decision: SizingDecision) -> bool {
+        let current = self.pool.budget();
+        if decision.limit_pages == current {
+            return false;
+        }
+        self.pool.set_budget(decision.limit_pages);
+        if decision.limit_pages < current {
+            self.stats.heap_shrinks += 1;
+            self.trace_event(
+                ctx,
+                EventKind::HeapShrink {
+                    budget_pages: decision.limit_pages as u32,
+                    reason: decision.reason.into(),
+                },
+            );
+        } else {
+            self.stats.heap_regrows += 1;
+            self.trace_event(
+                ctx,
+                EventKind::HeapGrow {
+                    budget_pages: decision.limit_pages as u32,
+                    reason: decision.reason.into(),
+                },
+            );
+        }
+        true
+    }
+
+    /// Runs the policy's end-of-collection hook; returns whether the budget
+    /// moved.
+    pub fn policy_after_gc(&mut self, ctx: &MemCtx<'_>) -> bool {
+        let input = self.sizing_input(ctx);
+        match self.policy.after_collection(&input) {
+            Some(d) => self.apply_decision(ctx, d),
+            None => false,
+        }
+    }
+
+    /// Runs the policy's pressure hook (an eviction was scheduled); returns
+    /// whether the budget moved.
+    pub fn policy_pressure(&mut self, ctx: &MemCtx<'_>) -> bool {
+        let input = self.sizing_input(ctx);
+        match self.policy.on_pressure(&input) {
+            Some(d) => self.apply_decision(ctx, d),
+            None => false,
+        }
+    }
+
+    /// Runs the policy's idle hook (a mutator safe point); returns whether
+    /// the budget moved. Call only when `policy.idle_active()` — this sits
+    /// on the per-step path.
+    pub fn policy_idle(&mut self, ctx: &MemCtx<'_>) -> bool {
+        let input = self.sizing_input(ctx);
+        match self.policy.on_idle(&input) {
+            Some(d) => self.apply_decision(ctx, d),
+            None => false,
+        }
+    }
+
+    /// The shared `handle_vm_events` body for collectors without bespoke
+    /// VMM cooperation: drain queued notifications (charging the
+    /// notification cost), let the policy react to eviction notices, then
+    /// run the idle hook if the policy wants it. Returns whether the budget
+    /// moved. Under [`crate::policy::PolicyKind::Fixed`] the process never
+    /// registers for notifications, so the queue is empty and this is
+    /// byte-for-byte today's defensive drain.
+    pub fn pump_policy_events(&mut self, ctx: &mut MemCtx<'_>) -> bool {
+        let mut changed = false;
+        let events = ctx.vmm.take_events(ctx.pid);
+        for ev in events {
+            let cost = ctx.vmm.costs().notification;
+            ctx.clock.advance(cost);
+            if let vmm::VmEvent::EvictionScheduled { .. } = ev {
+                changed |= self.policy_pressure(ctx);
+            }
+        }
+        if self.policy.idle_active() {
+            changed |= self.policy_idle(ctx);
+        }
+        changed
     }
 }
 

@@ -1,0 +1,510 @@
+//! Pluggable heap-sizing policies.
+//!
+//! Every decision about how large the heap budget is allowed to be lives
+//! behind [`HeapSizePolicy`]: after each collection (and on paging
+//! notifications) the collector hands the policy an O(1) snapshot of its
+//! state — a [`SizingInput`] — and applies whatever new limit the policy
+//! returns by growing or shrinking the shared [`PagePool`](crate::PagePool)
+//! budget. Pages released this way flow back to the virtual memory manager
+//! the same way they always have: the budget stops further acquisitions and
+//! the collector's discard/relinquish machinery hands frames back.
+//!
+//! Three policies ship:
+//!
+//! * [`PolicyKind::Fixed`] — the limit never moves; today's behaviour for
+//!   the baseline collectors, bit for bit.
+//! * [`PolicyKind::BcFootprint`] — the paper's §3.3.3 rule, extracted from
+//!   `bookmarking::pressure`: on an eviction notice, pin the budget to the
+//!   current footprint plus a small headroom; optionally (§7) regrow in
+//!   small steps once the machine has comfortable free-frame slack.
+//! * [`PolicyKind::MemBalancer`] — the square-root rule of the "Optimal
+//!   Heap Limits for Reducing Browser Memory Use" work: the heap gets
+//!   `live + √(c · live · g / s)` bytes, where `g` is the smoothed
+//!   allocation rate and `s` the smoothed trace (collection) rate.
+
+use simtime::Nanos;
+
+use crate::addr::BYTES_PER_PAGE;
+
+/// Slack kept above the live footprint when pinning the budget to it
+/// (§3.3.3; 64 pages = 256 KiB).
+pub const HEADROOM_PAGES: usize = 64;
+
+/// Pages regrown per idle step once pressure abates (§7).
+pub const REGROW_STEP_PAGES: usize = 64;
+
+/// Tuning constant `c` of the MemBalancer rule, in bytes. Larger values
+/// trade memory for fewer collections; 16 MiB keeps the quick-scale
+/// experiments between "footprint + headroom" and the configured limit.
+pub const MEMBALANCER_TUNING_BYTES: f64 = 16.0 * 1024.0 * 1024.0;
+
+/// Smoothing factor of the MemBalancer rate EWMAs (weight of the newest
+/// sample).
+pub const MEMBALANCER_SMOOTHING: f64 = 0.5;
+
+/// The O(1) observation a policy sizes the heap from.
+///
+/// Every field is a counter or gauge the collector already maintains — no
+/// field requires walking the heap, the pause log, or the event stream, so
+/// building an input is cheap enough for the per-step idle path.
+#[derive(Clone, Copy, Debug)]
+pub struct SizingInput {
+    /// Current simulated time of the observing process.
+    pub now: Nanos,
+    /// Heap pages currently charged against the budget (the footprint).
+    pub used_pages: usize,
+    /// The current budget, in pages (what the policy may move).
+    pub limit_pages: usize,
+    /// The experiment's configured heap size, in pages — the hard ceiling
+    /// no policy may exceed.
+    pub configured_pages: usize,
+    /// Cumulative bytes allocated by the mutator.
+    pub bytes_allocated: u64,
+    /// Cumulative objects allocated by the mutator.
+    pub objects_allocated: u64,
+    /// Cumulative objects traced across all collections.
+    pub objects_traced: u64,
+    /// Duration of the most recent stop-the-world pause
+    /// ([`Nanos::ZERO`] before the first collection).
+    pub last_pause: Nanos,
+    /// Whether the VMM is currently below its reclaim watermark.
+    pub under_pressure: bool,
+    /// Free physical frames in the VMM right now.
+    pub free_frames: usize,
+    /// The VMM's reclaim high watermark, in frames.
+    pub high_watermark: usize,
+}
+
+/// A policy's verdict: move the budget to `limit_pages`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizingDecision {
+    /// The new heap budget, in pages.
+    pub limit_pages: usize,
+    /// Why the policy moved the limit; carried on the
+    /// [`HeapShrink`](telemetry::EventKind::HeapShrink) /
+    /// [`HeapGrow`](telemetry::EventKind::HeapGrow) telemetry event.
+    pub reason: &'static str,
+}
+
+/// A heap-sizing policy: observes [`SizingInput`]s at the collector's
+/// decision points and returns new limits.
+///
+/// Invariants every implementation must keep:
+///
+/// * Never return a limit above `configured_pages` — the experiment's heap
+///   size is a hard ceiling.
+/// * Shrinking below `used_pages` is allowed (the pool refuses further
+///   acquisitions until usage falls back under budget) but a decision
+///   should normally keep at least [`HEADROOM_PAGES`] of slack so the next
+///   allocation does not immediately force a collection.
+/// * Decisions must be deterministic functions of the inputs seen so far —
+///   figure goldens pin simulated behaviour byte-for-byte.
+pub trait HeapSizePolicy: std::fmt::Debug {
+    /// Short label for reports and traces (`"fixed"`, `"bc-footprint"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Called at the end of every collection.
+    fn after_collection(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        let _ = input;
+        None
+    }
+
+    /// Called when the VMM schedules an eviction of one of this process's
+    /// pages — the §3.3.3 signal that the footprint exceeds available
+    /// memory.
+    fn on_pressure(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        let _ = input;
+        None
+    }
+
+    /// Called at mutator safe points (between steps) while
+    /// [`idle_active`](HeapSizePolicy::idle_active) is `true`.
+    fn on_idle(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        let _ = input;
+        None
+    }
+
+    /// Whether [`on_idle`](HeapSizePolicy::on_idle) wants to run. The idle
+    /// hook sits on the per-mutator-step path, so policies that never act
+    /// there return `false` (the default) and skip even the input snapshot.
+    fn idle_active(&self) -> bool {
+        false
+    }
+}
+
+/// Which heap-sizing policy a run uses; the serializable selector threaded
+/// through `HeapConfig`, `RunConfig`, and the CLIs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The limit never moves. For the bookmarking collector this selector
+    /// means "the collector's own default" (BC's baseline behaviour *is*
+    /// shrink-to-footprint, §3.3.3), so `--policy fixed` reproduces today's
+    /// behaviour for every collector.
+    Fixed,
+    /// BC's §3.3.3 shrink-to-footprint, as a reusable policy.
+    BcFootprint {
+        /// Also regrow in [`REGROW_STEP_PAGES`] steps once free frames
+        /// exceed twice the reclaim high watermark (§7).
+        regrow: bool,
+    },
+    /// The MemBalancer √-rule with EWMA-smoothed rates.
+    MemBalancer,
+}
+
+impl PolicyKind {
+    /// Parses a `--policy` flag value.
+    pub fn from_flag(s: &str) -> Option<PolicyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" => Some(PolicyKind::Fixed),
+            "bc-footprint" | "footprint" => Some(PolicyKind::BcFootprint { regrow: false }),
+            "membalancer" => Some(PolicyKind::MemBalancer),
+            _ => None,
+        }
+    }
+
+    /// Whether this policy needs the VMM's eviction notifications (it has a
+    /// pressure response). `Fixed` does not, so collectors that never
+    /// registered before still do not register — their event queues stay
+    /// empty and behaviour is unchanged.
+    pub fn wants_notifications(self) -> bool {
+        !matches!(self, PolicyKind::Fixed)
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn HeapSizePolicy> {
+        match self {
+            PolicyKind::Fixed => Box::new(Fixed),
+            PolicyKind::BcFootprint { regrow } => Box::new(BcFootprint { regrow }),
+            PolicyKind::MemBalancer => Box::new(MemBalancer::new()),
+        }
+    }
+
+    /// Stable label for tables and flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fixed => "fixed",
+            PolicyKind::BcFootprint { .. } => "bc-footprint",
+            PolicyKind::MemBalancer => "membalancer",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The do-nothing policy: the heap budget is whatever the experiment
+/// configured, forever.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fixed;
+
+impl HeapSizePolicy for Fixed {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// BC's §3.3.3 sizing, policy-shaped: on an eviction notice, pin the budget
+/// to the current footprint plus [`HEADROOM_PAGES`]; with `regrow`, step
+/// the budget back toward the configured size at idle once free frames
+/// exceed twice the reclaim high watermark (§7).
+#[derive(Clone, Copy, Debug)]
+pub struct BcFootprint {
+    /// Whether the §7 regrow extension is active.
+    pub regrow: bool,
+}
+
+impl BcFootprint {
+    /// The §3.3.3 footprint target: used pages plus headroom, capped at the
+    /// configured size. Kept as a free function of the input so the
+    /// pre-refactor `pressure.rs` arithmetic is testable in isolation.
+    pub fn footprint_target(input: &SizingInput) -> usize {
+        (input.used_pages + HEADROOM_PAGES).min(input.configured_pages)
+    }
+}
+
+impl HeapSizePolicy for BcFootprint {
+    fn name(&self) -> &'static str {
+        "bc-footprint"
+    }
+
+    fn on_pressure(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        let target = BcFootprint::footprint_target(input);
+        (target < input.limit_pages).then_some(SizingDecision {
+            limit_pages: target,
+            reason: "footprint-shrink",
+        })
+    }
+
+    fn on_idle(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        if input.limit_pages >= input.configured_pages {
+            return None;
+        }
+        // Only regrow while the machine has comfortable slack: at least
+        // twice the reclaim high watermark of free frames.
+        if input.free_frames > input.high_watermark * 2 {
+            Some(SizingDecision {
+                limit_pages: (input.limit_pages + REGROW_STEP_PAGES).min(input.configured_pages),
+                reason: "regrow",
+            })
+        } else {
+            None
+        }
+    }
+
+    fn idle_active(&self) -> bool {
+        self.regrow
+    }
+}
+
+/// One rate observation (taken at the end of a collection).
+#[derive(Clone, Copy, Debug)]
+struct RateSample {
+    now: Nanos,
+    bytes_allocated: u64,
+    objects_traced: u64,
+}
+
+/// The MemBalancer rule: after each collection, set the limit to
+/// `live + √(c · live · g / s)` where `g` is the allocation rate (bytes per
+/// simulated nanosecond, EWMA-smoothed across collections) and `s` the
+/// trace rate (bytes traced per pause nanosecond, likewise smoothed).
+/// A fast allocator earns more slack before the next collection; a slow
+/// tracer makes collections expensive, which also argues for more slack.
+/// The result is clamped to `[used + HEADROOM_PAGES, configured]`. Under an
+/// eviction notice it additionally shrinks to the footprint, like
+/// [`BcFootprint`].
+#[derive(Clone, Copy, Debug)]
+pub struct MemBalancer {
+    prev: Option<RateSample>,
+    alloc_rate: f64,
+    trace_rate: f64,
+}
+
+impl MemBalancer {
+    /// A fresh balancer with no rate history (its first collection only
+    /// records a sample).
+    pub fn new() -> MemBalancer {
+        MemBalancer {
+            prev: None,
+            alloc_rate: 0.0,
+            trace_rate: 0.0,
+        }
+    }
+
+    /// The √-rule target in pages for the given live footprint and smoothed
+    /// rates, before clamping against the input's configured ceiling.
+    pub fn sqrt_target_pages(used_pages: usize, alloc_rate: f64, trace_rate: f64) -> usize {
+        let live_bytes = used_pages as f64 * BYTES_PER_PAGE as f64;
+        let extra_bytes =
+            (MEMBALANCER_TUNING_BYTES * live_bytes * alloc_rate / trace_rate).sqrt();
+        let extra_pages = (extra_bytes / BYTES_PER_PAGE as f64).ceil() as usize;
+        used_pages + extra_pages.max(HEADROOM_PAGES)
+    }
+}
+
+impl Default for MemBalancer {
+    fn default() -> MemBalancer {
+        MemBalancer::new()
+    }
+}
+
+impl HeapSizePolicy for MemBalancer {
+    fn name(&self) -> &'static str {
+        "membalancer"
+    }
+
+    fn after_collection(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        if let Some(prev) = self.prev {
+            let dt = input.now.as_nanos().saturating_sub(prev.now.as_nanos()) as f64;
+            let da = input.bytes_allocated.saturating_sub(prev.bytes_allocated) as f64;
+            let dtr = input.objects_traced.saturating_sub(prev.objects_traced) as f64;
+            let pause = input.last_pause.as_nanos() as f64;
+            if dt > 0.0 {
+                let raw = da / dt;
+                self.alloc_rate =
+                    MEMBALANCER_SMOOTHING * raw + (1.0 - MEMBALANCER_SMOOTHING) * self.alloc_rate;
+            }
+            if pause > 0.0 && dtr > 0.0 && input.objects_allocated > 0 {
+                let avg_obj_bytes = input.bytes_allocated as f64 / input.objects_allocated as f64;
+                let raw = dtr * avg_obj_bytes / pause;
+                self.trace_rate =
+                    MEMBALANCER_SMOOTHING * raw + (1.0 - MEMBALANCER_SMOOTHING) * self.trace_rate;
+            }
+        }
+        self.prev = Some(RateSample {
+            now: input.now,
+            bytes_allocated: input.bytes_allocated,
+            objects_traced: input.objects_traced,
+        });
+        if self.alloc_rate <= 0.0 || self.trace_rate <= 0.0 {
+            return None;
+        }
+        let target = MemBalancer::sqrt_target_pages(
+            input.used_pages,
+            self.alloc_rate,
+            self.trace_rate,
+        )
+        .min(input.configured_pages);
+        (target != input.limit_pages).then_some(SizingDecision {
+            limit_pages: target,
+            reason: "membalancer-sqrt",
+        })
+    }
+
+    fn on_pressure(&mut self, input: &SizingInput) -> Option<SizingDecision> {
+        let target = BcFootprint::footprint_target(input);
+        (target < input.limit_pages).then_some(SizingDecision {
+            limit_pages: target,
+            reason: "membalancer-pressure",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(used: usize, limit: usize, configured: usize) -> SizingInput {
+        SizingInput {
+            now: Nanos(1_000_000),
+            used_pages: used,
+            limit_pages: limit,
+            configured_pages: configured,
+            bytes_allocated: 1_000_000,
+            objects_allocated: 20_000,
+            objects_traced: 10_000,
+            last_pause: Nanos(50_000),
+            under_pressure: false,
+            free_frames: 1000,
+            high_watermark: 100,
+        }
+    }
+
+    #[test]
+    fn fixed_never_moves_the_limit() {
+        let mut p = Fixed;
+        let i = input(100, 1000, 2000);
+        assert_eq!(p.after_collection(&i), None);
+        assert_eq!(p.on_pressure(&i), None);
+        assert_eq!(p.on_idle(&i), None);
+        assert!(!p.idle_active());
+    }
+
+    /// The pre-refactor `pressure.rs` arithmetic, verbatim:
+    /// `target = (used + 64).min(configured_pages)`, shrink only when the
+    /// target is below the current budget.
+    #[test]
+    fn bc_footprint_matches_pre_refactor_shrink() {
+        let mut p = BcFootprint { regrow: false };
+        for &(used, limit, configured) in &[
+            (100usize, 1000usize, 2000usize),
+            (950, 1000, 2000),
+            (1000, 1000, 2000),
+            (0, 64, 2000),
+            (1990, 2000, 2000),
+            (5, 2000, 50), // configured below used+headroom
+        ] {
+            let i = input(used, limit, configured);
+            let expected_target = (used + 64).min(configured);
+            let expected = (expected_target < limit).then_some(expected_target);
+            assert_eq!(
+                p.on_pressure(&i).map(|d| d.limit_pages),
+                expected,
+                "used={used} limit={limit} configured={configured}"
+            );
+        }
+    }
+
+    #[test]
+    fn bc_footprint_regrow_steps_toward_configured() {
+        let mut p = BcFootprint { regrow: true };
+        assert!(p.idle_active());
+        // Comfortable slack: grow by one step.
+        let i = input(100, 500, 2000);
+        assert_eq!(p.on_idle(&i).map(|d| d.limit_pages), Some(564));
+        // At the configured size: nothing to do.
+        let i = input(100, 2000, 2000);
+        assert_eq!(p.on_idle(&i), None);
+        // Step is capped at the configured size.
+        let i = input(100, 1990, 2000);
+        assert_eq!(p.on_idle(&i).map(|d| d.limit_pages), Some(2000));
+        // No slack: hold.
+        let mut tight = input(100, 500, 2000);
+        tight.free_frames = 150;
+        assert_eq!(p.on_idle(&tight), None);
+        // Without the regrow option the idle hook is inert.
+        assert!(!BcFootprint { regrow: false }.idle_active());
+    }
+
+    #[test]
+    fn membalancer_sqrt_is_monotonic_in_alloc_rate() {
+        let slow = MemBalancer::sqrt_target_pages(1000, 0.5, 2.0);
+        let fast = MemBalancer::sqrt_target_pages(1000, 4.0, 2.0);
+        assert!(
+            fast > slow,
+            "faster allocation must earn a larger heap ({fast} vs {slow})"
+        );
+        // And monotonic (inversely) in trace rate.
+        let cheap_gc = MemBalancer::sqrt_target_pages(1000, 1.0, 8.0);
+        let dear_gc = MemBalancer::sqrt_target_pages(1000, 1.0, 0.5);
+        assert!(dear_gc > cheap_gc);
+    }
+
+    #[test]
+    fn membalancer_clamps_at_min_and_max() {
+        // Tiny rates: the floor is used + HEADROOM_PAGES.
+        let floor = MemBalancer::sqrt_target_pages(500, 1e-12, 1.0);
+        assert_eq!(floor, 500 + HEADROOM_PAGES);
+        // Huge rates: after_collection caps at the configured size.
+        let mut p = MemBalancer {
+            prev: Some(RateSample {
+                now: Nanos(0),
+                bytes_allocated: 0,
+                objects_traced: 0,
+            }),
+            alloc_rate: 1e9,
+            trace_rate: 1e-6,
+        };
+        let i = input(500, 600, 700);
+        let d = p.after_collection(&i).expect("limit must move");
+        assert_eq!(d.limit_pages, 700);
+    }
+
+    #[test]
+    fn membalancer_warms_up_before_deciding() {
+        let mut p = MemBalancer::new();
+        // First collection: only records a sample.
+        assert_eq!(p.after_collection(&input(100, 1000, 2000)), None);
+        // Second collection, later, with allocation and tracing progress:
+        // rates exist, a decision comes out.
+        let mut i2 = input(100, 1000, 2000);
+        i2.now = Nanos(2_000_000);
+        i2.bytes_allocated = 2_000_000;
+        i2.objects_traced = 20_000;
+        assert!(p.after_collection(&i2).is_some());
+    }
+
+    #[test]
+    fn policy_kind_flags_round_trip() {
+        assert_eq!(PolicyKind::from_flag("fixed"), Some(PolicyKind::Fixed));
+        assert_eq!(
+            PolicyKind::from_flag("bc-footprint"),
+            Some(PolicyKind::BcFootprint { regrow: false })
+        );
+        assert_eq!(
+            PolicyKind::from_flag("footprint"),
+            Some(PolicyKind::BcFootprint { regrow: false })
+        );
+        assert_eq!(
+            PolicyKind::from_flag("MemBalancer"),
+            Some(PolicyKind::MemBalancer)
+        );
+        assert_eq!(PolicyKind::from_flag("nope"), None);
+        assert!(!PolicyKind::Fixed.wants_notifications());
+        assert!(PolicyKind::MemBalancer.wants_notifications());
+        assert_eq!(PolicyKind::MemBalancer.to_string(), "membalancer");
+    }
+}

@@ -13,12 +13,17 @@
 pub struct PagePool {
     budget: usize,
     used: usize,
+    peak: usize,
 }
 
 impl PagePool {
     /// A pool with a budget of `budget` pages.
     pub fn new(budget: usize) -> PagePool {
-        PagePool { budget, used: 0 }
+        PagePool {
+            budget,
+            used: 0,
+            peak: 0,
+        }
     }
 
     /// A pool sized in bytes (rounded down to whole pages).
@@ -31,6 +36,7 @@ impl PagePool {
     pub fn acquire(&mut self, pages: usize) -> bool {
         if self.used + pages <= self.budget {
             self.used += pages;
+            self.peak = self.peak.max(self.used);
             true
         } else {
             false
@@ -44,6 +50,7 @@ impl PagePool {
     /// out-of-memory if usage stays above budget.
     pub fn force_acquire(&mut self, pages: usize) {
         self.used += pages;
+        self.peak = self.peak.max(self.used);
     }
 
     /// Returns `pages` to the pool.
@@ -63,6 +70,11 @@ impl PagePool {
     /// Pages currently in use.
     pub fn used(&self) -> usize {
         self.used
+    }
+
+    /// High-water mark of pages ever in use at once.
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 
     /// Pages still available under the budget.
@@ -135,6 +147,19 @@ mod tests {
         pool.release(4);
         assert!(!pool.over_budget());
         assert!(pool.acquire(1));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut pool = PagePool::new(10);
+        assert!(pool.acquire(6));
+        pool.release(4);
+        assert!(pool.acquire(2));
+        assert_eq!(pool.peak(), 6);
+        pool.force_acquire(7);
+        assert_eq!(pool.peak(), 11);
+        pool.release(11);
+        assert_eq!(pool.peak(), 11);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use core::fmt;
 
 use bookmarking::{BcOptions, Bookmarking};
 use collectors::{CopyMs, GenCopy, GenMs, MarkSweep, SemiSpace};
-use heap::{GcHeap, HeapConfig, NurseryPolicy};
+use heap::{GcHeap, HeapConfig, NurseryPolicy, PolicyKind};
 use telemetry::Tracer;
 use vmm::{ProcessId, Vmm};
 
@@ -68,9 +68,31 @@ impl CollectorKind {
     /// Builds a fresh collector instance, registering it with the VMM if
     /// it is VM-cooperative. Events the collector emits carry `tracer`'s
     /// per-pid label, which is set to the paper's collector label here.
+    ///
+    /// Runs the default heap-sizing policy: `Fixed` for every baseline,
+    /// which BC upgrades to its own shrink-to-footprint behaviour. Use
+    /// [`CollectorKind::build_with_policy`] to override.
     pub fn build(
         self,
         heap_bytes: usize,
+        tracer: Tracer,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+    ) -> Box<dyn GcHeap> {
+        self.build_with_policy(heap_bytes, None, tracer, vmm, pid)
+    }
+
+    /// [`CollectorKind::build`] with an explicit heap-sizing policy.
+    ///
+    /// `None` keeps each collector's default (`Fixed` for baselines;
+    /// BC treats `Fixed` as its built-in shrink-to-footprint). When the
+    /// chosen policy wants VMM pressure notifications, the process is
+    /// registered for them even for the otherwise VM-oblivious baselines,
+    /// so the policy can observe eviction pressure.
+    pub fn build_with_policy(
+        self,
+        heap_bytes: usize,
+        policy: Option<PolicyKind>,
         tracer: Tracer,
         vmm: &mut Vmm,
         pid: ProcessId,
@@ -80,30 +102,63 @@ impl CollectorKind {
             .heap_bytes(heap_bytes)
             .tracer(tracer)
             .build();
+        if let Some(policy) = policy {
+            config.policy = policy;
+        }
+        let wants_notifications = config.policy.wants_notifications();
         match self {
-            CollectorKind::Bc => {
-                let bc = Bookmarking::new(config, BcOptions::default());
+            CollectorKind::Bc | CollectorKind::BcResizeOnly => {
+                // BC variants differ only in their cooperation options;
+                // heap sizing is the shared policy layer's job.
+                let options = if self == CollectorKind::Bc {
+                    BcOptions::default()
+                } else {
+                    BcOptions::resizing_only()
+                };
+                let bc = Bookmarking::new(config, options);
                 bc.register(vmm, pid);
                 Box::new(bc)
             }
-            CollectorKind::BcResizeOnly => {
-                let bc = Bookmarking::new(config, BcOptions::resizing_only());
-                bc.register(vmm, pid);
-                Box::new(bc)
+            CollectorKind::MarkSweep => {
+                Self::register_policy(wants_notifications, vmm, pid);
+                Box::new(MarkSweep::new(config))
             }
-            CollectorKind::MarkSweep => Box::new(MarkSweep::new(config)),
-            CollectorKind::SemiSpace => Box::new(SemiSpace::new(config)),
-            CollectorKind::GenCopy => Box::new(GenCopy::new(config)),
-            CollectorKind::GenMs => Box::new(GenMs::new(config)),
-            CollectorKind::CopyMs => Box::new(CopyMs::new(config)),
+            CollectorKind::SemiSpace => {
+                Self::register_policy(wants_notifications, vmm, pid);
+                Box::new(SemiSpace::new(config))
+            }
+            CollectorKind::GenCopy => {
+                Self::register_policy(wants_notifications, vmm, pid);
+                Box::new(GenCopy::new(config))
+            }
+            CollectorKind::GenMs => {
+                Self::register_policy(wants_notifications, vmm, pid);
+                Box::new(GenMs::new(config))
+            }
+            CollectorKind::CopyMs => {
+                Self::register_policy(wants_notifications, vmm, pid);
+                Box::new(CopyMs::new(config))
+            }
             CollectorKind::GenCopyFixed => {
                 config.nursery = NurseryPolicy::FIXED_4MB;
+                Self::register_policy(wants_notifications, vmm, pid);
                 Box::new(GenCopy::new(config))
             }
             CollectorKind::GenMsFixed => {
                 config.nursery = NurseryPolicy::FIXED_4MB;
+                Self::register_policy(wants_notifications, vmm, pid);
                 Box::new(GenMs::new(config))
             }
+        }
+    }
+
+    /// Registers a baseline collector's process for pressure
+    /// notifications when its sizing policy needs them. Under `Fixed`
+    /// baselines stay VM-oblivious, so their event queues remain empty
+    /// and behaviour is byte-identical to the policy-free code.
+    fn register_policy(wants_notifications: bool, vmm: &mut Vmm, pid: ProcessId) {
+        if wants_notifications {
+            vmm.register_notifications(pid);
         }
     }
 
@@ -191,6 +246,44 @@ mod tests {
                 vmm.has_events(pid),
                 expect,
                 "{kind}: notification registration mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn pressure_policies_register_baselines_for_notifications() {
+        for (policy, expect) in [
+            (PolicyKind::Fixed, false),
+            (PolicyKind::BcFootprint { regrow: false }, true),
+            (PolicyKind::MemBalancer, true),
+        ] {
+            let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(4 << 20), CostModel::default());
+            let mut clock = Clock::new();
+            let pid = vmm.register_process();
+            let _gc = CollectorKind::GenMs.build_with_policy(
+                1 << 20,
+                Some(policy),
+                Tracer::disabled(),
+                &mut vmm,
+                pid,
+            );
+            let hog = vmm.register_process();
+            let mut probe = Clock::new();
+            let ctx = heap::MemCtx::new(&mut vmm, &mut clock, pid);
+            let _ = ctx;
+            for p in 0..300 {
+                vmm.touch(pid, vmm::VirtPage(p), vmm::Access::Write, &mut probe);
+            }
+            for p in 0..712 {
+                vmm.mlock(hog, vmm::VirtPage(p), &mut probe);
+            }
+            for _ in 0..4 {
+                vmm.pump(&mut probe);
+            }
+            assert_eq!(
+                vmm.has_events(pid),
+                expect,
+                "GenMs under {policy:?}: notification registration mismatch"
             );
         }
     }

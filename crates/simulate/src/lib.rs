@@ -29,6 +29,7 @@ mod runner;
 mod signalmem;
 
 pub use collector_kind::CollectorKind;
+pub use heap::PolicyKind;
 pub use engine::{Engine, JvmProcess};
 pub use program::{Program, ProgramStatus};
 pub use runner::{min_heap_search, run, run_multi, MultiRunResult, RunConfig, RunResult};

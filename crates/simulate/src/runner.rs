@@ -1,6 +1,6 @@
 //! Single- and multi-JVM benchmark runs, and the minimum-heap search.
 
-use heap::{GcStats, MetricsSnapshot};
+use heap::{GcStats, MetricsSnapshot, PolicyKind};
 use simtime::{CostModel, Nanos, PauseRecord, PauseStats};
 use telemetry::Tracer;
 use vmm::{VmStats, Vmm, VmmConfig};
@@ -28,6 +28,9 @@ pub struct RunConfig {
     /// Structured-event sink shared by every JVM and the VMM. Disabled by
     /// default; emitting is then a single branch per event site.
     pub tracer: Tracer,
+    /// Heap-sizing policy override. `None` keeps each collector's default
+    /// (`Fixed` for the baselines; BC's shrink-to-footprint for BC).
+    pub policy: Option<PolicyKind>,
 }
 
 impl RunConfig {
@@ -41,6 +44,7 @@ impl RunConfig {
             costs: CostModel::default(),
             max_steps: 200_000_000,
             tracer: Tracer::disabled(),
+            policy: None,
         }
     }
 }
@@ -127,9 +131,13 @@ pub fn run_multi(config: &RunConfig, programs: Vec<Box<dyn Program>>) -> MultiRu
     let mut jvms = Vec::new();
     for program in programs {
         let pid = vmm.register_process();
-        let gc = config
-            .collector
-            .build(config.heap_bytes, config.tracer.clone(), &mut vmm, pid);
+        let gc = config.collector.build_with_policy(
+            config.heap_bytes,
+            config.policy,
+            config.tracer.clone(),
+            &mut vmm,
+            pid,
+        );
         jvms.push(JvmProcess::new(pid, gc, program));
     }
     let signalmem = config.pressure.map(|p| {

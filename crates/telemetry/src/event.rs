@@ -181,11 +181,15 @@ pub enum EventKind {
     HeapShrink {
         /// New heap budget, in pages.
         budget_pages: u32,
+        /// The sizing policy's reasoning (e.g. `"footprint-shrink"`).
+        reason: Cow<'static, str>,
     },
     /// The collector regrew its heap after pressure subsided (§7).
     HeapGrow {
         /// New heap budget, in pages.
         budget_pages: u32,
+        /// The sizing policy's reasoning (e.g. `"regrow"`).
+        reason: Cow<'static, str>,
     },
     /// Residency snapshot of one superpage after a major collection.
     Residency {

@@ -70,8 +70,16 @@ pub fn to_json(event: &Event) -> String {
         | EventKind::BookmarkScanned { page } => {
             field("page", &page.to_string(), false);
         }
-        EventKind::HeapShrink { budget_pages } | EventKind::HeapGrow { budget_pages } => {
+        EventKind::HeapShrink {
+            budget_pages,
+            reason,
+        }
+        | EventKind::HeapGrow {
+            budget_pages,
+            reason,
+        } => {
             field("budget_pages", &budget_pages.to_string(), false);
+            field("reason", reason, true);
         }
         EventKind::Residency {
             superpage,
@@ -216,9 +224,11 @@ pub fn parse(line: &str) -> Option<Event> {
         },
         "heap_shrink" => EventKind::HeapShrink {
             budget_pages: page("budget_pages")?,
+            reason: Cow::Owned(get("reason")?.to_string()),
         },
         "heap_grow" => EventKind::HeapGrow {
             budget_pages: page("budget_pages")?,
+            reason: Cow::Owned(get("reason")?.to_string()),
         },
         "residency" => EventKind::Residency {
             superpage: page("superpage")?,

@@ -119,8 +119,14 @@ mod tests {
             EventKind::BookmarkSet { page: 11 },
             EventKind::BookmarkCleared { page: 11 },
             EventKind::BookmarkScanned { page: 12 },
-            EventKind::HeapShrink { budget_pages: 512 },
-            EventKind::HeapGrow { budget_pages: 1024 },
+            EventKind::HeapShrink {
+                budget_pages: 512,
+                reason: Cow::Borrowed("footprint-shrink"),
+            },
+            EventKind::HeapGrow {
+                budget_pages: 1024,
+                reason: Cow::Borrowed("regrow"),
+            },
             EventKind::Residency {
                 superpage: 16,
                 resident: 3,

@@ -12,7 +12,7 @@
 //! heap-to-live geometry matches the paper at any scale.
 
 use simtime::{bmu_curve, Nanos};
-use simulate::{run, CollectorKind, Program, RunConfig};
+use simulate::{run, CollectorKind, PolicyKind, Program, RunConfig};
 use telemetry::{JsonlSink, Tracer};
 use workloads::{spec, table1};
 
@@ -23,6 +23,7 @@ struct Args {
     heap: usize,
     memory: usize,
     pressure: Option<Pressure>,
+    policy: Option<PolicyKind>,
     scale: f64,
     seed: u64,
     bmu: bool,
@@ -68,13 +69,16 @@ fn parse_collector(s: &str) -> Result<CollectorKind, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: gcsim [--collector C] [--benchmark B] [--heap SIZE] [--memory SIZE]
-             [--pressure steady:FRAC|dynamic:AVAIL] [--scale F] [--seed N] [--bmu]
-             [--trace OUT.jsonl]
+             [--pressure steady:FRAC|dynamic:AVAIL] [--policy P] [--scale F]
+             [--seed N] [--bmu] [--trace OUT.jsonl]
        gcsim --list
 
   Sizes are paper-equivalent (scaled by --scale). Collectors:
   bc, bc-resize, marksweep, semispace, gencopy, genms, copyms,
   gencopy-fixed, genms-fixed.
+  --policy picks the heap-sizing policy: fixed (each collector's
+  default), bc-footprint (pressure-driven shrink-to-footprint), or
+  membalancer (sqrt-rule sizing from allocation and trace rates).
   --trace streams every GC/VMM event to OUT.jsonl (see DESIGN.md for
   the schema)."
     );
@@ -88,6 +92,7 @@ fn parse_args() -> Args {
         heap: 100 << 20,
         memory: 224 << 20,
         pressure: None,
+        policy: None,
         scale: 0.1,
         seed: 42,
         bmu: false,
@@ -143,6 +148,13 @@ fn parse_args() -> Args {
                     }
                 });
             }
+            "--policy" => {
+                let v = value();
+                args.policy = Some(PolicyKind::from_flag(&v).unwrap_or_else(|| {
+                    eprintln!("unknown policy '{v}' (try fixed, bc-footprint, membalancer)");
+                    usage()
+                }));
+            }
             "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--bmu" => args.bmu = true,
@@ -191,6 +203,7 @@ fn main() {
         ),
     };
     config.tracer = tracer.clone();
+    config.policy = args.policy;
     let result = run(&config, make());
     tracer.flush();
     if let Some(path) = &args.trace {
@@ -198,6 +211,9 @@ fn main() {
     }
 
     println!("collector        {}", args.collector);
+    if let Some(policy) = args.policy {
+        println!("policy           {policy}");
+    }
     println!("benchmark        {}", result.benchmark);
     println!(
         "scale            {} (heap {} bytes, memory {} bytes simulated)",
@@ -244,8 +260,12 @@ fn main() {
         v.major_faults, result.pauses.major_faults, v.evictions, v.hard_evictions
     );
     println!(
-        "cooperation      {} notices, {} discards, {} relinquished, {} bookmarks set, {} cleared, {} shrinks",
-        v.notices, g.pages_discarded, g.pages_relinquished, g.bookmarks_set, g.bookmarks_cleared, g.heap_shrinks
+        "cooperation      {} notices, {} discards, {} relinquished, {} bookmarks set, {} cleared",
+        v.notices, g.pages_discarded, g.pages_relinquished, g.bookmarks_set, g.bookmarks_cleared
+    );
+    println!(
+        "heap sizing      {} shrinks, {} grows, peak {} pages",
+        g.heap_shrinks, g.heap_regrows, result.metrics.heap_pages_peak
     );
     if args.bmu {
         println!("bounded mutator utilization:");

@@ -13,10 +13,13 @@
 //! mv tests/golden/fig2.csv tests/golden/fig2_quick.csv
 //! cargo run --release -p bench --bin figures -- fig5a --quick --csv tests/golden > tests/golden/fig5a_quick.txt
 //! mv tests/golden/fig5a.csv tests/golden/fig5a_quick.csv
+//! cargo run --release -p bench --bin figures -- fig_policy --quick --csv tests/golden > tests/golden/fig_policy_quick.txt
+//! mv tests/golden/fig_policy.csv tests/golden/fig_policy_quick.csv
 //! ```
 
-use bench::pressure_figs::fig5a_report;
+use bench::pressure_figs::{dominates, fig5a_report, fig_policy_report, fig_policy_runs};
 use bench::{fig2_report, Params};
+use simulate::PolicyKind;
 
 #[test]
 fn fig2_matches_golden() {
@@ -46,5 +49,40 @@ fn fig5a_matches_golden() {
         t.to_csv(),
         include_str!("golden/fig5a_quick.csv"),
         "fig5a CSV output drifted from tests/golden/fig5a_quick.csv"
+    );
+}
+
+#[test]
+fn fig_policy_matches_golden_and_membalancer_dominates() {
+    let t = fig_policy_report(&Params::quick());
+    assert_eq!(
+        format!("{t}\n"),
+        include_str!("golden/fig_policy_quick.txt"),
+        "fig_policy text output drifted from tests/golden/fig_policy_quick.txt"
+    );
+    assert_eq!(
+        t.to_csv(),
+        include_str!("golden/fig_policy_quick.csv"),
+        "fig_policy CSV output drifted from tests/golden/fig_policy_quick.csv"
+    );
+    // The policy layer's headline claim: on at least one collector,
+    // MemBalancer strictly Pareto-dominates Fixed (no worse on both the
+    // time and peak-heap axes, better on at least one).
+    let runs = fig_policy_runs(&Params::quick());
+    let fixed: Vec<_> = runs
+        .iter()
+        .filter(|(_, p, _)| *p == PolicyKind::Fixed)
+        .collect();
+    let membalancer: Vec<_> = runs
+        .iter()
+        .filter(|(_, p, _)| *p == PolicyKind::MemBalancer)
+        .collect();
+    let won = fixed.iter().zip(&membalancer).any(|((k1, _, f), (k2, _, m))| {
+        assert_eq!(k1, k2, "policy groups must align by collector");
+        f.ok() && m.ok() && dominates(m, f)
+    });
+    assert!(
+        won,
+        "MemBalancer should strictly dominate Fixed on at least one collector:\n{t}"
     );
 }

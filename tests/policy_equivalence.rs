@@ -1,0 +1,72 @@
+//! The heap-sizing policy layer must be invisible when unused: running any
+//! collector with an explicit `--policy fixed` must be *byte-identical* to
+//! running it with no policy override at all — same simulated times, same
+//! paging counters, same pause log, same GC statistics.
+//!
+//! (BC is included: it treats `Fixed` as "my built-in shrink-to-footprint
+//! default", so the rewrite inside `Bookmarking::new` is covered too.)
+
+use proptest::prelude::*;
+use simulate::experiments::dynamic_pressure_config;
+use simulate::{run, CollectorKind, PolicyKind, RunConfig};
+use workloads::spec;
+
+/// One small run under dynamic pressure, reduced to a byte-exact
+/// fingerprint of everything the simulation reports.
+fn fingerprint(kind: CollectorKind, policy: Option<PolicyKind>, seed: u64) -> String {
+    let scale = 0.02;
+    let mut config = dynamic_pressure_config(
+        kind,
+        (100 << 20) / 50,
+        (224 << 20) / 50,
+        (60 << 20) / 50,
+        scale,
+    );
+    config.policy = policy;
+    let program = Box::new(spec("_202_jess").unwrap().program(scale, seed));
+    format!("{:?}", run(&config, program))
+}
+
+/// A calm (no-pressure) variant, so the equivalence is also checked on the
+/// path where the VMM never queues events.
+fn calm_fingerprint(kind: CollectorKind, policy: Option<PolicyKind>, seed: u64) -> String {
+    let mut config = RunConfig::new(kind, 4 << 20, 64 << 20);
+    config.policy = policy;
+    let program = Box::new(spec("_202_jess").unwrap().program(0.02, seed));
+    format!("{:?}", run(&config, program))
+}
+
+#[test]
+fn explicit_fixed_policy_matches_default_for_every_collector() {
+    for kind in CollectorKind::ALL {
+        assert_eq!(
+            fingerprint(kind, None, 42),
+            fingerprint(kind, Some(PolicyKind::Fixed), 42),
+            "{kind}: --policy fixed diverged from the default under pressure"
+        );
+        assert_eq!(
+            calm_fingerprint(kind, None, 42),
+            calm_fingerprint(kind, Some(PolicyKind::Fixed), 42),
+            "{kind}: --policy fixed diverged from the default on a calm run"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized seeds and collectors: the `Fixed` policy reproduces the
+    /// default byte-for-byte everywhere, not just at the golden seed.
+    #[test]
+    fn fixed_policy_reproduces_default_across_seeds(
+        kind_idx in 0usize..9,
+        seed in 1u64..=512,
+    ) {
+        let kind = CollectorKind::ALL[kind_idx];
+        prop_assert_eq!(
+            fingerprint(kind, None, seed),
+            fingerprint(kind, Some(PolicyKind::Fixed), seed),
+            "{} seed {}: --policy fixed diverged from the default", kind, seed
+        );
+    }
+}

@@ -50,7 +50,10 @@ fn run_bc_with(options: BcOptions, target_avail: usize) -> RunResult {
 
     let heap = eq(100 << 20);
     let memory = eq(224 << 20);
-    let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(memory), CostModel::default());
+    let mut vmm = Vmm::new(
+        VmmConfig::builder().memory_bytes(memory).build(),
+        CostModel::default(),
+    );
     let pid = vmm.register_process();
     let bc = Bookmarking::new(HeapConfig::builder().heap_bytes(heap).build(), options);
     bc.register(&mut vmm, pid);

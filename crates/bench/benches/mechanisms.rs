@@ -13,7 +13,7 @@ use vmm::{Vmm, VmmConfig};
 
 fn fresh(kind: CollectorKind) -> (Vmm, Clock, vmm::ProcessId, Box<dyn GcHeap>) {
     let mut vmm = Vmm::new(
-        VmmConfig::with_memory_bytes(256 << 20),
+        VmmConfig::builder().memory_bytes(256 << 20).build(),
         CostModel::default(),
     );
     let clock = Clock::new();
@@ -146,7 +146,10 @@ fn bench_bookmark_scan(c: &mut Criterion) {
     // The §3.4 eviction path: scan a victim page, set bookmarks, relinquish.
     c.bench_function("bookmark_scan_and_relinquish_page", |b| {
         b.iter(|| {
-            let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(8 << 20), CostModel::default());
+            let mut vmm = Vmm::new(
+                VmmConfig::builder().memory_bytes(8 << 20).build(),
+                CostModel::default(),
+            );
             let mut clock = Clock::new();
             let pid = vmm.register_process();
             let hog = vmm.register_process();
@@ -173,7 +176,7 @@ fn bench_bookmark_scan(c: &mut Criterion) {
             let mut pinned = 0;
             while bc.evicted_heap_pages() == 0 && pinned < 2040 {
                 if vmm.free_frames() > 8 {
-                    vmm.mlock(hog, vmm::VirtPage(pinned), &mut clock);
+                    vmm.mlock(hog, vmm::VirtPage::new(pinned), &mut clock);
                     pinned += 1;
                 }
                 vmm.pump(&mut clock);

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|fig_policy|phases|all>
+//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|fig7_scale|fig_policy|phases|all>
 //!         [--scale F] [--seed N] [--jobs N] [--quick] [--csv DIR]
 //! ```
 //!
@@ -11,7 +11,7 @@
 
 use bench::pressure_figs::{
     fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
-    fig_policy_report,
+    fig7_scale_report, fig_policy_report,
 };
 use bench::{fig2_report, phases_report, table1_report, Params, Table};
 
@@ -120,6 +120,11 @@ fn main() {
         println!("{b}");
         emit_csv(&csv_dir, "fig7", &[&a, &b]);
     }
+    if run("fig7_scale") {
+        let t = fig7_scale_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "fig7_scale", &[&t]);
+    }
     if run("fig_policy") {
         let t = fig_policy_report(&params);
         println!("{t}");
@@ -140,6 +145,7 @@ fn main() {
         "fig5b",
         "fig6",
         "fig7",
+        "fig7_scale",
         "fig_policy",
         "phases",
         "all",

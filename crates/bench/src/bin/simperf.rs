@@ -7,10 +7,12 @@
 //!         [--baseline PATH] [--max-regression F]
 //! ```
 //!
-//! The mix covers the three run shapes the figures use — calm fig2-style
+//! The mix covers the run shapes the figures use — calm fig2-style
 //! cells (hot-path throughput), fig5a-style dynamic-pressure cells
-//! (eviction/fault machinery), and fig7-style multi-JVM cells (shared-VMM
-//! scheduling) — plus two collector-hot-path groups: `full_heap_trace`
+//! (eviction/fault machinery), fig7-style multi-JVM cells (shared-VMM
+//! scheduling), and fig7_scale-style fleet cells (sharded VMM plus the
+//! time-slice scheduler at up to thousands of tenants) — plus two
+//! collector-hot-path groups: `full_heap_trace`
 //! (a tight heap, so the tracing loop dominates) and `alloc_rate` (a roomy
 //! heap, so the allocation fast paths dominate) — and `policy_pareto`,
 //! the fig_policy collector × heap-sizing-policy matrix. Each group fans out
@@ -26,10 +28,10 @@
 
 use std::time::Instant;
 
-use bench::pressure_figs::fig_policy_runs;
+use bench::pressure_figs::{fig_policy_runs, FLEET_PROCS};
 use bench::{default_jobs, parallel_map, scaled, Params, SweepDepth};
 use simtime::Nanos;
-use simulate::experiments::{dynamic_pressure, multi_jvm};
+use simulate::experiments::{dynamic_pressure, multi_jvm, run_fleet, FleetConfig};
 use simulate::{run, CollectorKind, Program, RunConfig, RunResult};
 use workloads::spec;
 
@@ -245,6 +247,51 @@ fn multi(params: &Params) -> GroupPerf {
     g
 }
 
+/// Fig7_scale-style fleet cells: hundreds to thousands of tenants
+/// time-sliced over one sharded VMM. Exercises the scheduler loop, the
+/// sharded frame pools, and the O(events) notification delivery —
+/// machinery no other group touches. Unlike the figure (which restricts
+/// memory to reproduce the thrash regime, making its cells orders of
+/// magnitude slower in simulated faults), this group gives the fleet
+/// ample memory: the wall-clock then tracks the per-tenant scheduling and
+/// touch machinery itself. Two collectors suffice for a tracker; the
+/// figure sweeps all five.
+fn fleet(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("fig7_scale_fleet");
+    let b = spec("pseudoJBB").expect("pseudoJBB spec");
+    let kinds = [CollectorKind::Bc, CollectorKind::SemiSpace];
+    let procs = params.thin(&FLEET_PROCS);
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&k| procs.iter().map(move |&n| (k, n)))
+        .collect();
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, n)| {
+        let per_scale = (params.scale * FLEET_PROCS[0] as f64 / n as f64).min(1.0);
+        let config = FleetConfig::new(kind, n, 512 << 10, n * (1 << 20));
+        let seed = params.seed;
+        run_fleet(&config, &move |i| {
+            Box::new(b.program(
+                per_scale,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        })
+    });
+    g.wall = start.elapsed();
+    for f in &results {
+        g.cells += 1;
+        g.sim_time = g.sim_time.max(f.total_elapsed);
+        for t in &f.tenants {
+            g.touches += t.vm.touches;
+            g.major_faults += t.vm.major_faults;
+            g.minor_faults += t.vm.minor_faults;
+            g.objects_traced += t.gc.objects_traced;
+            g.objects_allocated += t.gc.objects_allocated;
+        }
+    }
+    g
+}
+
 /// Extracts `(name, wall_ms)` per group from a simperf JSON document.
 /// Hand-rolled (the workspace carries no JSON dependency); anchors on the
 /// `{"name":"` that opens each group object.
@@ -365,6 +412,7 @@ fn main() {
         no_pressure(&params),
         dynamic(&params),
         multi(&params),
+        fleet(&params),
         full_heap_trace(&params),
         alloc_rate(&params),
         policy_pareto(&params),

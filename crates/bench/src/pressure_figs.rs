@@ -6,7 +6,8 @@
 
 use simtime::{bmu_curve, Nanos};
 use simulate::experiments::{
-    dynamic_pressure, dynamic_pressure_config, multi_jvm, steady_pressure,
+    dynamic_pressure, dynamic_pressure_config, multi_jvm, run_fleet, steady_pressure, FleetConfig,
+    FleetResult,
 };
 use simulate::{CollectorKind, PolicyKind, Program, RunResult};
 use workloads::spec;
@@ -286,8 +287,7 @@ pub fn fig_policy_report(params: &Params) -> Table {
         "Pareto",
     ]);
     t.caption =
-        "Policy figure: total memory x end-to-end time under dynamic pressure (fig5 setup)"
-            .into();
+        "Policy figure: total memory x end-to-end time under dynamic pressure (fig5 setup)".into();
     let runs = fig_policy_runs(params);
     for group in runs.chunks(POLICY_MATRIX.len()) {
         for (pi, (kind, policy, r)) in group.iter().enumerate() {
@@ -397,4 +397,102 @@ pub fn fig7_report(params: &Params) -> (Table, Table) {
         tb.row(rb);
     }
     (ta, tb)
+}
+
+/// The tenancy axis of the scaled multiple-JVM experiment: from the
+/// paper's handful of simultaneous JVMs up to thousands of mutators.
+pub const FLEET_PROCS: [usize; 4] = [4, 64, 512, 2048];
+
+/// One `fig7_scale` cell: `n` tenants of `kind` splitting a constant
+/// aggregate pseudoJBB workload over a fixed machine, time-sliced by the
+/// round-robin [`simulate::Scheduler`] over a sharded VMM (one shard per
+/// 256 tenants).
+///
+/// At `n = 4` every tenant is a paper-sized Figure 7 instance; the sweep
+/// holds total allocation volume, total heap, and physical memory constant
+/// while splitting the traffic ever finer, so differences along the axis
+/// are scheduling and paging effects, not workload growth.
+pub fn fleet_run(params: &Params, kind: CollectorKind, n: usize) -> FleetResult {
+    let b = spec("pseudoJBB").expect("pseudoJBB spec");
+    let per_scale = (params.scale * FLEET_PROCS[0] as f64 / n as f64).min(1.0);
+    let heap_total = scaled(params, 4 * (77 << 20));
+    let tenant_heap = (heap_total / n).max(512 << 10);
+    let memory = scaled(params, 256 << 20);
+    let config = FleetConfig::new(kind, n, tenant_heap, memory);
+    let seed = params.seed;
+    run_fleet(&config, &move |i| {
+        Box::new(b.program(
+            per_scale,
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    })
+}
+
+/// Per-tenant fairness statistics of one fleet run: (min, median, max)
+/// touches per tenant, and the largest single tenant's share of all
+/// evictions ("-" when nothing was evicted).
+fn fleet_fairness(r: &FleetResult) -> (u64, u64, u64, String) {
+    let mut touches: Vec<u64> = r.tenants.iter().map(|t| t.vm.touches).collect();
+    touches.sort_unstable();
+    let min = touches.first().copied().unwrap_or(0);
+    let median = touches.get(touches.len() / 2).copied().unwrap_or(0);
+    let max = touches.last().copied().unwrap_or(0);
+    let total_evictions: u64 = r.tenants.iter().map(|t| t.vm.evictions).sum();
+    let share = if total_evictions == 0 {
+        "-".into()
+    } else {
+        let top = r.tenants.iter().map(|t| t.vm.evictions).max().unwrap_or(0);
+        format!("{:.3}", top as f64 / total_evictions as f64)
+    };
+    (min, median, max, share)
+}
+
+/// **Figure 7 (scaled)**: the multiple-JVM experiment pushed from the
+/// paper's simultaneous JVMs to thousands of time-sliced mutators over
+/// one sharded VMM. Rows are collector × tenancy; cells report elapsed
+/// time, completions, the per-tenant touch spread (fairness), the largest
+/// tenant's eviction share, and how many notification deliveries the pump
+/// made (O(events), however many tenants idle).
+pub fn fig7_scale_report(params: &Params) -> Table {
+    let procs = params.thin(&FLEET_PROCS);
+    let kinds = CollectorKind::PRESSURE;
+    let mut t = Table::new(vec![
+        "Collector",
+        "Procs",
+        "Elapsed",
+        "Done",
+        "Touch min",
+        "Touch med",
+        "Touch max",
+        "Evict share",
+        "Deliveries",
+    ]);
+    t.caption =
+        "Figure 7 (scaled): N simultaneous mutators, constant total workload, sharded VMM".into();
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| procs.iter().map(move |&n| (kind, n)))
+        .collect();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, n)| {
+        fleet_run(params, kind, n)
+    });
+    for ((kind, n), r) in cells.iter().zip(&results) {
+        let (min, median, max, share) = fleet_fairness(r);
+        t.row(vec![
+            kind.label().to_string(),
+            format!("{n}"),
+            if r.timed_out {
+                "timeout".into()
+            } else {
+                r.total_elapsed.to_string()
+            },
+            format!("{}/{}", r.completed(), n),
+            format!("{min}"),
+            format!("{median}"),
+            format!("{max}"),
+            share,
+            format!("{}", r.deliveries),
+        ]);
+    }
+    t
 }

@@ -157,6 +157,9 @@ pub struct Bookmarking {
     /// deferred to the end of the pause (setting bookmarks mid-trace could
     /// hide objects from the in-flight marking).
     pub(crate) deferred_evicted: Vec<vmm::VirtPage>,
+    /// Reusable VM-event buffer: notification pumps drain into it so the
+    /// signal-handling paths never allocate.
+    pub(crate) event_scratch: Vec<vmm::VmEvent>,
 }
 
 impl Bookmarking {
@@ -199,6 +202,7 @@ impl Bookmarking {
             gc_tick: 0,
             victim_vetoes: 0,
             deferred_evicted: Vec::new(),
+            event_scratch: Vec::new(),
         };
         bc.recompute_nursery_limit();
         bc
@@ -641,7 +645,7 @@ impl Bookmarking {
             self.core.trace_event(
                 ctx,
                 EventKind::Residency {
-                    superpage: pages[0].0,
+                    superpage: pages[0].number(),
                     resident,
                     total: pages.len() as u32,
                 },

@@ -379,7 +379,7 @@ impl Bookmarking {
         }
         // The reload touches queued MadeResident notifications; they carry
         // no bookmark state anymore.
-        let _ = ctx.vmm.take_events(ctx.pid);
+        ctx.vmm.discard_events(ctx.pid);
         self.core.stats.failsafe_gcs += 1;
         self.core.end_pause(ctx, pause);
     }

@@ -28,8 +28,10 @@ impl Bookmarking {
     /// reloads. Completed evictions are queued for scanning after the
     /// pause ([`finish_deferred_evictions`](Bookmarking::finish_deferred_evictions)).
     pub(crate) fn pump_events_in_gc(&mut self, ctx: &mut MemCtx<'_>) {
-        let events = ctx.vmm.take_events(ctx.pid);
-        for ev in events {
+        let mut events = std::mem::take(&mut self.event_scratch);
+        events.clear();
+        ctx.vmm.drain_events_into(ctx.pid, &mut events);
+        for &ev in &events {
             let cost = ctx.vmm.costs().notification;
             ctx.clock.advance(cost);
             match ev {
@@ -55,6 +57,7 @@ impl Bookmarking {
                 }
             }
         }
+        self.event_scratch = events;
     }
 
     /// Scans pages whose eviction completed during the last pause (§3.4.3).
@@ -72,12 +75,13 @@ impl Bookmarking {
 
     /// Drains and handles all queued paging notifications.
     pub(crate) fn process_vm_events(&mut self, ctx: &mut MemCtx<'_>) {
+        let mut events = std::mem::take(&mut self.event_scratch);
         loop {
-            let events = ctx.vmm.take_events(ctx.pid);
-            if events.is_empty() {
+            events.clear();
+            if ctx.vmm.drain_events_into(ctx.pid, &mut events) == 0 {
                 break;
             }
-            for ev in events {
+            for &ev in &events {
                 let cost = ctx.vmm.costs().notification;
                 ctx.clock.advance(cost);
                 match ev {
@@ -89,6 +93,7 @@ impl Bookmarking {
                 }
             }
         }
+        self.event_scratch = events;
     }
 
     /// §3.3.2/§3.4: the kernel warns that `page` is about to be evicted.
@@ -168,7 +173,7 @@ impl Bookmarking {
         if self.must_stay_resident(page) {
             // Nursery/header/LOS page: bring it straight back.
             ctx.vmm.touch(ctx.pid, page, Access::Read, ctx.clock);
-            let _ = ctx.vmm.take_events(ctx.pid);
+            ctx.vmm.discard_events(ctx.pid);
             return;
         }
         self.bookmark_scan_evicted(ctx, page);
@@ -194,7 +199,7 @@ impl Bookmarking {
             for (_slot, target) in self.readable_refs_raw(ctx, cell) {
                 if self.nursery.region_contains(target) {
                     ctx.vmm.touch(ctx.pid, page, Access::Read, ctx.clock);
-                    let _ = ctx.vmm.take_events(ctx.pid);
+                    ctx.vmm.discard_events(ctx.pid);
                     return;
                 }
             }
@@ -225,8 +230,12 @@ impl Bookmarking {
             self.core.mem.write_word(cell.offset(WORD), 0);
         }
         self.core.stats.pages_bookmark_scanned += 1;
-        self.core
-            .trace_event(ctx, EventKind::BookmarkScanned { page: page.0 });
+        self.core.trace_event(
+            ctx,
+            EventKind::BookmarkScanned {
+                page: page.number(),
+            },
+        );
         self.residency.mark_evicted(page);
     }
 
@@ -375,13 +384,13 @@ impl Bookmarking {
         // Then nursery pages beyond the bump pointer, up to the historical
         // high-water mark.
         if pages.len() < max + hold_back {
-            let base_page = self.nursery.base().page().0;
+            let base_page = self.nursery.base().page().number();
             let first_free = Address(self.nursery.top().0)
                 .align_up(BYTES_PER_PAGE)
                 .page()
-                .0;
+                .number();
             for p in first_free..base_page + self.nursery_peak_pages as u32 {
-                let page = VirtPage(p);
+                let page = VirtPage::new(p);
                 if ctx.vmm.is_resident(ctx.pid, page) {
                     pages.push(page);
                     if pages.len() >= max + hold_back {
@@ -533,8 +542,12 @@ impl Bookmarking {
             }
         }
         self.core.stats.pages_bookmark_scanned += 1;
-        self.core
-            .trace_event(ctx, EventKind::BookmarkScanned { page: page.0 });
+        self.core.trace_event(
+            ctx,
+            EventKind::BookmarkScanned {
+                page: page.number(),
+            },
+        );
         // Take the page's free cells off the free list so the allocator
         // never writes into an evicted page; zero their headers so later
         // scans see inert cells rather than stale garbage.
@@ -578,7 +591,7 @@ impl Bookmarking {
             self.core.trace_event(
                 ctx,
                 EventKind::BookmarkSet {
-                    page: target.page().0,
+                    page: target.page().number(),
                 },
             );
         } else if self.los.region_contains(target) {
@@ -586,8 +599,12 @@ impl Bookmarking {
                 self.set_bookmark_bit(ctx, obj, true);
                 *self.los_incoming.entry(obj.0).or_insert(0) += 1;
                 self.core.stats.bookmarks_set += 1;
-                self.core
-                    .trace_event(ctx, EventKind::BookmarkSet { page: obj.page().0 });
+                self.core.trace_event(
+                    ctx,
+                    EventKind::BookmarkSet {
+                        page: obj.page().number(),
+                    },
+                );
             }
         }
         // Nursery targets were excluded by the rescue pass; anything else
@@ -604,8 +621,12 @@ impl Bookmarking {
         if !self.ms.region_contains(addr) {
             return;
         }
-        self.core
-            .trace_event(ctx, EventKind::BookmarkCleared { page: page.0 });
+        self.core.trace_event(
+            ctx,
+            EventKind::BookmarkCleared {
+                page: page.number(),
+            },
+        );
         let (sp, page_in_sp) = self.ms.page_within_sp(addr);
         if sp.0 >= self.ms.extent_superpages() {
             return;
@@ -652,7 +673,7 @@ impl Bookmarking {
         self.core.trace_event(
             ctx,
             EventKind::BookmarkCleared {
-                page: self.ms.sp_base(sp).page().0,
+                page: self.ms.sp_base(sp).page().number(),
             },
         );
         for cell in self.ms.allocated_cells_iter(sp) {

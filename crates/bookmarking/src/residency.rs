@@ -47,9 +47,9 @@ impl ResidencyMap {
         if self.evicted.is_empty() {
             return true;
         }
-        let first = addr.page().0;
-        let last = Address(addr.0 + len.max(1) - 1).page().0;
-        (first..=last).all(|p| !self.evicted.contains(&VirtPage(p)))
+        let first = addr.page().number();
+        let last = Address(addr.0 + len.max(1) - 1).page().number();
+        (first..=last).all(|p| !self.evicted.contains(&VirtPage::new(p)))
     }
 
     /// Number of pages currently tracked as evicted.
@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn fresh_map_is_all_resident() {
         let m = ResidencyMap::new();
-        assert!(m.page_resident(VirtPage(0)));
+        assert!(m.page_resident(VirtPage::new(0)));
         assert!(m.range_resident(Address(0), 1 << 20));
         assert!(!m.any_evicted());
         assert_eq!(m.evicted_count(), 0);
@@ -90,19 +90,22 @@ mod tests {
     #[test]
     fn evict_and_reload_round_trip() {
         let mut m = ResidencyMap::new();
-        m.mark_evicted(VirtPage(5));
-        assert!(!m.page_resident(VirtPage(5)));
-        assert!(m.page_resident(VirtPage(6)));
+        m.mark_evicted(VirtPage::new(5));
+        assert!(!m.page_resident(VirtPage::new(5)));
+        assert!(m.page_resident(VirtPage::new(6)));
         assert!(m.any_evicted());
-        assert!(m.mark_resident(VirtPage(5)));
-        assert!(!m.mark_resident(VirtPage(5)), "second reload is a no-op");
-        assert!(m.page_resident(VirtPage(5)));
+        assert!(m.mark_resident(VirtPage::new(5)));
+        assert!(
+            !m.mark_resident(VirtPage::new(5)),
+            "second reload is a no-op"
+        );
+        assert!(m.page_resident(VirtPage::new(5)));
     }
 
     #[test]
     fn range_residency_spans_pages() {
         let mut m = ResidencyMap::new();
-        m.mark_evicted(VirtPage(2)); // bytes 8192..12288
+        m.mark_evicted(VirtPage::new(2)); // bytes 8192..12288
         assert!(m.range_resident(Address(0), 8192));
         assert!(!m.range_resident(Address(8000), 400));
         assert!(!m.range_resident(Address(8192), 1));
@@ -112,10 +115,10 @@ mod tests {
     #[test]
     fn clear_forgets_everything() {
         let mut m = ResidencyMap::new();
-        m.mark_evicted(VirtPage(1));
-        m.mark_evicted(VirtPage(2));
+        m.mark_evicted(VirtPage::new(1));
+        m.mark_evicted(VirtPage::new(2));
         m.clear();
         assert!(!m.any_evicted());
-        assert!(m.page_resident(VirtPage(1)));
+        assert!(m.page_resident(VirtPage::new(1)));
     }
 }

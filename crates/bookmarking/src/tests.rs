@@ -15,7 +15,7 @@ struct Env {
 }
 
 fn env(memory_bytes: usize) -> Env {
-    let mut config = VmmConfig::with_memory_bytes(memory_bytes);
+    let mut config = VmmConfig::builder().memory_bytes(memory_bytes).build();
     // Small watermarks keep tests brisk and deterministic.
     config.low_watermark = 16;
     config.high_watermark = 32;
@@ -76,7 +76,8 @@ fn list_len(gc: &mut Bookmarking, ctx: &mut MemCtx<'_>, head: Handle) -> usize {
 /// collector react between increments so eviction notices flow.
 fn apply_pressure(e: &mut Env, gc: &mut Bookmarking, pages: u32, base: u32) {
     for p in 0..pages {
-        e.vmm.mlock(e.hog, vmm::VirtPage(base + p), &mut e.clock);
+        e.vmm
+            .mlock(e.hog, vmm::VirtPage::new(base + p), &mut e.clock);
         if p % 4 == 3 {
             step(gc, &mut e.vmm, &mut e.clock, e.pid);
         }
@@ -103,7 +104,7 @@ fn squeeze_until_evicted(
             }
             continue;
         }
-        e.vmm.mlock(e.hog, vmm::VirtPage(pinned), &mut e.clock);
+        e.vmm.mlock(e.hog, vmm::VirtPage::new(pinned), &mut e.clock);
         pinned += 1;
         if pinned % 4 == 0 {
             step(gc, &mut e.vmm, &mut e.clock, e.pid);
@@ -280,7 +281,7 @@ fn bookmarks_clear_when_pages_reload() {
     assert!(gc.stats().bookmarks_set > 0);
     // Release the pressure and walk the whole list: every page reloads.
     for p in 0..pin {
-        e.vmm.munlock(e.hog, vmm::VirtPage(p), &mut e.clock);
+        e.vmm.munlock(e.hog, vmm::VirtPage::new(p), &mut e.clock);
     }
     {
         let mut ctx = MemCtx::new(&mut e.vmm, &mut e.clock, e.pid);
@@ -320,7 +321,7 @@ fn resizing_only_variant_discards_but_never_bookmarks() {
             break;
         }
         if e.vmm.free_frames() > 8 && pinned < 495 {
-            e.vmm.mlock(e.hog, vmm::VirtPage(pinned), &mut e.clock);
+            e.vmm.mlock(e.hog, vmm::VirtPage::new(pinned), &mut e.clock);
             pinned += 1;
         }
         step(&mut gc, &mut e.vmm, &mut e.clock, e.pid);
@@ -391,7 +392,7 @@ fn deferred_gc_runs_at_safe_points_not_in_handlers() {
             break;
         }
         if e.vmm.free_frames() > 8 && pinned < 495 {
-            e.vmm.mlock(e.hog, vmm::VirtPage(pinned), &mut e.clock);
+            e.vmm.mlock(e.hog, vmm::VirtPage::new(pinned), &mut e.clock);
             pinned += 1;
         }
         step(&mut gc, &mut e.vmm, &mut e.clock, e.pid);
@@ -451,7 +452,7 @@ fn regrowth_restores_budget_after_transient_pressure() {
     assert!(gc.current_heap_budget() < configured, "never shrank");
     assert!(gc.stats().heap_shrinks > 0);
     // ...then the hog exits, returning its memory, and BC gets safe points.
-    let pages: Vec<vmm::VirtPage> = (0..pin).map(vmm::VirtPage).collect();
+    let pages: Vec<vmm::VirtPage> = (0..pin).map(vmm::VirtPage::new).collect();
     for &p in &pages {
         e.vmm.munlock(e.hog, p, &mut e.clock);
     }
@@ -484,7 +485,7 @@ fn default_options_never_regrow() {
     let pin = 1024 - 10 - e.vmm.stats(e.pid).resident as u32;
     apply_pressure(&mut e, &mut gc, pin, 0);
     let shrunk = gc.current_heap_budget();
-    let pages: Vec<vmm::VirtPage> = (0..pin).map(vmm::VirtPage).collect();
+    let pages: Vec<vmm::VirtPage> = (0..pin).map(vmm::VirtPage::new).collect();
     for &p in &pages {
         e.vmm.munlock(e.hog, p, &mut e.clock);
     }

@@ -55,7 +55,7 @@ pub(crate) mod testutil {
     /// default so paging does not perturb algorithmic tests).
     pub fn env(memory_bytes: usize) -> TestEnv {
         let mut vmm = Vmm::new(
-            VmmConfig::with_memory_bytes(memory_bytes),
+            VmmConfig::builder().memory_bytes(memory_bytes).build(),
             CostModel::default(),
         );
         let pid = vmm.register_process();

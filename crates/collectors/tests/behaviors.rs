@@ -8,7 +8,7 @@ use simtime::{Clock, CostModel};
 use vmm::{ProcessId, Vmm, VmmConfig};
 
 fn env(memory_bytes: usize) -> (Vmm, Clock, ProcessId, ProcessId) {
-    let mut config = VmmConfig::with_memory_bytes(memory_bytes);
+    let mut config = VmmConfig::builder().memory_bytes(memory_bytes).build();
     config.low_watermark = 16;
     config.high_watermark = 32;
     let mut vmm = Vmm::new(config, CostModel::default());
@@ -64,7 +64,7 @@ fn oblivious_full_collection_faults_on_evicted_pages() {
     // Squeeze: pin pages until the collector's heap is partially evicted.
     let mut pinned = 0;
     while vmm.stats(pid).evictions < 30 && vmm.free_frames() > 8 {
-        vmm.mlock(hog, vmm::VirtPage(pinned), &mut clock);
+        vmm.mlock(hog, vmm::VirtPage::new(pinned), &mut clock);
         pinned += 1;
         vmm.pump(&mut clock);
     }

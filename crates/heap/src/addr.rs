@@ -146,9 +146,9 @@ mod tests {
 
     #[test]
     fn page_of_address() {
-        assert_eq!(Address(0).page(), VirtPage(0));
-        assert_eq!(Address(4095).page(), VirtPage(0));
-        assert_eq!(Address(4096).page(), VirtPage(1));
+        assert_eq!(Address(0).page(), VirtPage::new(0));
+        assert_eq!(Address(4095).page(), VirtPage::new(0));
+        assert_eq!(Address(4096).page(), VirtPage::new(1));
     }
 
     #[test]

@@ -39,13 +39,13 @@ impl<'a> MemCtx<'a> {
         access: Access,
     ) -> TouchOutcome {
         debug_assert!(len > 0);
-        let first = addr.page().0;
-        let last = Address(addr.0 + len - 1).page().0;
+        let first = addr.page().number();
+        let last = Address(addr.0 + len - 1).page().number();
         let mut combined = TouchOutcome::default();
         for p in first..=last {
             let o = self
                 .vmm
-                .touch(self.pid, vmm::VirtPage(p), access, self.clock);
+                .touch(self.pid, vmm::VirtPage::new(p), access, self.clock);
             if o.zero_filled {
                 mem.zero(Address(p * BYTES_PER_PAGE), BYTES_PER_PAGE);
             }
@@ -83,7 +83,10 @@ mod tests {
 
     fn ctx_parts() -> (Vmm, Clock) {
         (
-            Vmm::new(VmmConfig::with_frames(64), CostModel::default()),
+            Vmm::new(
+                VmmConfig::builder().frames(64).build(),
+                CostModel::default(),
+            ),
             Clock::new(),
         )
     }
@@ -123,8 +126,8 @@ mod tests {
         let o = ctx.touch(&mut mem, Address(4000), 8192, Access::Write);
         assert!(o.zero_filled);
         for p in 0..3 {
-            assert!(ctx.vmm.is_resident(pid, vmm::VirtPage(p)));
+            assert!(ctx.vmm.is_resident(pid, vmm::VirtPage::new(p)));
         }
-        assert!(!ctx.vmm.is_resident(pid, vmm::VirtPage(3)));
+        assert!(!ctx.vmm.is_resident(pid, vmm::VirtPage::new(3)));
     }
 }

@@ -52,6 +52,9 @@ pub struct Core {
     /// borrows it for the duration of a drain; after warm-up the loop
     /// performs no heap allocations per traced object.
     scan_scratch: Vec<(Address, Address)>,
+    /// Reusable VM-event buffer for [`Core::pump_policy_events`]: queued
+    /// notifications drain into it without a per-pump allocation.
+    event_scratch: Vec<vmm::VmEvent>,
     /// Reusable dead-cell scratch for sweep loops: collectors gather a
     /// superpage's unmarked cells here (the mark checks run against an
     /// [`MsSpace`](crate::MsSpace) iterator borrow), then free them.
@@ -71,6 +74,7 @@ impl Core {
             oom: false,
             policy: config.policy.build(),
             scan_scratch: Vec::new(),
+            event_scratch: Vec::new(),
             sweep_scratch: Vec::new(),
             config,
         }
@@ -271,7 +275,9 @@ impl Core {
     /// simulated time; a single branch when tracing is disabled.
     #[inline]
     pub fn trace_event(&self, ctx: &MemCtx<'_>, kind: EventKind) {
-        self.config.tracer.emit(ctx.pid.0, ctx.clock.now(), kind);
+        self.config
+            .tracer
+            .emit(ctx.pid.as_u32(), ctx.clock.now(), kind);
     }
 
     // ----- heap sizing (crate::policy) ----------------------------------
@@ -371,14 +377,17 @@ impl Core {
     /// byte-for-byte today's defensive drain.
     pub fn pump_policy_events(&mut self, ctx: &mut MemCtx<'_>) -> bool {
         let mut changed = false;
-        let events = ctx.vmm.take_events(ctx.pid);
-        for ev in events {
+        let mut events = std::mem::take(&mut self.event_scratch);
+        events.clear();
+        ctx.vmm.drain_events_into(ctx.pid, &mut events);
+        for ev in &events {
             let cost = ctx.vmm.costs().notification;
             ctx.clock.advance(cost);
             if let vmm::VmEvent::EvictionScheduled { .. } = ev {
                 changed |= self.policy_pressure(ctx);
             }
         }
+        self.event_scratch = events;
         if self.policy.idle_active() {
             changed |= self.policy_idle(ctx);
         }
@@ -510,9 +519,12 @@ mod tests {
     use vmm::{Vmm, VmmConfig};
 
     fn setup() -> (Core, Vmm, Clock) {
-        let mut vmm = Vmm::new(VmmConfig::with_frames(1024), CostModel::default());
+        let mut vmm = Vmm::new(
+            VmmConfig::builder().frames(1024).build(),
+            CostModel::default(),
+        );
         let pid = vmm.register_process();
-        assert_eq!(pid.0, 0);
+        assert_eq!(pid.as_u32(), 0);
         (
             Core::new(HeapConfig::builder().heap_bytes(1 << 20).build()),
             vmm,
@@ -523,7 +535,7 @@ mod tests {
     #[test]
     fn init_and_header_round_trip() {
         let (mut core, mut vmm, mut clock) = setup();
-        let pid = vmm::ProcessId(0);
+        let pid = vmm::ProcessId::new(0);
         let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
         let kind = ObjectKind::scalar(4, 2);
         let obj = Address(0x1040_0000);
@@ -538,7 +550,7 @@ mod tests {
     #[test]
     fn try_mark_marks_once() {
         let (mut core, mut vmm, mut clock) = setup();
-        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId(0));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId::new(0));
         let obj = Address(0x1040_0000);
         core.init_object(&mut ctx, obj, ObjectKind::scalar(1, 0));
         assert!(core.try_mark(&mut ctx, obj));
@@ -551,7 +563,7 @@ mod tests {
     #[test]
     fn scan_refs_returns_nonnull_slots() {
         let (mut core, mut vmm, mut clock) = setup();
-        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId(0));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId::new(0));
         let obj = Address(0x1040_0000);
         core.init_object(&mut ctx, obj, ObjectKind::scalar(4, 3));
         // Set fields 0 and 2.
@@ -570,7 +582,7 @@ mod tests {
     #[test]
     fn copy_object_leaves_forwarding_stub() {
         let (mut core, mut vmm, mut clock) = setup();
-        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId(0));
+        let mut ctx = MemCtx::new(&mut vmm, &mut clock, vmm::ProcessId::new(0));
         let from = Address(0x1040_0000);
         let to = Address(0x5040_0000);
         let kind = ObjectKind::scalar(2, 1);

@@ -12,19 +12,27 @@ use crate::addr::{Address, BYTES_PER_PAGE};
 
 const PAGE: usize = BYTES_PER_PAGE as usize;
 
-/// A sparse, page-granular byte store over the 32-bit simulated space.
+/// Pages per directory chunk (4 MiB of simulated address space). The
+/// directory itself must be sparse, not just the page boxes: the heap
+/// layout spreads regions across a ~3 GiB span, and a dense
+/// `Vec<Option<..>>` indexed by raw page number costs megabytes of
+/// written host memory per process once a high region is touched — which
+/// multiplies ruinously in thousand-tenant fleet runs.
+const DIR_CHUNK: usize = 1024;
+
+type PageBox = Option<Box<[u32; PAGE / 4]>>;
+
+/// A sparse, page-granular byte store over the 32-bit simulated space,
+/// organised as a two-level directory of lazily materialized pages.
 #[derive(Default)]
 pub struct SimMemory {
-    pages: Vec<Option<Box<[u32; PAGE / 4]>>>,
+    dirs: Vec<Option<Box<[PageBox; DIR_CHUNK]>>>,
 }
 
 impl core::fmt::Debug for SimMemory {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("SimMemory")
-            .field(
-                "materialized_pages",
-                &self.pages.iter().filter(|p| p.is_some()).count(),
-            )
+            .field("materialized_pages", &self.materialized_pages())
             .finish()
     }
 }
@@ -35,11 +43,36 @@ impl SimMemory {
         SimMemory::default()
     }
 
-    fn page_mut(&mut self, idx: usize) -> &mut [u32; PAGE / 4] {
-        if idx >= self.pages.len() {
-            self.pages.resize_with(idx + 1, || None);
+    /// The materialized page at `idx`, or `None` (reads as zero).
+    fn page(&self, idx: usize) -> Option<&[u32; PAGE / 4]> {
+        self.dirs
+            .get(idx / DIR_CHUNK)?
+            .as_ref()?
+            .get(idx % DIR_CHUNK)?
+            .as_deref()
+    }
+
+    /// The materialized page at `idx` for writing, without materializing.
+    fn page_opt_mut(&mut self, idx: usize) -> Option<&mut [u32; PAGE / 4]> {
+        self.dirs
+            .get_mut(idx / DIR_CHUNK)?
+            .as_mut()?
+            .get_mut(idx % DIR_CHUNK)?
+            .as_deref_mut()
+    }
+
+    /// The slot holding page `idx`, materializing its directory chunk.
+    fn slot_mut(&mut self, idx: usize) -> &mut PageBox {
+        let (c, o) = (idx / DIR_CHUNK, idx % DIR_CHUNK);
+        if c >= self.dirs.len() {
+            self.dirs.resize_with(c + 1, || None);
         }
-        self.pages[idx].get_or_insert_with(|| Box::new([0; PAGE / 4]))
+        &mut self.dirs[c].get_or_insert_with(|| Box::new([const { None }; DIR_CHUNK]))[o]
+    }
+
+    fn page_mut(&mut self, idx: usize) -> &mut [u32; PAGE / 4] {
+        self.slot_mut(idx)
+            .get_or_insert_with(|| Box::new([0; PAGE / 4]))
     }
 
     /// Reads the word at `addr`.
@@ -50,9 +83,9 @@ impl SimMemory {
     pub fn read_word(&self, addr: Address) -> u32 {
         assert!(addr.is_word_aligned(), "unaligned read at {addr}");
         let idx = (addr.0 as usize) / PAGE;
-        match self.pages.get(idx) {
-            Some(Some(p)) => p[(addr.0 as usize % PAGE) / 4],
-            _ => 0,
+        match self.page(idx) {
+            Some(p) => p[(addr.0 as usize % PAGE) / 4],
+            None => 0,
         }
     }
 
@@ -80,7 +113,7 @@ impl SimMemory {
             let idx = (a / BYTES_PER_PAGE as u64) as usize;
             let off = (a % BYTES_PER_PAGE as u64) as usize / 4;
             let run = (((end - a) / 4) as usize).min(PAGE / 4 - off);
-            if let Some(Some(p)) = self.pages.get_mut(idx) {
+            if let Some(p) = self.page_opt_mut(idx) {
                 p[off..off + run].fill(0);
             }
             a += (run * 4) as u64;
@@ -111,21 +144,21 @@ impl SimMemory {
             let run = (((total - done) / 4) as usize)
                 .min(PAGE / 4 - s_off)
                 .min(PAGE / 4 - d_off);
-            let src_present = matches!(self.pages.get(s_idx), Some(Some(_)));
+            let src_present = self.page(s_idx).is_some();
             if !src_present {
                 // Source reads as zero; only clear a materialized target.
-                if let Some(Some(p)) = self.pages.get_mut(d_idx) {
+                if let Some(p) = self.page_opt_mut(d_idx) {
                     p[d_off..d_off + run].fill(0);
                 }
             } else if s_idx == d_idx {
-                let p = self.pages[s_idx].as_mut().expect("present above");
+                let p = self.page_opt_mut(s_idx).expect("present above");
                 p.copy_within(s_off..s_off + run, d_off);
             } else {
                 // Detach the source page so the destination can be borrowed
                 // (and lazily materialized) at the same time.
-                let sp = self.pages[s_idx].take().expect("present above");
+                let sp = self.slot_mut(s_idx).take().expect("present above");
                 self.page_mut(d_idx)[d_off..d_off + run].copy_from_slice(&sp[s_off..s_off + run]);
-                self.pages[s_idx] = Some(sp);
+                *self.slot_mut(s_idx) = Some(sp);
             }
             done += (run * 4) as u64;
         }
@@ -133,7 +166,11 @@ impl SimMemory {
 
     /// Number of pages that have ever been written (for diagnostics).
     pub fn materialized_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.dirs
+            .iter()
+            .flatten()
+            .map(|d| d.iter().filter(|p| p.is_some()).count())
+            .sum()
     }
 }
 

@@ -963,6 +963,6 @@ mod tests {
         let sp = ms.sp_of(a);
         let pages = ms.sp_pages(sp);
         assert_eq!(ms.header_page(sp), pages[0]);
-        assert_eq!(pages[3].0 - pages[0].0, 3);
+        assert_eq!(pages[3].number() - pages[0].number(), 3);
     }
 }

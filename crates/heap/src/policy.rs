@@ -298,8 +298,7 @@ impl MemBalancer {
     /// rates, before clamping against the input's configured ceiling.
     pub fn sqrt_target_pages(used_pages: usize, alloc_rate: f64, trace_rate: f64) -> usize {
         let live_bytes = used_pages as f64 * BYTES_PER_PAGE as f64;
-        let extra_bytes =
-            (MEMBALANCER_TUNING_BYTES * live_bytes * alloc_rate / trace_rate).sqrt();
+        let extra_bytes = (MEMBALANCER_TUNING_BYTES * live_bytes * alloc_rate / trace_rate).sqrt();
         let extra_pages = (extra_bytes / BYTES_PER_PAGE as f64).ceil() as usize;
         used_pages + extra_pages.max(HEADROOM_PAGES)
     }
@@ -342,12 +341,9 @@ impl HeapSizePolicy for MemBalancer {
         if self.alloc_rate <= 0.0 || self.trace_rate <= 0.0 {
             return None;
         }
-        let target = MemBalancer::sqrt_target_pages(
-            input.used_pages,
-            self.alloc_rate,
-            self.trace_rate,
-        )
-        .min(input.configured_pages);
+        let target =
+            MemBalancer::sqrt_target_pages(input.used_pages, self.alloc_rate, self.trace_rate)
+                .min(input.configured_pages);
         (target != input.limit_pages).then_some(SizingDecision {
             limit_pages: target,
             reason: "membalancer-sqrt",

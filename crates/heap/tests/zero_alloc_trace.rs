@@ -64,7 +64,10 @@ impl Forwarder for Marker {
 #[test]
 fn drain_gray_allocates_nothing_when_warm() {
     const N: u32 = 512;
-    let mut vmm = Vmm::new(VmmConfig::with_frames(4096), CostModel::default());
+    let mut vmm = Vmm::new(
+        VmmConfig::builder().frames(4096).build(),
+        CostModel::default(),
+    );
     let pid = vmm.register_process();
     let mut clock = Clock::new();
     let mut marker = Marker {

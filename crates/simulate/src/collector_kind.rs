@@ -97,7 +97,7 @@ impl CollectorKind {
         vmm: &mut Vmm,
         pid: ProcessId,
     ) -> Box<dyn GcHeap> {
-        tracer.set_label(pid.0, self.label());
+        tracer.set_label(pid.as_u32(), self.label());
         let mut config = HeapConfig::builder()
             .heap_bytes(heap_bytes)
             .tracer(tracer)
@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn every_kind_builds_and_allocates() {
         for kind in CollectorKind::ALL {
-            let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+            let mut vmm = Vmm::new(
+                VmmConfig::builder().memory_bytes(64 << 20).build(),
+                CostModel::default(),
+            );
             let mut clock = Clock::new();
             let pid = vmm.register_process();
             let mut gc = kind.build(8 << 20, Tracer::disabled(), &mut vmm, pid);
@@ -220,7 +223,10 @@ mod tests {
             (CollectorKind::BcResizeOnly, true),
             (CollectorKind::GenMs, false),
         ] {
-            let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(4 << 20), CostModel::default());
+            let mut vmm = Vmm::new(
+                VmmConfig::builder().memory_bytes(4 << 20).build(),
+                CostModel::default(),
+            );
             let mut clock = Clock::new();
             let pid = vmm.register_process();
             let _gc = kind.build(1 << 20, Tracer::disabled(), &mut vmm, pid);
@@ -231,10 +237,10 @@ mod tests {
             let ctx = heap::MemCtx::new(&mut vmm, &mut clock, pid);
             let _ = ctx;
             for p in 0..300 {
-                vmm.touch(pid, vmm::VirtPage(p), vmm::Access::Write, &mut probe);
+                vmm.touch(pid, vmm::VirtPage::new(p), vmm::Access::Write, &mut probe);
             }
             for p in 0..712 {
-                vmm.mlock(hog, vmm::VirtPage(p), &mut probe);
+                vmm.mlock(hog, vmm::VirtPage::new(p), &mut probe);
             }
             // Several pumps: the first clock pass only clears referenced
             // bits; later passes move pages to the inactive list and
@@ -257,7 +263,10 @@ mod tests {
             (PolicyKind::BcFootprint { regrow: false }, true),
             (PolicyKind::MemBalancer, true),
         ] {
-            let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(4 << 20), CostModel::default());
+            let mut vmm = Vmm::new(
+                VmmConfig::builder().memory_bytes(4 << 20).build(),
+                CostModel::default(),
+            );
             let mut clock = Clock::new();
             let pid = vmm.register_process();
             let _gc = CollectorKind::GenMs.build_with_policy(
@@ -272,10 +281,10 @@ mod tests {
             let ctx = heap::MemCtx::new(&mut vmm, &mut clock, pid);
             let _ = ctx;
             for p in 0..300 {
-                vmm.touch(pid, vmm::VirtPage(p), vmm::Access::Write, &mut probe);
+                vmm.touch(pid, vmm::VirtPage::new(p), vmm::Access::Write, &mut probe);
             }
             for p in 0..712 {
-                vmm.mlock(hog, vmm::VirtPage(p), &mut probe);
+                vmm.mlock(hog, vmm::VirtPage::new(p), &mut probe);
             }
             for _ in 0..4 {
                 vmm.pump(&mut probe);

@@ -219,7 +219,10 @@ mod tests {
     }
 
     fn engine_with(n_jvms: usize, memory: usize) -> Engine {
-        let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(memory), CostModel::default());
+        let mut vmm = Vmm::new(
+            VmmConfig::builder().memory_bytes(memory).build(),
+            CostModel::default(),
+        );
         let mut jvms = Vec::new();
         for _ in 0..n_jvms {
             let pid = vmm.register_process();

@@ -6,10 +6,14 @@
 //! a caller-supplied factory so these harnesses work with any benchmark
 //! from the `workloads` crate.
 
-use simtime::Nanos;
+use heap::GcStats;
+use simtime::{CostModel, Nanos};
+use vmm::{VmStats, Vmm, VmmConfig};
 
+use crate::engine::JvmProcess;
 use crate::program::Program;
 use crate::runner::{run, run_multi, MultiRunResult, RunConfig, RunResult};
+use crate::sched::Scheduler;
 use crate::signalmem::SignalmemConfig;
 use crate::CollectorKind;
 
@@ -131,4 +135,141 @@ pub fn multi_jvm(
 ) -> MultiRunResult {
     let config = RunConfig::new(collector, heap_bytes, memory_bytes);
     run_multi(&config, vec![make(), make()])
+}
+
+/// Configuration for a scaled multi-tenant run (the `fig7_scale`
+/// experiment): `tenants` simulated mutators sharing one sharded VMM under
+/// a round-robin time-slice [`Scheduler`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// The collector every tenant runs.
+    pub collector: CollectorKind,
+    /// Number of simulated mutator processes.
+    pub tenants: usize,
+    /// Per-tenant heap size.
+    pub tenant_heap_bytes: usize,
+    /// Physical memory shared by the whole fleet.
+    pub memory_bytes: usize,
+    /// VMM shard count (frame pool and page-table partitions).
+    pub shards: usize,
+    /// Scheduler time slice.
+    pub quantum: Nanos,
+    /// Scheduler abort knob.
+    pub max_slices: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `tenants` processes of `collector`, with shard count
+    /// scaled to the tenancy (one shard per 256 tenants, capped at 8).
+    pub fn new(
+        collector: CollectorKind,
+        tenants: usize,
+        tenant_heap_bytes: usize,
+        memory_bytes: usize,
+    ) -> FleetConfig {
+        FleetConfig {
+            collector,
+            tenants,
+            tenant_heap_bytes,
+            memory_bytes,
+            shards: (tenants / 256).clamp(1, 8),
+            quantum: Nanos::from_micros(100),
+            max_slices: 50_000_000,
+        }
+    }
+}
+
+/// One tenant's outcome in a fleet run.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantResult {
+    /// Whether this tenant's heap was exhausted.
+    pub oom: bool,
+    /// Completion instant (this tenant's virtual CPU), if it finished.
+    pub finish_time: Option<Nanos>,
+    /// Paging counters.
+    pub vm: VmStats,
+    /// Collector counters.
+    pub gc: GcStats,
+}
+
+impl TenantResult {
+    /// Whether the tenant completed normally.
+    pub fn ok(&self) -> bool {
+        !self.oom && self.finish_time.is_some()
+    }
+}
+
+/// Results of a fleet run, including the per-tenant counters the fairness
+/// statistics are computed from.
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// Per-tenant outcomes, in registration order.
+    pub tenants: Vec<TenantResult>,
+    /// Wall-clock elapsed: the latest tenant finish time.
+    pub total_elapsed: Nanos,
+    /// Notification deliveries across the fleet (the pump-cost counter;
+    /// stays proportional to events however many tenants idle).
+    pub deliveries: u64,
+    /// Scheduler slices executed.
+    pub slices: u64,
+    /// Whether the scheduler hit its slice limit.
+    pub timed_out: bool,
+}
+
+impl FleetResult {
+    /// How many tenants completed normally.
+    pub fn completed(&self) -> usize {
+        self.tenants.iter().filter(|t| t.ok()).count()
+    }
+}
+
+/// Scaled Figure 7: `config.tenants` simultaneous mutators (hundreds to
+/// thousands) time-sliced over one sharded VMM. `make` builds tenant `i`'s
+/// program; callers split a constant total workload across the fleet so
+/// runs are comparable along the tenancy axis.
+pub fn run_fleet(config: &FleetConfig, make: &dyn Fn(usize) -> Box<dyn Program>) -> FleetResult {
+    let mut vmm = Vmm::new(
+        VmmConfig::builder()
+            .memory_bytes(config.memory_bytes)
+            .shards(config.shards)
+            .build(),
+        CostModel::default(),
+    );
+    let mut tenants = Vec::with_capacity(config.tenants);
+    for i in 0..config.tenants {
+        let pid = vmm.register_process();
+        let gc = config.collector.build(
+            config.tenant_heap_bytes,
+            telemetry::Tracer::disabled(),
+            &mut vmm,
+            pid,
+        );
+        tenants.push(JvmProcess::new(pid, gc, make(i)));
+    }
+    let mut sched = Scheduler::new(vmm, config.quantum);
+    sched.tenants = tenants;
+    sched.max_slices = config.max_slices;
+    sched.run_to_completion();
+    let results: Vec<TenantResult> = sched
+        .tenants
+        .iter()
+        .map(|t| TenantResult {
+            oom: t.failed.is_some(),
+            finish_time: t.finish_time,
+            vm: *sched.vmm.stats(t.pid),
+            gc: *t.gc.stats(),
+        })
+        .collect();
+    let total_elapsed = results
+        .iter()
+        .filter_map(|t| t.finish_time)
+        .max()
+        .unwrap_or(Nanos::ZERO);
+    FleetResult {
+        tenants: results,
+        total_elapsed,
+        deliveries: sched.total_deliveries(),
+        slices: sched.slices(),
+        timed_out: sched.timed_out(),
+    }
 }

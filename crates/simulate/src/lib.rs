@@ -13,6 +13,9 @@
 //! * [`Engine`] — a deterministic discrete-event loop interleaving any
 //!   number of JVM processes and pressure drivers over one shared
 //!   [`vmm::Vmm`], by least simulated time;
+//! * [`Scheduler`] — a round-robin time-slice scheduler for fleets of
+//!   hundreds to thousands of tenants, with O(1) scheduling decisions and
+//!   O(events) notification delivery ([`experiments::run_fleet`]);
 //! * [`run`]/[`RunConfig`]/[`RunResult`] — one benchmark execution with
 //!   full metrics (execution time, pause statistics, paging counters, GC
 //!   counters, BMU inputs);
@@ -26,11 +29,13 @@ mod engine;
 pub mod experiments;
 mod program;
 mod runner;
+mod sched;
 mod signalmem;
 
 pub use collector_kind::CollectorKind;
-pub use heap::PolicyKind;
 pub use engine::{Engine, JvmProcess};
+pub use heap::PolicyKind;
 pub use program::{Program, ProgramStatus};
 pub use runner::{min_heap_search, run, run_multi, MultiRunResult, RunConfig, RunResult};
+pub use sched::Scheduler;
 pub use signalmem::{Signalmem, SignalmemConfig};

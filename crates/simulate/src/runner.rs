@@ -124,7 +124,9 @@ pub fn run(config: &RunConfig, program: Box<dyn Program>) -> RunResult {
 /// `config.heap_bytes` heap), as in the paper's multiple-JVM experiment.
 pub fn run_multi(config: &RunConfig, programs: Vec<Box<dyn Program>>) -> MultiRunResult {
     let mut vmm = Vmm::new(
-        VmmConfig::with_memory_bytes(config.memory_bytes),
+        VmmConfig::builder()
+            .memory_bytes(config.memory_bytes)
+            .build(),
         config.costs.clone(),
     );
     vmm.set_tracer(config.tracer.clone());

@@ -110,7 +110,7 @@ impl Signalmem {
             }
             vmm.mlock(
                 self.pid,
-                VirtPage((self.pinned + i) as u32),
+                VirtPage::new((self.pinned + i) as u32),
                 &mut self.clock,
             );
             locked += 1;
@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn pins_initial_then_rate() {
-        let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+        let mut vmm = Vmm::new(
+            VmmConfig::builder().memory_bytes(64 << 20).build(),
+            CostModel::default(),
+        );
         let pid = vmm.register_process();
         let mut sm = Signalmem::new(
             SignalmemConfig {

@@ -212,8 +212,8 @@ pub fn aggregate(events: &[Event], bucket: Nanos) -> Aggregate {
     let mut agg = Aggregate::default();
     // (pid, discriminating payload) -> start time; small linear maps are
     // fine at trace volumes.
-    let mut open_coll: Vec<(u8, CollectionKind, Nanos)> = Vec::new();
-    let mut open_phase: Vec<(u8, GcPhase, Nanos)> = Vec::new();
+    let mut open_coll: Vec<(u32, CollectionKind, Nanos)> = Vec::new();
+    let mut open_phase: Vec<(u32, GcPhase, Nanos)> = Vec::new();
     for e in events {
         bump(&mut agg.counts, &e.kind);
         match &e.kind {

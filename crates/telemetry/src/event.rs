@@ -233,7 +233,7 @@ pub struct Event {
     /// Simulated time of the event (the emitting process's clock).
     pub t: Nanos,
     /// Process id within the shared VMM.
-    pub pid: u8,
+    pub pid: u32,
     /// Collector label of the process (`"BC"`, `"GenMS"`, …) or `"?"` if
     /// the process never registered one (e.g. the signalmem driver).
     pub collector: Cow<'static, str>,

@@ -239,7 +239,7 @@ pub fn parse(line: &str) -> Option<Event> {
     };
     Some(Event {
         t: Nanos(num("t")?),
-        pid: num("pid")? as u8,
+        pid: num("pid")? as u32,
         collector: Cow::Owned(get("collector")?.to_string()),
         kind,
     })

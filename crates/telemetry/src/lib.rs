@@ -136,7 +136,7 @@ mod tests {
         for (i, kind) in kinds.into_iter().enumerate() {
             let original = Event {
                 t: Nanos(1_000_000 + i as u64),
-                pid: i as u8,
+                pid: i as u32,
                 collector: Cow::Borrowed("GenMS"),
                 kind,
             };

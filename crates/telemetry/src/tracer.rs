@@ -70,7 +70,7 @@ impl Tracer {
 
     /// Associates `pid` with a collector label; subsequent events from that
     /// pid carry it.
-    pub fn set_label(&self, pid: u8, label: &'static str) {
+    pub fn set_label(&self, pid: u32, label: &'static str) {
         if let Some(hub) = &self.inner {
             let labels = &mut hub.borrow_mut().labels;
             if labels.len() <= pid as usize {
@@ -86,7 +86,7 @@ impl Tracer {
     /// the recording machinery is outlined as a cold function so it never
     /// bloats the hot loops that call `emit`.
     #[inline(always)]
-    pub fn emit(&self, pid: u8, t: Nanos, kind: EventKind) {
+    pub fn emit(&self, pid: u32, t: Nanos, kind: EventKind) {
         if let Some(hub) = &self.inner {
             Self::record(hub, pid, t, kind);
         }
@@ -94,7 +94,7 @@ impl Tracer {
 
     #[cold]
     #[inline(never)]
-    fn record(hub: &Rc<RefCell<Hub>>, pid: u8, t: Nanos, kind: EventKind) {
+    fn record(hub: &Rc<RefCell<Hub>>, pid: u32, t: Nanos, kind: EventKind) {
         let mut hub = hub.borrow_mut();
         let collector = hub.labels.get(pid as usize).copied().unwrap_or("?");
         hub.sink.record(&Event {

@@ -11,13 +11,16 @@ use crate::PAGE_BYTES;
 /// evictions in large batches ... the size of available memory can fluctuate
 /// wildly").
 ///
-/// # Example
+/// Build configurations with [`VmmConfig::builder`]:
 ///
 /// ```
 /// use vmm::VmmConfig;
 ///
-/// let config = VmmConfig::with_memory_bytes(143 * 1024 * 1024); // Fig. 6a
+/// let config = VmmConfig::builder()
+///     .memory_bytes(143 * 1024 * 1024) // Fig. 6a
+///     .build();
 /// assert_eq!(config.frames, 143 * 256);
+/// assert_eq!(config.shards, 1);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VmmConfig {
@@ -31,31 +34,21 @@ pub struct VmmConfig {
     pub batch: usize,
     /// Maximum active-list pages scanned per clock pass.
     pub clock_scan_limit: usize,
+    /// Number of shards the frame pool and LRU lists are split into.
+    ///
+    /// Processes are assigned to shards round-robin by id; each shard runs
+    /// the Linux 2.4 reclaim state machine over its own frame partition,
+    /// stealing frames from sibling shards only under global pressure. One
+    /// shard (the default) is bit-for-bit identical to the unsharded
+    /// manager.
+    pub shards: usize,
 }
 
 impl VmmConfig {
-    /// A configuration with `frames` physical frames and proportional
-    /// watermarks (low = max(8, frames/64), high = 2×low).
-    pub fn with_frames(frames: usize) -> VmmConfig {
-        let low = (frames / 64).max(8);
-        VmmConfig {
-            frames,
-            low_watermark: low,
-            high_watermark: low * 2,
-            batch: 32,
-            clock_scan_limit: 256,
-        }
-    }
-
-    /// A configuration sized in bytes of physical memory (rounded down to
-    /// whole frames).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bytes` is smaller than one page.
-    pub fn with_memory_bytes(bytes: usize) -> VmmConfig {
-        assert!(bytes >= PAGE_BYTES, "physical memory below one page");
-        VmmConfig::with_frames(bytes / PAGE_BYTES)
+    /// Starts building a configuration; unset knobs take the documented
+    /// defaults (1 GiB of memory, proportional watermarks, one shard).
+    pub fn builder() -> VmmConfigBuilder {
+        VmmConfigBuilder::default()
     }
 
     /// Total physical memory, in bytes.
@@ -67,7 +60,90 @@ impl VmmConfig {
 impl Default for VmmConfig {
     /// 1 GiB of physical memory, matching the paper's testbed (§5.1).
     fn default() -> VmmConfig {
-        VmmConfig::with_memory_bytes(1 << 30)
+        VmmConfig::builder().build()
+    }
+}
+
+/// Builder for [`VmmConfig`], mirroring `HeapConfig::builder()` in the heap
+/// crate. Watermarks and batch sizes default proportionally to the frame
+/// count: low = max(8, frames/64), high = 2×low, batch = 32.
+#[derive(Clone, Debug, Default)]
+pub struct VmmConfigBuilder {
+    frames: Option<usize>,
+    low_watermark: Option<usize>,
+    high_watermark: Option<usize>,
+    batch: Option<usize>,
+    clock_scan_limit: Option<usize>,
+    shards: Option<usize>,
+}
+
+impl VmmConfigBuilder {
+    /// Sets the physical memory size in frames.
+    pub fn frames(mut self, frames: usize) -> VmmConfigBuilder {
+        self.frames = Some(frames);
+        self
+    }
+
+    /// Sets the physical memory size in bytes (rounded down to whole
+    /// frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is smaller than one page.
+    pub fn memory_bytes(mut self, bytes: usize) -> VmmConfigBuilder {
+        assert!(bytes >= PAGE_BYTES, "physical memory below one page");
+        self.frames = Some(bytes / PAGE_BYTES);
+        self
+    }
+
+    /// Overrides the low watermark (reclaim trigger).
+    pub fn low_watermark(mut self, frames: usize) -> VmmConfigBuilder {
+        self.low_watermark = Some(frames);
+        self
+    }
+
+    /// Overrides the high watermark (reclaim target).
+    pub fn high_watermark(mut self, frames: usize) -> VmmConfigBuilder {
+        self.high_watermark = Some(frames);
+        self
+    }
+
+    /// Overrides the reclaim batch size.
+    pub fn batch(mut self, pages: usize) -> VmmConfigBuilder {
+        self.batch = Some(pages);
+        self
+    }
+
+    /// Overrides the clock-pass scan limit.
+    pub fn clock_scan_limit(mut self, pages: usize) -> VmmConfigBuilder {
+        self.clock_scan_limit = Some(pages);
+        self
+    }
+
+    /// Splits the frame pool and LRU lists into `shards` partitions (see
+    /// [`VmmConfig::shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> VmmConfigBuilder {
+        assert!(shards > 0, "a Vmm needs at least one shard");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> VmmConfig {
+        let frames = self.frames.unwrap_or((1 << 30) / PAGE_BYTES);
+        let low = self.low_watermark.unwrap_or((frames / 64).max(8));
+        VmmConfig {
+            frames,
+            low_watermark: low,
+            high_watermark: self.high_watermark.unwrap_or(low * 2),
+            batch: self.batch.unwrap_or(32),
+            clock_scan_limit: self.clock_scan_limit.unwrap_or(256),
+            shards: self.shards.unwrap_or(1),
+        }
     }
 }
 
@@ -76,15 +152,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_is_one_gigabyte() {
+    fn default_is_one_gigabyte_one_shard() {
         let c = VmmConfig::default();
         assert_eq!(c.memory_bytes(), 1 << 30);
         assert_eq!(c.frames, 262_144);
+        assert_eq!(c.shards, 1);
     }
 
     #[test]
     fn watermarks_scale_with_frames() {
-        let c = VmmConfig::with_frames(64_000);
+        let c = VmmConfig::builder().frames(64_000).build();
         assert_eq!(c.low_watermark, 1_000);
         assert_eq!(c.high_watermark, 2_000);
         assert!(c.low_watermark < c.high_watermark);
@@ -92,14 +169,43 @@ mod tests {
 
     #[test]
     fn small_memories_keep_minimum_watermarks() {
-        let c = VmmConfig::with_frames(64);
+        let c = VmmConfig::builder().frames(64).build();
         assert_eq!(c.low_watermark, 8);
         assert_eq!(c.high_watermark, 16);
     }
 
     #[test]
+    fn builder_overrides_stick() {
+        let c = VmmConfig::builder()
+            .frames(128)
+            .low_watermark(4)
+            .high_watermark(8)
+            .batch(4)
+            .clock_scan_limit(32)
+            .shards(4)
+            .build();
+        assert_eq!(
+            c,
+            VmmConfig {
+                frames: 128,
+                low_watermark: 4,
+                high_watermark: 8,
+                batch: 4,
+                clock_scan_limit: 32,
+                shards: 4,
+            }
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "below one page")]
     fn sub_page_memory_is_rejected() {
-        let _ = VmmConfig::with_memory_bytes(100);
+        let _ = VmmConfig::builder().memory_bytes(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = VmmConfig::builder().shards(0);
     }
 }

@@ -4,7 +4,10 @@
 //! real-time signals**, chosen because "unlike other notification methods,
 //! these signals cannot be lost due to other process activity" (§4.1). The
 //! simulator models each registered process's signal queue as an unbounded
-//! FIFO drained by [`Vmm::take_events`](crate::Vmm::take_events).
+//! FIFO drained by
+//! [`Vmm::drain_events_into`](crate::Vmm::drain_events_into); processes
+//! with waiting events are discoverable in O(events) via
+//! [`Vmm::next_notified`](crate::Vmm::next_notified).
 
 use crate::VirtPage;
 
@@ -68,7 +71,7 @@ mod tests {
 
     #[test]
     fn event_page_accessor_covers_all_variants() {
-        let p = VirtPage(9);
+        let p = VirtPage::new(9);
         for ev in [
             VmEvent::EvictionScheduled { page: p },
             VmEvent::Evicted { page: p },

@@ -31,7 +31,8 @@
 //! use simtime::{Clock, CostModel};
 //! use vmm::{Access, Vmm, VmmConfig};
 //!
-//! let mut vmm = Vmm::new(VmmConfig::with_frames(64), CostModel::default());
+//! let config = VmmConfig::builder().frames(64).build();
+//! let mut vmm = Vmm::new(config, CostModel::default());
 //! let mut clock = Clock::new();
 //! let pid = vmm.register_process();
 //! // First touch demand-zero-maps the page.
@@ -50,8 +51,8 @@ mod stats;
 #[allow(clippy::module_inception)]
 mod vmm;
 
-pub use config::VmmConfig;
+pub use config::{VmmConfig, VmmConfigBuilder};
 pub use events::VmEvent;
 pub use page::{Access, PageKey, PageState, ProcessId, TouchOutcome, VirtPage, PAGE_BYTES};
 pub use stats::VmStats;
-pub use vmm::Vmm;
+pub use vmm::{ProcessTableFull, Vmm, MAX_PROCESSES};

@@ -66,8 +66,8 @@ mod tests {
 
     fn key(n: u32) -> PageKey {
         PageKey {
-            pid: ProcessId(0),
-            page: VirtPage(n),
+            pid: ProcessId::new(0),
+            page: VirtPage::new(n),
         }
     }
 

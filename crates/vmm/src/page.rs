@@ -8,10 +8,38 @@ pub const PAGE_BYTES: usize = 4096;
 
 /// Identifies one simulated process sharing the physical memory.
 ///
-/// The multi-JVM experiment (Figure 7) runs two JVM processes plus the
-/// `signalmem` pressure driver against one [`Vmm`](crate::Vmm).
+/// The paper's multi-JVM experiment (Figure 7) runs two JVM processes plus
+/// the `signalmem` pressure driver against one [`Vmm`](crate::Vmm); the
+/// `fig7_scale` extension multiplexes thousands. The field is private and
+/// 32 bits wide so that tenant counts can grow without silent truncation:
+/// construct ids with [`ProcessId::new`] (or receive them from
+/// [`Vmm::register_process`](crate::Vmm::register_process)) and read them
+/// back with [`ProcessId::as_u32`] / [`ProcessId::index`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ProcessId(pub u8);
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Wraps a raw process number.
+    pub const fn new(raw: u32) -> ProcessId {
+        ProcessId(raw)
+    }
+
+    /// The raw process number.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The process number as a table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(n: u32) -> ProcessId {
+        ProcessId(n)
+    }
+}
 
 impl fmt::Display for ProcessId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -20,10 +48,30 @@ impl fmt::Display for ProcessId {
 }
 
 /// A virtual page number within one process's address space.
+///
+/// The field is private: construct pages with [`VirtPage::new`] /
+/// [`VirtPage::containing`] (or `u32::into`) and read the page number back
+/// with [`VirtPage::number`], so a future widening cannot silently truncate
+/// at call sites.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct VirtPage(pub u32);
+pub struct VirtPage(u32);
 
 impl VirtPage {
+    /// Wraps a raw virtual page number.
+    pub const fn new(n: u32) -> VirtPage {
+        VirtPage(n)
+    }
+
+    /// The raw virtual page number.
+    pub const fn number(self) -> u32 {
+        self.0
+    }
+
+    /// The page number as a page-table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
     /// The page containing byte address `addr`.
     pub const fn containing(addr: u32) -> VirtPage {
         VirtPage(addr / PAGE_BYTES as u32)
@@ -153,17 +201,25 @@ mod tests {
     #[test]
     fn virt_page_address_round_trip() {
         let p = VirtPage::containing(8192);
-        assert_eq!(p, VirtPage(2));
+        assert_eq!(p, VirtPage::new(2));
         assert_eq!(p.base_addr(), 8192);
-        assert_eq!(VirtPage::containing(8191), VirtPage(1));
-        assert_eq!(VirtPage::containing(0), VirtPage(0));
+        assert_eq!(p.number(), 2);
+        assert_eq!(VirtPage::containing(8191), VirtPage::new(1));
+        assert_eq!(VirtPage::containing(0), VirtPage::new(0));
+    }
+
+    #[test]
+    fn process_id_round_trips_past_the_old_u8_range() {
+        let pid = ProcessId::new(70_000);
+        assert_eq!(pid.as_u32(), 70_000);
+        assert_eq!(pid.index(), 70_000usize);
     }
 
     #[test]
     fn display_formats_are_nonempty() {
         let key = PageKey {
-            pid: ProcessId(1),
-            page: VirtPage(42),
+            pid: ProcessId::new(1),
+            page: VirtPage::new(42),
         };
         assert_eq!(key.to_string(), "pid1/p42");
     }

@@ -29,9 +29,11 @@ fn op_strategy(pages: u32) -> impl Strategy<Value = Op> {
 }
 
 fn run_ops(frames: usize, notify_p0: bool, ops: &[Op]) -> (Vmm, Vec<vmm::ProcessId>) {
-    let mut config = VmmConfig::with_frames(frames);
-    config.low_watermark = 4;
-    config.high_watermark = 8;
+    let config = VmmConfig::builder()
+        .frames(frames)
+        .low_watermark(4)
+        .high_watermark(8)
+        .build();
     let mut vmm = Vmm::new(config, CostModel::default());
     let p0 = vmm.register_process();
     let p1 = vmm.register_process();
@@ -44,19 +46,25 @@ fn run_ops(frames: usize, notify_p0: bool, ops: &[Op]) -> (Vmm, Vec<vmm::Process
         match *op {
             Op::Touch(p, g, w) => {
                 let access = if w { Access::Write } else { Access::Read };
-                vmm.touch(pids[p as usize], VirtPage(g), access, &mut clock);
+                vmm.touch(pids[p as usize], VirtPage::new(g), access, &mut clock);
             }
             Op::Mlock(p, g) => {
                 // Never lock more than half the machine (a real mlock
                 // would hit RLIMIT_MEMLOCK / ENOMEM).
                 if vmm.free_frames() > frames / 2 {
-                    vmm.mlock(pids[p as usize], VirtPage(g), &mut clock);
+                    vmm.mlock(pids[p as usize], VirtPage::new(g), &mut clock);
                 }
             }
-            Op::Munlock(p, g) => vmm.munlock(pids[p as usize], VirtPage(g), &mut clock),
-            Op::Discard(p, g) => vmm.madvise_dontneed(pids[p as usize], &[VirtPage(g)], &mut clock),
-            Op::Relinquish(p, g) => vmm.vm_relinquish(pids[p as usize], &[VirtPage(g)], &mut clock),
-            Op::Protect(p, g) => vmm.mprotect(pids[p as usize], &[VirtPage(g)], true, &mut clock),
+            Op::Munlock(p, g) => vmm.munlock(pids[p as usize], VirtPage::new(g), &mut clock),
+            Op::Discard(p, g) => {
+                vmm.madvise_dontneed(pids[p as usize], &[VirtPage::new(g)], &mut clock)
+            }
+            Op::Relinquish(p, g) => {
+                vmm.vm_relinquish(pids[p as usize], &[VirtPage::new(g)], &mut clock)
+            }
+            Op::Protect(p, g) => {
+                vmm.mprotect(pids[p as usize], &[VirtPage::new(g)], true, &mut clock)
+            }
             Op::Pump => vmm.pump(&mut clock),
         }
         // Invariant after *every* operation: frame conservation.
@@ -87,14 +95,14 @@ proptest! {
         let mut clock = Clock::new();
         // Lock three pages, then churn hard.
         for g in 200..203u32 {
-            vmm.mlock(pids[0], VirtPage(g), &mut clock);
+            vmm.mlock(pids[0], VirtPage::new(g), &mut clock);
         }
         for g in 0..120u32 {
-            vmm.touch(pids[1], VirtPage(g), Access::Write, &mut clock);
+            vmm.touch(pids[1], VirtPage::new(g), Access::Write, &mut clock);
             vmm.pump(&mut clock);
         }
         for g in 200..203u32 {
-            prop_assert!(vmm.is_resident(pids[0], VirtPage(g)));
+            prop_assert!(vmm.is_resident(pids[0], VirtPage::new(g)));
         }
     }
 
@@ -107,10 +115,10 @@ proptest! {
         let (mut vmm, pids) = run_ops(64, false, &ops);
         let mut clock = Clock::new();
         // madvise refuses locked pages (as EINVAL would); unlock first.
-        vmm.munlock(pids[0], VirtPage(page), &mut clock);
-        vmm.madvise_dontneed(pids[0], &[VirtPage(page)], &mut clock);
-        prop_assert_eq!(vmm.page_state(pids[0], VirtPage(page)), PageState::Unmapped);
-        let o = vmm.touch(pids[0], VirtPage(page), Access::Read, &mut clock);
+        vmm.munlock(pids[0], VirtPage::new(page), &mut clock);
+        vmm.madvise_dontneed(pids[0], &[VirtPage::new(page)], &mut clock);
+        prop_assert_eq!(vmm.page_state(pids[0], VirtPage::new(page)), PageState::Unmapped);
+        let o = vmm.touch(pids[0], VirtPage::new(page), Access::Read, &mut clock);
         prop_assert!(o.zero_filled);
         prop_assert!(!o.major_fault);
     }
@@ -119,6 +127,8 @@ proptest! {
     #[test]
     fn unregistered_processes_get_no_events(ops in proptest::collection::vec(op_strategy(96), 1..400)) {
         let (mut vmm, pids) = run_ops(64, true, &ops);
-        prop_assert!(vmm.take_events(pids[1]).is_empty());
+        let mut events = Vec::new();
+        vmm.drain_events_into(pids[1], &mut events);
+        prop_assert!(events.is_empty());
     }
 }

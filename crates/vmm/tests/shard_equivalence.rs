@@ -1,0 +1,189 @@
+//! Shard-equivalence harness.
+//!
+//! A deterministic, LCG-driven operation sequence exercises every public
+//! entry point of the VMM (touches, pumps, relinquish, madvise, mprotect,
+//! mlock/munlock, event draining) across three processes — one notifying,
+//! two oblivious — and folds every observable output into a single FNV-1a
+//! fingerprint: touch outcomes, simulated time after each operation, every
+//! drained event, per-process statistics, final page states, and the free
+//! frame count.
+//!
+//! `EXPECTED_FINGERPRINT` was captured from the pre-shard (single frame
+//! pool, single LRU) implementation. The sharded VMM configured with **one
+//! shard must reproduce it bit-for-bit** — the shard refactor is required
+//! to be pure code motion at `shards = 1`. A second test checks that
+//! multi-shard configurations are deterministic (same fingerprint on every
+//! run), even though their fingerprint legitimately differs from the
+//! 1-shard value once eviction order becomes per-shard.
+
+use simtime::{Clock, CostModel};
+use vmm::{Access, PageState, ProcessId, VirtPage, Vmm, VmmConfig};
+
+/// Fingerprint of the op sequence on the pre-refactor VMM (captured before
+/// the shard split; see module docs). Any drift here means simulated
+/// *behaviour* changed, not just implementation.
+const EXPECTED_FINGERPRINT: u64 = 0xa051_dbcc_d2ee_20ce;
+
+const STEPS: u64 = 4000;
+const PROCS: u64 = 3;
+const PAGES: u64 = 48;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+}
+
+/// Minimal xorshift-free LCG (MMIX constants); deterministic across runs.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 33
+}
+
+fn build_vmm(shards: usize) -> Vmm {
+    let config = VmmConfig::builder()
+        .frames(64)
+        .low_watermark(4)
+        .high_watermark(8)
+        .batch(4)
+        .shards(shards)
+        .build();
+    Vmm::new(config, CostModel::default())
+}
+
+/// Runs the scripted sequence and returns the behaviour fingerprint.
+fn run_sequence(vmm: &mut Vmm) -> u64 {
+    let mut clock = Clock::new();
+    let mut fp = Fnv::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+
+    let pids: Vec<ProcessId> = (0..PROCS).map(|_| vmm.register_process()).collect();
+    vmm.register_notifications(pids[0]);
+
+    let mut scratch: Vec<vmm::VmEvent> = Vec::new();
+    for step in 0..STEPS {
+        let pid = pids[(lcg(&mut rng) % PROCS) as usize];
+        let page = VirtPage::from((lcg(&mut rng) % PAGES) as u32);
+        match lcg(&mut rng) % 100 {
+            0..=69 => {
+                let access = if lcg(&mut rng).is_multiple_of(2) {
+                    Access::Read
+                } else {
+                    Access::Write
+                };
+                let o = vmm.touch(pid, page, access, &mut clock);
+                fp.byte(o.major_fault as u8);
+                fp.byte(o.zero_filled as u8);
+                fp.byte(o.protection_fault as u8);
+                fp.byte(o.events_queued as u8);
+            }
+            70..=79 => vmm.pump(&mut clock),
+            80..=84 => {
+                let extra = VirtPage::from((lcg(&mut rng) % PAGES) as u32);
+                vmm.vm_relinquish(pid, &[page, extra], &mut clock);
+            }
+            85..=89 => vmm.madvise_dontneed(pid, &[page], &mut clock),
+            90..=92 => {
+                let protect = lcg(&mut rng).is_multiple_of(2);
+                vmm.mprotect(pid, &[page], protect, &mut clock);
+            }
+            93..=94 => {
+                // Keep the lockable range small so pinning can never
+                // exhaust the 64-frame pool.
+                let low = VirtPage::from((lcg(&mut rng) % 4) as u32);
+                if lcg(&mut rng).is_multiple_of(2) {
+                    vmm.mlock(pid, low, &mut clock);
+                } else {
+                    vmm.munlock(pid, low, &mut clock);
+                }
+            }
+            _ => {
+                scratch.clear();
+                vmm.drain_events_into(pid, &mut scratch);
+                for e in &scratch {
+                    fp.str(&format!("{e:?}"));
+                }
+            }
+        }
+        fp.u64(clock.now().0);
+        if step % 256 == 0 {
+            fp.u64(vmm.free_frames() as u64);
+            fp.u64(vmm.total_resident() as u64);
+        }
+    }
+
+    for &pid in &pids {
+        let s = vmm.stats(pid);
+        for v in [
+            s.touches,
+            s.major_faults,
+            s.minor_faults,
+            s.evictions,
+            s.hard_evictions,
+            s.discards,
+            s.relinquished,
+            s.notices,
+            s.resident,
+            s.peak_resident,
+            s.locked,
+        ] {
+            fp.u64(v);
+        }
+        scratch.clear();
+        vmm.drain_events_into(pid, &mut scratch);
+        for e in &scratch {
+            fp.str(&format!("{e:?}"));
+        }
+        for p in 0..PAGES {
+            let state = vmm.page_state(pid, VirtPage::from(p as u32));
+            fp.byte(match state {
+                PageState::Unmapped => 0,
+                PageState::Resident => 1,
+                PageState::Evicted => 2,
+            });
+        }
+    }
+    fp.u64(vmm.free_frames() as u64);
+    fp.u64(clock.now().0);
+    fp.0
+}
+
+#[test]
+fn one_shard_matches_pre_refactor_fingerprint() {
+    let got = run_sequence(&mut build_vmm(1));
+    assert_eq!(
+        got, EXPECTED_FINGERPRINT,
+        "1-shard VMM behaviour drifted from the pre-refactor fingerprint \
+         (got {got:#018x}); the shard layer must be pure code motion at \
+         shards = 1"
+    );
+}
+
+#[test]
+fn multi_shard_runs_are_deterministic() {
+    for shards in [2usize, 4, 7] {
+        let a = run_sequence(&mut build_vmm(shards));
+        let b = run_sequence(&mut build_vmm(shards));
+        assert_eq!(a, b, "shards = {shards} produced nondeterministic runs");
+    }
+}

@@ -327,7 +327,7 @@ mod tests {
             CollectorKind::GenMs,
         ] {
             let mut vmm = vmm::Vmm::new(
-                vmm::VmmConfig::with_memory_bytes(64 << 20),
+                vmm::VmmConfig::builder().memory_bytes(64 << 20).build(),
                 simtime::CostModel::default(),
             );
             let mut clock = simtime::Clock::new();

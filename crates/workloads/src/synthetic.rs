@@ -353,7 +353,7 @@ mod distribution_tests {
     /// returns its counters.
     fn run_and_count(spec: crate::BenchmarkSpec, scale: f64) -> AllocCounts {
         let mut vmm = Vmm::new(
-            VmmConfig::with_memory_bytes(512 << 20),
+            VmmConfig::builder().memory_bytes(512 << 20).build(),
             CostModel::default(),
         );
         let mut clock = Clock::new();

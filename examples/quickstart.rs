@@ -19,7 +19,10 @@ use vmm::{Vmm, VmmConfig};
 
 fn main() {
     // A 64 MiB machine shared by the collector and a memory hog.
-    let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+    let mut vmm = Vmm::new(
+        VmmConfig::builder().memory_bytes(64 << 20).build(),
+        CostModel::default(),
+    );
     let mut clock = Clock::new();
     let pid = vmm.register_process();
     let hog = vmm.register_process();
@@ -75,7 +78,7 @@ fn main() {
     // (the machine has 16384 frames; reclaim starts under 256 free).
     let mut pinned = 0u32;
     while pinned < 16_300 && vmm.free_frames() > 96 {
-        vmm.mlock(hog, vmm::VirtPage(pinned), &mut clock);
+        vmm.mlock(hog, vmm::VirtPage::new(pinned), &mut clock);
         pinned += 1;
         if pinned.is_multiple_of(16) {
             vmm.pump(&mut clock);

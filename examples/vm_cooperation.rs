@@ -14,9 +14,11 @@ use simtime::{Clock, CostModel};
 use vmm::{Access, VirtPage, VmEvent, Vmm, VmmConfig};
 
 fn main() {
-    let mut config = VmmConfig::with_frames(64);
-    config.low_watermark = 8;
-    config.high_watermark = 16;
+    let config = VmmConfig::builder()
+        .frames(64)
+        .low_watermark(8)
+        .high_watermark(16)
+        .build();
     let mut vmm = Vmm::new(config, CostModel::default());
     let mut clock = Clock::new();
     let runtime = vmm.register_process();
@@ -26,10 +28,10 @@ fn main() {
     // The runtime touches 40 pages; the hog pins 20: 64-60 = 4 < the low
     // watermark, so reclaim begins.
     for p in 0..40 {
-        vmm.touch(runtime, VirtPage(p), Access::Write, &mut clock);
+        vmm.touch(runtime, VirtPage::new(p), Access::Write, &mut clock);
     }
     for p in 0..20 {
-        vmm.mlock(hog, VirtPage(p), &mut clock);
+        vmm.mlock(hog, VirtPage::new(p), &mut clock);
     }
     println!("free frames before reclaim: {}", vmm.free_frames());
 
@@ -37,9 +39,10 @@ fn main() {
     for _ in 0..3 {
         vmm.pump(&mut clock);
     }
-    let notices: Vec<VirtPage> = vmm
-        .take_events(runtime)
-        .into_iter()
+    let mut events = Vec::new();
+    vmm.drain_events_into(runtime, &mut events);
+    let notices: Vec<VirtPage> = events
+        .drain(..)
         .filter_map(|e| match e {
             VmEvent::EvictionScheduled { page } => Some(page),
             _ => None,
@@ -84,7 +87,11 @@ fn main() {
         "reload of {surrendered}: major_fault={} cost={} events={:?}",
         outcome.major_fault,
         clock.now() - t0,
-        vmm.take_events(runtime)
+        {
+            events.clear();
+            vmm.drain_events_into(runtime, &mut events);
+            &events
+        }
     );
     assert!(outcome.major_fault);
 

@@ -25,7 +25,7 @@
 //! use bookmarking_gc::vmm::{Vmm, VmmConfig};
 //!
 //! # fn main() -> Result<(), bookmarking_gc::heap::OutOfMemory> {
-//! let mut vmm = Vmm::new(VmmConfig::with_memory_bytes(64 << 20), CostModel::default());
+//! let mut vmm = Vmm::new(VmmConfig::builder().memory_bytes(64 << 20).build(), CostModel::default());
 //! let mut clock = Clock::new();
 //! let pid = vmm.register_process();
 //! let mut gc = Bookmarking::new(HeapConfig::builder().heap_bytes(8 << 20).build(), BcOptions::default());

@@ -15,9 +15,13 @@
 //! mv tests/golden/fig5a.csv tests/golden/fig5a_quick.csv
 //! cargo run --release -p bench --bin figures -- fig_policy --quick --csv tests/golden > tests/golden/fig_policy_quick.txt
 //! mv tests/golden/fig_policy.csv tests/golden/fig_policy_quick.csv
+//! cargo run --release -p bench --bin figures -- fig7_scale --quick --csv tests/golden > tests/golden/fig7_scale_quick.txt
+//! mv tests/golden/fig7_scale.csv tests/golden/fig7_scale_quick.csv
 //! ```
 
-use bench::pressure_figs::{dominates, fig5a_report, fig_policy_report, fig_policy_runs};
+use bench::pressure_figs::{
+    dominates, fig5a_report, fig7_scale_report, fig_policy_report, fig_policy_runs,
+};
 use bench::{fig2_report, Params};
 use simulate::PolicyKind;
 
@@ -52,6 +56,25 @@ fn fig5a_matches_golden() {
     );
 }
 
+/// The scaled multi-tenant sweep — hundreds to thousands of mutators over
+/// the sharded VMM and the time-slice scheduler — must be exactly as
+/// deterministic as the two-JVM figures, at every `--jobs` (each cell is
+/// one independent simulation, assembled by index).
+#[test]
+fn fig7_scale_matches_golden() {
+    let t = fig7_scale_report(&Params::quick());
+    assert_eq!(
+        format!("{t}\n"),
+        include_str!("golden/fig7_scale_quick.txt"),
+        "fig7_scale text output drifted from tests/golden/fig7_scale_quick.txt"
+    );
+    assert_eq!(
+        t.to_csv(),
+        include_str!("golden/fig7_scale_quick.csv"),
+        "fig7_scale CSV output drifted from tests/golden/fig7_scale_quick.csv"
+    );
+}
+
 #[test]
 fn fig_policy_matches_golden_and_membalancer_dominates() {
     let t = fig_policy_report(&Params::quick());
@@ -77,10 +100,13 @@ fn fig_policy_matches_golden_and_membalancer_dominates() {
         .iter()
         .filter(|(_, p, _)| *p == PolicyKind::MemBalancer)
         .collect();
-    let won = fixed.iter().zip(&membalancer).any(|((k1, _, f), (k2, _, m))| {
-        assert_eq!(k1, k2, "policy groups must align by collector");
-        f.ok() && m.ok() && dominates(m, f)
-    });
+    let won = fixed
+        .iter()
+        .zip(&membalancer)
+        .any(|((k1, _, f), (k2, _, m))| {
+            assert_eq!(k1, k2, "policy groups must align by collector");
+            f.ok() && m.ok() && dominates(m, f)
+        });
     assert!(
         won,
         "MemBalancer should strictly dominate Fixed on at least one collector:\n{t}"

@@ -17,7 +17,7 @@ fn heap_budget_is_respected_at_completion() {
     for kind in CollectorKind::ALL {
         let heap_bytes = 4 << 20;
         let mut vmm = vmm::Vmm::new(
-            vmm::VmmConfig::with_memory_bytes(256 << 20),
+            vmm::VmmConfig::builder().memory_bytes(256 << 20).build(),
             simtime::CostModel::default(),
         );
         let mut clock = simtime::Clock::new();

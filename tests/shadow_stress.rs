@@ -38,7 +38,7 @@ struct Driver {
 impl Driver {
     fn new(kind: CollectorKind, memory_bytes: usize, heap_bytes: usize, seed: u64) -> Driver {
         let mut vmm = Vmm::new(
-            VmmConfig::with_memory_bytes(memory_bytes),
+            VmmConfig::builder().memory_bytes(memory_bytes).build(),
             CostModel::default(),
         );
         let pid = vmm.register_process();
@@ -148,7 +148,7 @@ impl Driver {
         for _ in 0..8 {
             if self.vmm.free_frames() > 16 {
                 self.vmm
-                    .mlock(self.hog, vmm::VirtPage(self.pinned), &mut self.clock);
+                    .mlock(self.hog, vmm::VirtPage::new(self.pinned), &mut self.clock);
                 self.pinned += 1;
             }
         }

@@ -101,7 +101,7 @@ fn bench_victim_policy(c: &mut Criterion) {
             let ptr_free = run_bc_with(opts, eq(44 << 20));
             describe("prefer pointer-free (§7)", &ptr_free);
             (kernel.exec_time, ptr_free.exec_time)
-        })
+        });
     });
     group.finish();
 }
@@ -121,7 +121,7 @@ fn bench_regrowth(c: &mut Criterion) {
             let regrow = run_bc_with(opts, eq(80 << 20));
             describe("regrow enabled (§7)", &regrow);
             (fixed.gc.total_gcs(), regrow.gc.total_gcs())
-        })
+        });
     });
     group.finish();
 }
@@ -174,7 +174,7 @@ fn bench_swap_device(c: &mut Criterion) {
                 out.push(r.exec_time);
             }
             out
-        })
+        });
     });
     group.finish();
 }

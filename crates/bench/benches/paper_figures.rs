@@ -28,7 +28,7 @@ fn bench_table1(c: &mut Criterion) {
             let t = table1_report(&quick());
             println!("{t}");
             t
-        })
+        });
     });
     group.finish();
 }
@@ -41,7 +41,7 @@ fn bench_fig2(c: &mut Criterion) {
             let t = fig2_report(&quick());
             println!("{t}");
             t
-        })
+        });
     });
     group.finish();
 }
@@ -54,7 +54,7 @@ fn bench_fig3(c: &mut Criterion) {
             let (a, p) = fig3_report(&quick());
             println!("{a}\n{p}");
             (a, p)
-        })
+        });
     });
     group.finish();
 }
@@ -69,7 +69,7 @@ fn bench_fig4_5(c: &mut Criterion) {
             let f5b = fig5b_report(&quick());
             println!("{f4}\n{f5a}\n{f5b}");
             (f4, f5a, f5b)
-        })
+        });
     });
     group.finish();
 }
@@ -84,7 +84,7 @@ fn bench_fig6(c: &mut Criterion) {
                 println!("{t}");
             }
             ts
-        })
+        });
     });
     group.finish();
 }
@@ -97,7 +97,7 @@ fn bench_fig7(c: &mut Criterion) {
             let (a, p) = fig7_report(&quick());
             println!("{a}\n{p}");
             (a, p)
-        })
+        });
     });
     group.finish();
 }

@@ -3,17 +3,23 @@
 //! ```text
 //! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|fig7_scale|fig_policy|phases|all>
 //!         [--scale F] [--seed N] [--jobs N] [--quick] [--csv DIR]
+//!         [--sanitize off|checks|full]
 //! ```
 //!
 //! `--jobs N` fans the run matrix across N worker threads (default: all
 //! cores). Output is byte-identical for every N — each figure cell is an
 //! independent deterministic simulation, assembled by cell index.
+//!
+//! `--sanitize full` shadow-verifies every collection of every run; output
+//! stays byte-identical to `off` unless a collector invariant is broken,
+//! which aborts with a `sanitize:` panic.
 
 use bench::pressure_figs::{
     fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
     fig7_scale_report, fig_policy_report,
 };
 use bench::{fig2_report, phases_report, table1_report, Params, Table};
+use simulate::SanitizeLevel;
 
 /// Writes a figure's table(s) as CSV into the chosen directory.
 fn emit_csv(dir: &Option<String>, name: &str, tables: &[&Table]) {
@@ -52,9 +58,21 @@ fn main() {
                 params.jobs = args[i].parse().expect("--jobs takes an integer");
             }
             "--quick" => {
-                let jobs = params.jobs;
+                // Preserve flags that are orthogonal to the sizing preset.
+                let (jobs, sanitize) = (params.jobs, params.sanitize);
                 params = Params::quick();
                 params.jobs = jobs;
+                params.sanitize = sanitize;
+            }
+            "--sanitize" => {
+                i += 1;
+                params.sanitize = SanitizeLevel::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown sanitize level '{}' (try off, checks, full)",
+                        args[i]
+                    );
+                    std::process::exit(2);
+                });
             }
             "--csv" => {
                 i += 1;
@@ -69,8 +87,8 @@ fn main() {
         i += 1;
     }
     eprintln!(
-        "# workload scale {} (1.0 = the paper's volumes), seed {}, jobs {}",
-        params.scale, params.seed, params.jobs
+        "# workload scale {} (1.0 = the paper's volumes), seed {}, jobs {}, sanitize {}",
+        params.scale, params.seed, params.jobs, params.sanitize
     );
     let run = |name: &str| which == "all" || which == name;
     if run("table1") {

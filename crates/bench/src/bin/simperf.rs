@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! simperf [--quick] [--scale F] [--seed N] [--jobs N] [--out PATH]
-//!         [--baseline PATH] [--max-regression F]
+//!         [--baseline PATH] [--max-regression F] [--sanitize LEVEL]
 //! ```
 //!
 //! The mix covers the run shapes the figures use — calm fig2-style
@@ -31,8 +31,8 @@ use std::time::Instant;
 use bench::pressure_figs::{fig_policy_runs, FLEET_PROCS};
 use bench::{default_jobs, parallel_map, scaled, Params, SweepDepth};
 use simtime::Nanos;
-use simulate::experiments::{dynamic_pressure, multi_jvm, run_fleet, FleetConfig};
-use simulate::{run, CollectorKind, Program, RunConfig, RunResult};
+use simulate::experiments::{dynamic_pressure_config, run_fleet, FleetConfig};
+use simulate::{run, run_multi, CollectorKind, Program, RunConfig, RunResult, SanitizeLevel};
 use workloads::spec;
 
 /// One workload group's accumulated counters.
@@ -127,7 +127,9 @@ fn no_pressure(params: &Params) -> GroupPerf {
     let kinds = CollectorKind::FIGURE2;
     let start = Instant::now();
     let results = parallel_map(params.jobs, &kinds, |_, &kind| {
-        run(&RunConfig::new(kind, heap, 512 << 20), make())
+        let mut config = RunConfig::new(kind, heap, 512 << 20);
+        config.sanitize = params.sanitize;
+        run(&config, make())
     });
     g.wall = start.elapsed();
     for r in &results {
@@ -151,7 +153,9 @@ fn dynamic(params: &Params) -> GroupPerf {
     let start = Instant::now();
     let results = parallel_map(params.jobs, &cells, |_, &(kind, avail)| {
         let target = scaled(params, avail);
-        dynamic_pressure(kind, heap, memory, target, params.scale, &make)
+        let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
+        config.sanitize = params.sanitize;
+        run(&config, make())
     });
     g.wall = start.elapsed();
     for r in &results {
@@ -177,7 +181,9 @@ fn full_heap_trace(params: &Params) -> GroupPerf {
     ];
     let start = Instant::now();
     let results = parallel_map(params.jobs, &kinds, |_, &kind| {
-        run(&RunConfig::new(kind, heap, 512 << 20), make())
+        let mut config = RunConfig::new(kind, heap, 512 << 20);
+        config.sanitize = params.sanitize;
+        run(&config, make())
     });
     g.wall = start.elapsed();
     for r in &results {
@@ -197,7 +203,9 @@ fn alloc_rate(params: &Params) -> GroupPerf {
     let kinds = CollectorKind::FIGURE2;
     let start = Instant::now();
     let results = parallel_map(params.jobs, &kinds, |_, &kind| {
-        run(&RunConfig::new(kind, heap, 512 << 20), make())
+        let mut config = RunConfig::new(kind, heap, 512 << 20);
+        config.sanitize = params.sanitize;
+        run(&config, make())
     });
     g.wall = start.elapsed();
     for r in &results {
@@ -235,7 +243,9 @@ fn multi(params: &Params) -> GroupPerf {
         .collect();
     let start = Instant::now();
     let results = parallel_map(params.jobs, &cells, |_, &(kind, mem)| {
-        multi_jvm(kind, heap, scaled(params, mem), &make)
+        let mut config = RunConfig::new(kind, heap, scaled(params, mem));
+        config.sanitize = params.sanitize;
+        run_multi(&config, vec![make(), make()])
     });
     g.wall = start.elapsed();
     for m in &results {
@@ -268,7 +278,8 @@ fn fleet(params: &Params) -> GroupPerf {
     let start = Instant::now();
     let results = parallel_map(params.jobs, &cells, |_, &(kind, n)| {
         let per_scale = (params.scale * FLEET_PROCS[0] as f64 / n as f64).min(1.0);
-        let config = FleetConfig::new(kind, n, 512 << 10, n * (1 << 20));
+        let mut config = FleetConfig::new(kind, n, 512 << 10, n * (1 << 20));
+        config.sanitize = params.sanitize;
         let seed = params.seed;
         run_fleet(&config, &move |i| {
             Box::new(b.program(
@@ -361,6 +372,7 @@ fn main() {
         seed: 42,
         sweep: SweepDepth::Quick,
         jobs: default_jobs(),
+        sanitize: SanitizeLevel::Off,
     };
     let mut out_path = String::from("BENCH_simperf.json");
     let mut baseline_path: Option<String> = None;
@@ -393,6 +405,11 @@ fn main() {
                 i += 1;
                 max_regression = args[i].parse().expect("--max-regression takes a float");
             }
+            "--sanitize" => {
+                i += 1;
+                params.sanitize =
+                    SanitizeLevel::parse(&args[i]).expect("--sanitize takes off, checks, or full");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -404,8 +421,8 @@ fn main() {
         max_regression = v.parse().expect("SIMPERF_MAX_REGRESSION takes a float");
     }
     eprintln!(
-        "# simperf: scale {}, seed {}, jobs {}",
-        params.scale, params.seed, params.jobs
+        "# simperf: scale {}, seed {}, jobs {}, sanitize {}",
+        params.scale, params.seed, params.jobs, params.sanitize
     );
     let total_start = Instant::now();
     let groups = [
@@ -448,7 +465,7 @@ fn main() {
         touches as f64 / total_wall.as_secs_f64().max(1e-9),
         groups
             .iter()
-            .map(|g| g.to_json())
+            .map(GroupPerf::to_json)
             .collect::<Vec<_>>()
             .join(","),
     );

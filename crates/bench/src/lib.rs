@@ -21,7 +21,7 @@ pub mod pool;
 pub mod pressure_figs;
 pub mod report;
 
-use simulate::{min_heap_search, CollectorKind};
+use simulate::{min_heap_search, CollectorKind, SanitizeLevel};
 use workloads::{table1, BenchmarkSpec};
 
 pub use pool::{default_jobs, parallel_map};
@@ -52,6 +52,10 @@ pub struct Params {
     /// Results are assembled by cell index, so any value produces output
     /// byte-identical to `jobs: 1`.
     pub jobs: usize,
+    /// Sanitizer level applied to every figure run (`figures --sanitize`).
+    /// Verification only: any level produces output byte-identical to
+    /// `Off`, or aborts with a `sanitize:` panic on an invariant breach.
+    pub sanitize: SanitizeLevel,
 }
 
 impl Params {
@@ -62,6 +66,7 @@ impl Params {
             seed: 42,
             sweep: SweepDepth::Quick,
             jobs: pool::default_jobs(),
+            sanitize: SanitizeLevel::Off,
         }
     }
 
@@ -73,6 +78,7 @@ impl Params {
             seed: 42,
             sweep: SweepDepth::Full,
             jobs: pool::default_jobs(),
+            sanitize: SanitizeLevel::Off,
         }
     }
 
@@ -114,8 +120,10 @@ pub fn table1_report(params: &Params) -> Table {
     let benchmarks = table1();
     let scale = params.scale;
     let seed = params.seed;
+    let sanitize = params.sanitize;
     // One worker per benchmark: the search and the confirming run are a
-    // self-contained deterministic cell.
+    // self-contained deterministic cell. (The min-heap binary search stays
+    // unsanitized — it is a probe, and its result feeds the sanitized runs.)
     let cells = pool::parallel_map(params.jobs, &benchmarks, |_, b| {
         let spec = *b;
         let mk = move || -> Box<dyn simulate::Program> { Box::new(spec.program(scale, seed)) };
@@ -124,10 +132,9 @@ pub fn table1_report(params: &Params) -> Table {
         let hi = ((b.paper_min_heap as f64 * scale) as usize * 8).max(8 << 20);
         let min = min_heap_search(CollectorKind::Bc, 512 << 20, &mk, lo, hi, 256 << 10);
         // Run once at a comfortable heap to confirm the allocation volume.
-        let run = simulate::run(
-            &simulate::RunConfig::new(CollectorKind::Bc, hi, 512 << 20),
-            mk(),
-        );
+        let mut config = simulate::RunConfig::new(CollectorKind::Bc, hi, 512 << 20);
+        config.sanitize = sanitize;
+        let run = simulate::run(&config, mk());
         (run.gc.bytes_allocated, min)
     });
     for (b, (bytes_allocated, min)) in benchmarks.iter().zip(cells) {
@@ -136,8 +143,7 @@ pub fn table1_report(params: &Params) -> Table {
             format!("{}", b.paper_total_alloc),
             format!("{:.0}", bytes_allocated as f64 / scale),
             format!("{}", b.paper_min_heap),
-            min.map(|m| format!("{:.0}", m as f64 / scale))
-                .unwrap_or_else(|| "-".into()),
+            min.map_or_else(|| "-".into(), |m| format!("{:.0}", m as f64 / scale)),
         ]);
     }
     t
@@ -255,6 +261,7 @@ pub fn phases_report(params: &Params) -> Table {
         let mut config =
             simulate::experiments::dynamic_pressure_config(kind, heap, memory, available, scale);
         config.tracer = tracer.clone();
+        config.sanitize = params.sanitize;
         let result = simulate::run(&config, Box::new(b.program(scale, seed)));
         let _ = result; // the table reports the trace, not the run summary
         let agg = telemetry::aggregate(&tracer.snapshot(), simtime::Nanos::ZERO);
@@ -304,6 +311,7 @@ pub fn run_bench(
     memory_bytes: usize,
     params: &Params,
 ) -> simulate::RunResult {
-    let config = simulate::RunConfig::new(kind, heap_bytes, memory_bytes);
+    let mut config = simulate::RunConfig::new(kind, heap_bytes, memory_bytes);
+    config.sanitize = params.sanitize;
     simulate::run(&config, Box::new(b.program(params.scale, params.seed)))
 }

@@ -14,9 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Applies `f` to every item, using up to `jobs` worker threads, and

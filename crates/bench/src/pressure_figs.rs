@@ -6,10 +6,9 @@
 
 use simtime::{bmu_curve, Nanos};
 use simulate::experiments::{
-    dynamic_pressure, dynamic_pressure_config, multi_jvm, run_fleet, steady_pressure, FleetConfig,
-    FleetResult,
+    dynamic_pressure_config, run_fleet, steady_pressure_config, FleetConfig, FleetResult,
 };
-use simulate::{CollectorKind, PolicyKind, Program, RunResult};
+use simulate::{run, run_multi, CollectorKind, PolicyKind, Program, RunConfig, RunResult};
 use workloads::spec;
 
 use crate::pool::parallel_map;
@@ -69,7 +68,9 @@ pub fn fig3_report(params: &Params) -> (Table, Table) {
         // only 40% of the heap" — signalmem pins 60% of the heap out of
         // a machine sized just above the heap itself.
         let memory = heap + scaled(params, 8 << 20);
-        steady_pressure(kind, heap, memory, 0.6, &make)
+        let mut config = steady_pressure_config(kind, heap, memory, 0.6);
+        config.sanitize = params.sanitize;
+        run(&config, make())
     });
     for (ki, &kind) in kinds.iter().enumerate() {
         let row = &results[ki * paper_heaps.len()..(ki + 1) * paper_heaps.len()];
@@ -111,7 +112,9 @@ fn dynamic_run(params: &Params, kind: CollectorKind, paper_available: usize) -> 
     let memory = scaled(params, DYNAMIC_PAPER_MEMORY);
     let target = scaled(params, paper_available);
     let make = pseudo_jbb(params);
-    dynamic_pressure(kind, heap, memory, target, params.scale, &make)
+    let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
+    config.sanitize = params.sanitize;
+    run(&config, make())
 }
 
 fn dynamic_table(
@@ -248,8 +251,7 @@ pub fn fig6_report(params: &Params) -> Vec<Table> {
                     .iter()
                     .find(|p| p.window >= w)
                     .or(curve.last())
-                    .map(|p| p.utilization)
-                    .unwrap_or(0.0);
+                    .map_or(0.0, |p| p.utilization);
                 row.push(format!("{u:.3}"));
             }
             t.row(row);
@@ -341,6 +343,7 @@ pub fn fig_policy_runs(params: &Params) -> Vec<(CollectorKind, PolicyKind, RunRe
         let target = scaled(params, 36 << 20);
         let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
         config.policy = Some(policy);
+        config.sanitize = params.sanitize;
         simulate::run(&config, make())
     });
     cells
@@ -379,7 +382,9 @@ pub fn fig7_report(params: &Params) -> (Table, Table) {
     let results = parallel_map(params.jobs, &cells, |_, &(kind, mem)| {
         let heap = scaled(params, 77 << 20);
         let memory = scaled(params, mem);
-        multi_jvm(kind, heap, memory, &make)
+        let mut config = RunConfig::new(kind, heap, memory);
+        config.sanitize = params.sanitize;
+        run_multi(&config, vec![make(), make()])
     });
     for (ki, &kind) in kinds.iter().enumerate() {
         let mut ra = vec![kind.label().to_string()];
@@ -418,7 +423,8 @@ pub fn fleet_run(params: &Params, kind: CollectorKind, n: usize) -> FleetResult 
     let heap_total = scaled(params, 4 * (77 << 20));
     let tenant_heap = (heap_total / n).max(512 << 10);
     let memory = scaled(params, 256 << 20);
-    let config = FleetConfig::new(kind, n, tenant_heap, memory);
+    let mut config = FleetConfig::new(kind, n, tenant_heap, memory);
+    config.sanitize = params.sanitize;
     let seed = params.seed;
     run_fleet(&config, &move |i| {
         Box::new(b.program(

@@ -5,9 +5,9 @@ use std::collections::HashMap;
 use heap::gc::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BlockKind, BumpSpace, CardTable, CollectKind, GcHeap, GcStats, Handle,
-    Header, HeapConfig, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, WriteBuffer,
-    BYTES_PER_PAGE, WORD,
+    Address, AllocKind, BlockKind, BumpSpace, CardTable, Classified, CollectKind, GcHeap, GcStats,
+    Handle, Header, HeapConfig, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, ShadowSpec,
+    WriteBuffer, BYTES_PER_PAGE, WORD,
 };
 use simtime::{PauseKind, PauseLog};
 use telemetry::{EventKind, GcPhase, Tracer};
@@ -468,6 +468,33 @@ impl Bookmarking {
         out
     }
 
+    // ----- sanitizer -----------------------------------------------------
+
+    /// Shadow re-trace: live data lives in allocated mature cells and live
+    /// large objects; the trace stops at evicted objects exactly as BC's
+    /// own trace does (their edges are covered by the bookmark-soundness
+    /// check instead).
+    fn sanitize_shadow(&mut self, phase: &'static str, condemned: &'static str, marked: bool) {
+        let (ms, los) = (&self.ms, &self.los);
+        let residency = &self.residency;
+        let bookmarking = self.options.bookmarking;
+        let name: &'static str = if bookmarking { "BC" } else { "BC-resize" };
+        let spec = ShadowSpec {
+            collector: name,
+            phase,
+            classify: &|a| {
+                if ms.is_allocated_cell(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned(condemned)
+                }
+            },
+            resident: &move |a, size| !bookmarking || residency.range_resident(a, size),
+            expect_marked: &move |_| marked,
+        };
+        self.core.sanitize_shadow_trace(&spec);
+    }
+
     // ----- collections ---------------------------------------------------
 
     pub(crate) fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
@@ -485,7 +512,18 @@ impl Bookmarking {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            // Mature objects are unmarked during a minor collection; a
+            // reachable nursery edge here means a write-barrier record or
+            // remembered-set entry went missing.
+            self.sanitize_shadow("after-trace", "collected nursery", false);
+        }
         let _ = self.nursery.release_all(&mut self.core.pool);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", "released nursery", false);
+        }
+        self.core
+            .sanitize_physical_checks(ctx, Some(&self.ms), &[&self.nursery]);
         self.phase = Phase::Idle;
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
@@ -612,10 +650,20 @@ impl Bookmarking {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            // Every reachable resident object must be marked — whether the
+            // trace reached it through the heap or the bookmark root scan.
+            self.sanitize_shadow("after-trace", "collected nursery", true);
+        }
         self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep_resident(ctx);
         let _ = self.nursery.release_all(&mut self.core.pool);
         self.core.phase_end(ctx, GcPhase::Sweep);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", "swept space", false);
+        }
+        self.core
+            .sanitize_physical_checks(ctx, Some(&self.ms), &[&self.nursery]);
         self.wbuf.retain_entries(Vec::new());
         self.cards.clear();
         self.phase = Phase::Idle;
@@ -627,6 +675,9 @@ impl Bookmarking {
         }
         self.emit_residency_snapshots(ctx);
         self.finish_deferred_evictions(ctx);
+        if self.core.sanitize_full() && self.options.bookmarking {
+            self.sanitize_bookmark_soundness();
+        }
     }
 
     /// Emits one [`EventKind::Residency`] event per assigned superpage after
@@ -759,7 +810,7 @@ impl GcHeap for Bookmarking {
 
     fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
         let obj = self.core.roots.get(src);
-        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let target = val.map_or(Address::NULL, |h| self.core.roots.get(h));
         let slot = heap::object::field_addr(obj, field);
         if !self.nursery.region_contains(obj) && self.nursery.region_contains(target) {
             self.core.stats.barrier_records += 1;

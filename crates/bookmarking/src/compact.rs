@@ -171,11 +171,42 @@ impl Bookmarking {
         self.compact_targets.clear();
         self.target_alloc.clear();
         self.core.phase_end(ctx, GcPhase::CompactPass2);
+        if self.core.sanitize_full() {
+            self.sanitize_compacted();
+        }
+        self.core
+            .sanitize_physical_checks(ctx, Some(&self.ms), &[&self.nursery]);
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
         self.core.stats.compacting_gcs += 1;
         self.recompute_nursery_limit();
         self.core.end_pause(ctx, pause);
+    }
+
+    /// Shadow re-trace after compaction: survivors sit on target superpages
+    /// or the LOS; a reachable edge into a released superpage (or at a
+    /// forwarding stub left by pass 2) is a compaction bug. Resident marks
+    /// were cleared; evicted objects keep theirs, but the trace stops at
+    /// them anyway.
+    fn sanitize_compacted(&mut self) {
+        use heap::{Classified, ShadowSpec};
+        let (ms, los) = (&self.ms, &self.los);
+        let residency = &self.residency;
+        let bookmarking = self.options.bookmarking;
+        let spec = ShadowSpec {
+            collector: if bookmarking { "BC" } else { "BC-resize" },
+            phase: "after-compaction",
+            classify: &|a| {
+                if ms.is_allocated_cell(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned("compacted space")
+                }
+            },
+            resident: &move |a, size| !bookmarking || residency.range_resident(a, size),
+            expect_marked: &|_| false,
+        };
+        self.core.sanitize_shadow_trace(&spec);
     }
 
     /// Frees unmarked resident cells and large objects, preserving marks on

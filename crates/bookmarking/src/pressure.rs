@@ -2,7 +2,7 @@
 //! notices, empty-page discarding, heap shrinking, bookmarking, and
 //! bookmark clearing.
 
-use heap::{Address, Header, MemCtx, BYTES_PER_PAGE, WORD};
+use heap::{Address, Header, InjectFault, MemCtx, SanitizeError, BYTES_PER_PAGE, WORD};
 use telemetry::EventKind;
 use vmm::{Access, VirtPage, VmEvent};
 
@@ -53,7 +53,7 @@ impl Bookmarking {
                     }
                 }
                 VmEvent::MadeResident { page } | VmEvent::ProtectionFault { page } => {
-                    self.on_page_resident(ctx, page)
+                    self.on_page_resident(ctx, page);
                 }
             }
         }
@@ -88,7 +88,7 @@ impl Bookmarking {
                     VmEvent::EvictionScheduled { page } => self.on_eviction_scheduled(ctx, page),
                     VmEvent::Evicted { page } => self.on_hard_eviction(ctx, page),
                     VmEvent::MadeResident { page } | VmEvent::ProtectionFault { page } => {
-                        self.on_page_resident(ctx, page)
+                        self.on_page_resident(ctx, page);
                     }
                 }
             }
@@ -526,10 +526,14 @@ impl Bookmarking {
             self.victim_vetoes = 0;
         }
         // Pass 2: bookmark every outgoing target (§3.4).
-        for &cell in &cells {
-            let refs = self.readable_refs(ctx, cell);
-            for (_slot, target) in refs {
-                self.note_bookmark_target(ctx, target);
+        if self.core.san_take_fault(InjectFault::DropBookmark) {
+            // Seeded bug: skip the bookmark pass for this page.
+        } else {
+            for &cell in &cells {
+                let refs = self.readable_refs(ctx, cell);
+                for (_slot, target) in refs {
+                    self.note_bookmark_target(ctx, target);
+                }
             }
         }
         // Conservatively bookmark the page's own objects — their incoming
@@ -609,6 +613,76 @@ impl Bookmarking {
         }
         // Nursery targets were excluded by the rescue pass; anything else
         // (space_b) is unused by BC.
+    }
+
+    /// The BC-specific half of [`heap::SanitizeLevel::Full`]: every
+    /// outgoing reference from an evicted mature page must be summarized by
+    /// an incoming-bookmark counter on its target's superpage (or the LOS
+    /// incoming map). Without the summary, a later reload would decrement a
+    /// counter that was never incremented — or a major collection would
+    /// sweep an object only the evicted page still references.
+    ///
+    /// Observation-only: reads the swap-bound page images raw, exactly as
+    /// the eviction scan did. Runs at the end of every major collection.
+    pub(crate) fn sanitize_bookmark_soundness(&mut self) {
+        let mut pages: Vec<VirtPage> = self.residency.evicted_pages().collect();
+        pages.sort_by_key(|p| p.number());
+        for page in pages {
+            let addr = Address(page.base_addr());
+            if !self.ms.region_contains(addr) {
+                continue;
+            }
+            let (sp, page_in_sp) = self.ms.page_within_sp(addr);
+            if sp.0 >= self.ms.extent_superpages() {
+                continue;
+            }
+            for cell in self.ms.cells_overlapping_page(sp, page_in_sp) {
+                let h = match Header::decode_forwarded(
+                    self.core.mem.read_word(cell),
+                    self.core.mem.read_word(cell.offset(WORD)),
+                ) {
+                    Ok(h) => h,
+                    Err(_) => continue,
+                };
+                for i in 0..h.kind.num_ref_fields() {
+                    let slot = heap::object::field_addr(cell, i);
+                    if slot.page() != page {
+                        continue; // processed at that page's own eviction
+                    }
+                    let target = Address(self.core.mem.read_word(slot));
+                    if target.is_null() {
+                        continue;
+                    }
+                    if self.ms.region_contains(target) {
+                        let tsp = self.ms.sp_of(target);
+                        if tsp.0 < self.ms.extent_superpages()
+                            && self.ms.is_allocated_cell(target)
+                            && self.ms.info(tsp).incoming_bookmarks == 0
+                        {
+                            SanitizeError::DroppedBookmark {
+                                page: page.number(),
+                                slot,
+                                target,
+                                detail: "target superpage incoming-bookmark counter is zero",
+                            }
+                            .report();
+                        }
+                    } else if self.los.region_contains(target) {
+                        if let Some((obj, _)) = self.los.object_containing(target) {
+                            if !self.los_incoming.contains_key(&obj.0) {
+                                SanitizeError::DroppedBookmark {
+                                    page: page.number(),
+                                    slot,
+                                    target,
+                                    detail: "large object has no incoming-bookmark entry",
+                                }
+                                .report();
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // ----- bookmark clearing (§3.4.2) -----------------------------------

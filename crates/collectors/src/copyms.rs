@@ -2,8 +2,8 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BlockKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, BYTES_PER_PAGE,
+    Address, AllocKind, BlockKind, BumpSpace, Classified, CollectKind, GcHeap, GcStats, Handle,
+    HeapConfig, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, ShadowSpec, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
 use telemetry::{GcPhase, Tracer};
@@ -66,6 +66,27 @@ impl CopyMs {
             return None;
         }
         self.copy_space.alloc(&mut self.core.pool, size)
+    }
+
+    /// Shadow re-trace: after a whole-heap collection every live object sits
+    /// in an allocated mature cell or the LOS; a reachable copy-space address
+    /// is a stale (unforwarded) reference.
+    fn sanitize_shadow(&mut self, phase: &'static str, condemned: &'static str, marked: bool) {
+        let (ms, los) = (&self.ms, &self.los);
+        let spec = ShadowSpec {
+            collector: crate::names::COPY_MS,
+            phase,
+            classify: &|a| {
+                if ms.is_allocated_cell(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned(condemned)
+                }
+            },
+            resident: &|_, _| true,
+            expect_marked: &move |_| marked,
+        };
+        self.core.sanitize_shadow_trace(&spec);
     }
 
     fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
@@ -157,7 +178,7 @@ impl GcHeap for CopyMs {
 
     fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
         let obj = self.core.roots.get(src);
-        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let target = val.map_or(Address::NULL, |h| self.core.roots.get(h));
         self.core
             .write_slot(ctx, heap::object::field_addr(obj, field), target);
     }
@@ -210,10 +231,18 @@ impl GcHeap for CopyMs {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-trace", "collected copy space", true);
+        }
         self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep(ctx);
         let _ = self.copy_space.release_all(&mut self.core.pool);
         self.core.phase_end(ctx, GcPhase::Sweep);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", "swept space", false);
+        }
+        self.core
+            .sanitize_physical_checks(ctx, Some(&self.ms), &[&self.copy_space]);
         self.collecting = false;
         self.core.stats.full_gcs += 1;
         self.recompute_copy_limit();

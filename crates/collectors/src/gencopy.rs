@@ -2,8 +2,8 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, OutOfMemory, BYTES_PER_PAGE,
+    Address, AllocKind, BumpSpace, Classified, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
+    LargeObjectSpace, MemCtx, OutOfMemory, ShadowSpec, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
 use telemetry::{GcPhase, Tracer};
@@ -102,6 +102,38 @@ impl GenCopy {
         self.nursery.alloc(&mut self.core.pool, size)
     }
 
+    /// Shadow re-trace: live data sits in one mature semispace (`live_is_a`
+    /// selects which) plus the live large objects; reachable edges anywhere
+    /// else — the nursery, the condemned mature space — are bugs.
+    fn sanitize_shadow(
+        &mut self,
+        phase: &'static str,
+        live_is_a: bool,
+        condemned: &'static str,
+        marked_los: bool,
+    ) {
+        let live = if live_is_a {
+            &self.mature_a
+        } else {
+            &self.mature_b
+        };
+        let los = &self.los;
+        let spec = ShadowSpec {
+            collector: crate::names::GEN_COPY,
+            phase,
+            classify: &|a| {
+                if live.contains_allocated(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned(condemned)
+                }
+            },
+            resident: &|_, _| true,
+            expect_marked: &move |a| marked_los && los.region_contains(a),
+        };
+        self.core.sanitize_shadow_trace(&spec);
+    }
+
     fn minor_gc(&mut self, ctx: &mut MemCtx<'_>) {
         let pause = self.core.begin_pause(ctx, PauseKind::Nursery);
         self.phase = Phase::Minor;
@@ -122,7 +154,25 @@ impl GenCopy {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            // A reachable edge still pointing into the nursery here means
+            // some mature-to-nursery store was never remembered.
+            self.sanitize_shadow("after-trace", self.mature_is_a, "collected nursery", false);
+        }
         let _ = self.nursery.release_all(&mut self.core.pool);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow(
+                "after-collection",
+                self.mature_is_a,
+                "released nursery",
+                false,
+            );
+        }
+        self.core.sanitize_physical_checks(
+            ctx,
+            None,
+            &[&self.nursery, &self.mature_a, &self.mature_b],
+        );
         self.phase = Phase::Idle;
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
@@ -141,6 +191,9 @@ impl GenCopy {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-trace", !self.mature_is_a, "condemned space", true);
+        }
         self.core.phase_begin(ctx, GcPhase::Sweep);
         // Sweep the large object space.
         for (obj, _pages) in self.los.objects() {
@@ -161,6 +214,19 @@ impl GenCopy {
         self.mature_is_a = !self.mature_is_a;
         self.remset.clear();
         self.core.phase_end(ctx, GcPhase::Sweep);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow(
+                "after-collection",
+                self.mature_is_a,
+                "released space",
+                false,
+            );
+        }
+        self.core.sanitize_physical_checks(
+            ctx,
+            None,
+            &[&self.nursery, &self.mature_a, &self.mature_b],
+        );
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
         self.recompute_nursery_limit();
@@ -264,7 +330,7 @@ impl GcHeap for GenCopy {
 
     fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
         let obj = self.core.roots.get(src);
-        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let target = val.map_or(Address::NULL, |h| self.core.roots.get(h));
         let slot = heap::object::field_addr(obj, field);
         // Boundary write barrier: remember mature→nursery pointers.
         if !self.nursery.region_contains(obj) && self.nursery.region_contains(target) {

@@ -3,8 +3,9 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BlockKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, BYTES_PER_PAGE,
+    Address, AllocKind, BlockKind, BumpSpace, Classified, CollectKind, GcHeap, GcStats, Handle,
+    HeapConfig, InjectFault, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, ShadowSpec,
+    BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
 use telemetry::{GcPhase, Tracer};
@@ -106,6 +107,27 @@ impl GenMs {
         new
     }
 
+    /// Shadow re-trace: live data lives in allocated mature cells and live
+    /// large objects; a reachable edge into the nursery or a free cell is a
+    /// missed remembered-set record (or a stale forward).
+    fn sanitize_shadow(&mut self, phase: &'static str, condemned: &'static str, marked: bool) {
+        let (ms, los) = (&self.ms, &self.los);
+        let spec = ShadowSpec {
+            collector: crate::names::GEN_MS,
+            phase,
+            classify: &|a| {
+                if ms.is_allocated_cell(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned(condemned)
+                }
+            },
+            resident: &|_, _| true,
+            expect_marked: &move |_| marked,
+        };
+        self.core.sanitize_shadow_trace(&spec);
+    }
+
     fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
         let mut dead = std::mem::take(&mut self.core.sweep_scratch);
         for sp in self.ms.assigned_sps() {
@@ -153,7 +175,17 @@ impl GenMs {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            // Mature objects are unmarked during a minor collection; a
+            // reachable nursery edge here means a skipped write barrier.
+            self.sanitize_shadow("after-trace", "collected nursery", false);
+        }
         let _ = self.nursery.release_all(&mut self.core.pool);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", "released nursery", false);
+        }
+        self.core
+            .sanitize_physical_checks(ctx, Some(&self.ms), &[&self.nursery]);
         self.phase = Phase::Idle;
         self.core.stats.nursery_gcs += 1;
         self.recompute_nursery_limit();
@@ -172,10 +204,18 @@ impl GenMs {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-trace", "collected nursery", true);
+        }
         self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep(ctx);
         let _ = self.nursery.release_all(&mut self.core.pool);
         self.core.phase_end(ctx, GcPhase::Sweep);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", "swept space", false);
+        }
+        self.core
+            .sanitize_physical_checks(ctx, Some(&self.ms), &[&self.nursery]);
         self.remset.clear();
         self.phase = Phase::Idle;
         self.core.stats.full_gcs += 1;
@@ -261,13 +301,17 @@ impl GcHeap for GenMs {
 
     fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
         let obj = self.core.roots.get(src);
-        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let target = val.map_or(Address::NULL, |h| self.core.roots.get(h));
         let slot = heap::object::field_addr(obj, field);
         if !self.nursery.region_contains(obj) && self.nursery.region_contains(target) {
-            self.remset.push(slot);
-            self.core.stats.barrier_records += 1;
-            let barrier = ctx.vmm.costs().barrier;
-            ctx.clock.advance(barrier);
+            if self.core.san_take_fault(InjectFault::SkipBarrier) {
+                // Seeded bug: drop this remembered-set record.
+            } else {
+                self.remset.push(slot);
+                self.core.stats.barrier_records += 1;
+                let barrier = ctx.vmm.costs().barrier;
+                ctx.clock.advance(barrier);
+            }
         }
         self.core.write_slot(ctx, slot, target);
     }

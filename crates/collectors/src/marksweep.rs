@@ -2,8 +2,8 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, CollectKind, GcHeap, GcStats, Handle, HeapConfig, LargeObjectSpace, MemCtx,
-    MsSpace, OutOfMemory,
+    Address, AllocKind, Classified, CollectKind, GcHeap, GcStats, Handle, Header, HeapConfig,
+    InjectFault, LargeObjectSpace, MemCtx, MsSpace, OutOfMemory, ShadowSpec,
 };
 use simtime::{PauseKind, PauseLog};
 use telemetry::{GcPhase, Tracer};
@@ -54,6 +54,27 @@ impl MarkSweep {
             };
             self.ms.alloc(&mut self.core.pool, class, bk)
         }
+    }
+
+    /// Shadow re-trace at a phase boundary. `expect_marked` is true after
+    /// the trace (every live object is marked) and false after the sweep
+    /// (the sweep cleared the survivors' marks).
+    fn sanitize_shadow(&mut self, phase: &'static str, expect_marked: bool) {
+        let (ms, los) = (&self.ms, &self.los);
+        let spec = ShadowSpec {
+            collector: crate::names::MARK_SWEEP,
+            phase,
+            classify: &|a| {
+                if ms.is_allocated_cell(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned("free space")
+                }
+            },
+            resident: &|_, _| true,
+            expect_marked: &move |_| expect_marked,
+        };
+        self.core.sanitize_shadow_trace(&spec);
     }
 
     fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
@@ -120,7 +141,7 @@ impl GcHeap for MarkSweep {
 
     fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
         let obj = self.core.roots.get(src);
-        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let target = val.map_or(Address::NULL, |h| self.core.roots.get(h));
         let slot = heap::object::field_addr(obj, field);
         self.core.write_slot(ctx, slot, target);
     }
@@ -171,9 +192,23 @@ impl GcHeap for MarkSweep {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            if self.core.san_take_fault(InjectFault::ClearMark) {
+                // Seeded bug: un-mark one reachable object post-trace.
+                if let Some(obj) = self.core.roots.iter().next() {
+                    let w0 = self.core.mem.read_word(obj);
+                    self.core.mem.write_word(obj, Header::with_mark(w0, false));
+                }
+            }
+            self.sanitize_shadow("after-trace", true);
+        }
         self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep(ctx);
         self.core.phase_end(ctx, GcPhase::Sweep);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", false);
+        }
+        self.core.sanitize_physical_checks(ctx, Some(&self.ms), &[]);
         self.core.stats.full_gcs += 1;
         self.core.end_pause(ctx, pause);
         let _ = self.core.policy_after_gc(ctx);

@@ -2,8 +2,8 @@
 
 use heap::object::HEADER_BYTES;
 use heap::{
-    Address, AllocKind, BumpSpace, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
-    LargeObjectSpace, MemCtx, OutOfMemory, BYTES_PER_PAGE,
+    Address, AllocKind, BumpSpace, Classified, CollectKind, GcHeap, GcStats, Handle, HeapConfig,
+    InjectFault, LargeObjectSpace, MemCtx, OutOfMemory, ShadowSpec, BYTES_PER_PAGE,
 };
 use simtime::{PauseKind, PauseLog};
 use telemetry::{GcPhase, Tracer};
@@ -86,6 +86,34 @@ impl SemiSpace {
         }
     }
 
+    /// Shadow re-trace: live data sits in `live` (the to-space before the
+    /// flip, the new from-space after), everything else in the semispace
+    /// regions is condemned.
+    fn sanitize_shadow(&mut self, phase: &'static str, condemned: &'static str, marked: bool) {
+        let live = if self.from_is_a == (phase == "after-collection") {
+            &self.space_a
+        } else {
+            &self.space_b
+        };
+        let los = &self.los;
+        let spec = ShadowSpec {
+            collector: crate::names::SEMI_SPACE,
+            phase,
+            classify: &|a| {
+                if live.contains_allocated(a) || los.is_live_object(a) {
+                    Classified::Live
+                } else {
+                    Classified::Condemned(condemned)
+                }
+            },
+            resident: &|_, _| true,
+            // Copied survivors are never marked; only traced LOS objects
+            // carry the bit, and the LOS sweep clears it again.
+            expect_marked: &move |a| marked && los.region_contains(a),
+        };
+        self.core.sanitize_shadow_trace(&spec);
+    }
+
     fn sweep_los(&mut self, ctx: &mut MemCtx<'_>) {
         for (obj, _pages) in self.los.objects() {
             if self.core.is_marked(ctx, obj) {
@@ -123,6 +151,10 @@ impl Forwarder for SemiSpace {
                         .expect("semispace to-region exhausted");
                     self.core.copy_object(ctx, obj, new, size);
                     self.core.queue.push(new);
+                    if self.core.san_take_fault(InjectFault::DanglingForward) {
+                        // Seeded bug: return the stale from-space address.
+                        return obj;
+                    }
                     new
                 }
             }
@@ -155,7 +187,7 @@ impl GcHeap for SemiSpace {
 
     fn write_ref(&mut self, ctx: &mut MemCtx<'_>, src: Handle, field: u32, val: Option<Handle>) {
         let obj = self.core.roots.get(src);
-        let target = val.map(|h| self.core.roots.get(h)).unwrap_or(Address::NULL);
+        let target = val.map_or(Address::NULL, |h| self.core.roots.get(h));
         self.core
             .write_slot(ctx, heap::object::field_addr(obj, field), target);
     }
@@ -207,6 +239,9 @@ impl GcHeap for SemiSpace {
         self.core.phase_begin(ctx, GcPhase::Trace);
         drain_gray(self, ctx);
         self.core.phase_end(ctx, GcPhase::Trace);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-trace", "unforwarded from-space ref", true);
+        }
         self.core.phase_begin(ctx, GcPhase::Sweep);
         self.sweep_los(ctx);
         // Release the old from-space and flip.
@@ -218,6 +253,14 @@ impl GcHeap for SemiSpace {
         }
         self.from_is_a = !self.from_is_a;
         self.core.phase_end(ctx, GcPhase::Sweep);
+        if self.core.sanitize_full() {
+            self.sanitize_shadow("after-collection", "released semispace", false);
+        }
+        // Both spaces, every time: the released space's collapsed extent
+        // clears its tail-poison ledger entry, so the next flip's copy
+        // targets are not checked against stale geometry.
+        self.core
+            .sanitize_physical_checks(ctx, None, &[&self.space_a, &self.space_b]);
         self.core.stats.full_gcs += 1;
         self.core.stats.compacting_gcs += 1;
         self.core.end_pause(ctx, pause);

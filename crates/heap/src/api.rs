@@ -16,6 +16,7 @@ use crate::ctx::MemCtx;
 use crate::object::ObjectKind;
 use crate::policy::PolicyKind;
 use crate::roots::Handle;
+use crate::sanitize::{InjectFault, SanitizeLevel};
 use crate::stats::GcStats;
 
 /// What the mutator asks to allocate.
@@ -140,6 +141,12 @@ pub struct HeapConfig {
     /// Structured-event sink; [`Tracer::disabled`] (the default) records
     /// nothing and costs one branch per would-be event.
     pub tracer: Tracer,
+    /// Sanitizer level (see [`crate::sanitize`]); [`SanitizeLevel::Off`]
+    /// (the default) costs nothing.
+    pub sanitize: SanitizeLevel,
+    /// A collector fault to inject once, for sanitizer self-tests; `None`
+    /// (the default) outside `tests/sanitize_faults.rs`.
+    pub sanitize_fault: Option<InjectFault>,
 }
 
 impl HeapConfig {
@@ -153,6 +160,8 @@ impl HeapConfig {
                 layout: Layout::standard(),
                 policy: PolicyKind::Fixed,
                 tracer: Tracer::disabled(),
+                sanitize: SanitizeLevel::Off,
+                sanitize_fault: None,
             },
         }
     }
@@ -193,6 +202,18 @@ impl HeapConfigBuilder {
     /// spans and cooperation events through it.
     pub fn tracer(mut self, tracer: Tracer) -> HeapConfigBuilder {
         self.config.tracer = tracer;
+        self
+    }
+
+    /// Sets the sanitizer level.
+    pub fn sanitize(mut self, level: SanitizeLevel) -> HeapConfigBuilder {
+        self.config.sanitize = level;
+        self
+    }
+
+    /// Arms a one-shot collector fault for sanitizer self-tests.
+    pub fn sanitize_fault(mut self, fault: InjectFault) -> HeapConfigBuilder {
+        self.config.sanitize_fault = Some(fault);
         self
     }
 

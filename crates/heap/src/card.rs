@@ -54,8 +54,7 @@ impl CardTable {
     /// Whether the card containing `addr` is dirty.
     pub fn is_marked(&self, addr: Address) -> bool {
         self.card_of(addr)
-            .map(|c| self.bits[(c / 64) as usize] & (1 << (c % 64)) != 0)
-            .unwrap_or(false)
+            .is_some_and(|c| self.bits[(c / 64) as usize] & (1 << (c % 64)) != 0)
     }
 
     /// The base addresses of all dirty cards, ascending.

@@ -17,11 +17,13 @@ use crate::object::{field_addr, Header, ObjectKind, HEADER_BYTES};
 use crate::policy::{HeapSizePolicy, SizingDecision, SizingInput};
 use crate::pool::PagePool;
 use crate::roots::RootSet;
+use crate::sanitize::Sanitizer;
 use crate::stats::GcStats;
 use crate::tracer::MarkQueue;
 use simtime::{Nanos, PauseKind, PauseLog};
 use telemetry::{CollectionKind, EventKind, GcPhase};
 use vmm::Access;
+use zero_alloc::zero_alloc;
 
 /// Minimum Appel nursery before a full collection is forced (256 KiB).
 pub const MIN_NURSERY_BYTES: u32 = 256 * 1024;
@@ -59,6 +61,9 @@ pub struct Core {
     /// superpage's unmarked cells here (the mark checks run against an
     /// [`MsSpace`](crate::MsSpace) iterator borrow), then free them.
     pub sweep_scratch: Vec<Address>,
+    /// Sanitizer state (level, poison ledger, shadow-trace scratch); see
+    /// [`crate::sanitize`]. Inert at [`SanitizeLevel::Off`](crate::SanitizeLevel::Off).
+    pub(crate) san: Sanitizer,
 }
 
 impl Core {
@@ -76,6 +81,7 @@ impl Core {
             scan_scratch: Vec::new(),
             event_scratch: Vec::new(),
             sweep_scratch: Vec::new(),
+            san: Sanitizer::new(config.sanitize, config.sanitize_fault),
             config,
         }
     }
@@ -140,6 +146,9 @@ impl Core {
     pub fn init_object(&mut self, ctx: &mut MemCtx<'_>, obj: Address, kind: ObjectKind) {
         let size = kind.size_bytes();
         ctx.touch(&mut self.mem, obj, size, Access::Write);
+        if self.sanitize_checks() {
+            self.san_check_alloc_target(obj, size);
+        }
         self.mem.zero(obj, size);
         let (w0, w1) = Header::new(kind).encode();
         self.mem.write_word(obj, w0);
@@ -167,6 +176,7 @@ impl Core {
     /// charging the scan. Performs no heap allocation once `out` has grown
     /// to the largest ref count seen, and copies no cost table: only the
     /// two cost fields the scan charges are read.
+    #[zero_alloc]
     pub fn scan_refs_into(
         &mut self,
         ctx: &mut MemCtx<'_>,
@@ -204,6 +214,9 @@ impl Core {
     pub fn copy_object(&mut self, ctx: &mut MemCtx<'_>, from: Address, to: Address, size: u32) {
         ctx.touch(&mut self.mem, from, size, Access::Read);
         ctx.touch(&mut self.mem, to, size, Access::Write);
+        if self.sanitize_checks() {
+            self.san_check_alloc_target(to, size);
+        }
         self.mem.copy(from, to, size);
         let (w0, w1) = Header::forwarding_stub(to);
         self.mem.write_word(from, w0);
@@ -288,8 +301,7 @@ impl Core {
             .pauses
             .records()
             .last()
-            .map(|r| r.duration)
-            .unwrap_or(Nanos::ZERO);
+            .map_or(Nanos::ZERO, |r| r.duration);
         SizingInput {
             now: ctx.clock.now(),
             used_pages: self.pool.used(),
@@ -458,6 +470,7 @@ pub fn forward_roots<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
 /// pairs land in the [`Core`]'s reusable scratch buffer (taken for the
 /// duration of the drain, handed back at the end), and the pop / count /
 /// scan bookkeeping shares one `core_mut()` re-borrow per object.
+#[zero_alloc]
 pub fn drain_gray<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
     let mut scratch = std::mem::take(&mut f.core_mut().scan_scratch);
     loop {

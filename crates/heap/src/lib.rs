@@ -42,6 +42,7 @@ pub mod object;
 pub mod policy;
 mod pool;
 mod roots;
+pub mod sanitize;
 mod sizeclass;
 mod stats;
 mod tracer;
@@ -62,6 +63,7 @@ pub use object::{Header, ObjectKind, LARGEST_CELL_BYTES, MAX_SMALL_OBJECT_BYTES}
 pub use policy::{HeapSizePolicy, PolicyKind, SizingDecision, SizingInput};
 pub use pool::PagePool;
 pub use roots::{Handle, RootSet};
+pub use sanitize::{Classified, InjectFault, SanitizeError, SanitizeLevel, ShadowSpec};
 pub use sizeclass::{SizeClass, SizeClasses};
 pub use stats::GcStats;
 pub use tracer::MarkQueue;

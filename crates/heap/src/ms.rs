@@ -59,8 +59,7 @@ impl SpState {
     fn is_allocated(&self, cell: u32) -> bool {
         self.alloc_bits
             .get((cell / 64) as usize)
-            .map(|w| w & (1 << (cell % 64)) != 0)
-            .unwrap_or(false)
+            .is_some_and(|w| w & (1 << (cell % 64)) != 0)
     }
 
     fn set_allocated(&mut self, cell: u32, on: bool) {
@@ -650,6 +649,111 @@ impl MsSpace {
             }
         }
         reserved
+    }
+
+    // ----- sanitizer support (`crate::sanitize`) ------------------------
+
+    /// Calls `f` with `(address, cell_bytes)` for every *free* cell of
+    /// every assigned superpage — the cells the sanitizer poisons with
+    /// canary words after each collection.
+    pub fn for_each_free_cell(&self, mut f: impl FnMut(Address, u32)) {
+        for sp in 0..self.extent_sps {
+            let st = &self.sps[sp as usize];
+            let Some((class, _)) = st.assignment else {
+                continue;
+            };
+            let c = self.classes.class(class);
+            for cell in 0..c.cells_per_superpage {
+                if !st.is_allocated(cell) {
+                    f(
+                        self.cell_addr(SpIndex(sp), cell, c.cell_bytes),
+                        c.cell_bytes,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether `addr` is still the start of a free cell of exactly `bytes`
+    /// bytes. The sanitizer validates a poisoned cell's canaries only while
+    /// this geometry holds: releasing or reassigning the superpage (or
+    /// allocating the cell) makes the old poison stale, not clobbered.
+    pub fn is_current_free_cell(&self, addr: Address, bytes: u32) -> bool {
+        if !self.region_contains(addr) {
+            return false;
+        }
+        let sp = (addr.0 - self.base.0) / BYTES_PER_SUPERPAGE;
+        if sp >= self.extent_sps {
+            return false;
+        }
+        let st = &self.sps[sp as usize];
+        let Some((class, _)) = st.assignment else {
+            return false;
+        };
+        let c = self.classes.class(class);
+        if c.cell_bytes != bytes {
+            return false;
+        }
+        let Some(off) =
+            (addr.0 - self.base.0 - sp * BYTES_PER_SUPERPAGE).checked_sub(SUPERPAGE_METADATA_BYTES)
+        else {
+            return false;
+        };
+        off % c.cell_bytes == 0
+            && off / c.cell_bytes < c.cells_per_superpage
+            && !st.is_allocated(off / c.cell_bytes)
+    }
+
+    /// Validates the allocation-run cache against the bitmaps (the
+    /// sanitizer's run-cache/bitmap agreement check): every cached run must
+    /// point at a superpage still assigned to its `(class, kind)`, with a
+    /// matching cell size, an in-bounds end, and only free cells in
+    /// `[next, end)`. Returns a description of the first mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, human-readable.
+    pub fn sanitize_check_runs(&self) -> Result<(), String> {
+        for (pidx, run) in self.runs.iter().enumerate() {
+            let Some(run) = run else {
+                continue;
+            };
+            let class = (pidx / 2) as u8;
+            let kind = if pidx % 2 == 1 {
+                BlockKind::Array
+            } else {
+                BlockKind::Scalar
+            };
+            let st = &self.sps[run.sp as usize];
+            if st.assignment != Some((class, kind)) {
+                return Err(format!(
+                    "cached run for class {class} {kind:?} points at sp {} assigned {:?}",
+                    run.sp, st.assignment
+                ));
+            }
+            let c = self.classes.class(class);
+            if c.cell_bytes != run.cell_bytes {
+                return Err(format!(
+                    "cached run cell size {} != class {class} cell size {}",
+                    run.cell_bytes, c.cell_bytes
+                ));
+            }
+            if run.end > c.cells_per_superpage {
+                return Err(format!(
+                    "cached run end {} beyond superpage capacity {}",
+                    run.end, c.cells_per_superpage
+                ));
+            }
+            for cell in run.next..run.end {
+                if st.is_allocated(cell) {
+                    return Err(format!(
+                        "cached run covers cell {cell} of sp {} which the bitmap says is allocated",
+                        run.sp
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Decomposes a page-aligned address into (superpage, page-within-sp).

@@ -1,6 +1,10 @@
 //! Property tests over the heap substrate: size-class soundness, mark-sweep
 //! space invariants, large-object space invariants, and memory round-trips.
 
+// Property suites run hundreds of cases; far too slow under Miri's
+// interpreter. The Miri CI job covers the plain unit tests instead.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 
 use heap::{

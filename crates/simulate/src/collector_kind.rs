@@ -4,7 +4,7 @@ use core::fmt;
 
 use bookmarking::{BcOptions, Bookmarking};
 use collectors::{CopyMs, GenCopy, GenMs, MarkSweep, SemiSpace};
-use heap::{GcHeap, HeapConfig, NurseryPolicy, PolicyKind};
+use heap::{GcHeap, HeapConfig, InjectFault, NurseryPolicy, PolicyKind, SanitizeLevel};
 use telemetry::Tracer;
 use vmm::{ProcessId, Vmm};
 
@@ -79,7 +79,7 @@ impl CollectorKind {
         vmm: &mut Vmm,
         pid: ProcessId,
     ) -> Box<dyn GcHeap> {
-        self.build_with_policy(heap_bytes, None, tracer, vmm, pid)
+        self.build_with_policy(heap_bytes, None, SanitizeLevel::Off, None, tracer, vmm, pid)
     }
 
     /// [`CollectorKind::build`] with an explicit heap-sizing policy.
@@ -88,11 +88,18 @@ impl CollectorKind {
     /// BC treats `Fixed` as its built-in shrink-to-footprint). When the
     /// chosen policy wants VMM pressure notifications, the process is
     /// registered for them even for the otherwise VM-oblivious baselines,
-    /// so the policy can observe eviction pressure.
+    /// so the policy can observe eviction pressure. `sanitize` selects the
+    /// verification level ([`SanitizeLevel::Off`] is free; `Full` adds the
+    /// shadow re-trace after every collection). `sanitize_fault` arms a
+    /// one-shot seeded collector bug for sanitizer self-tests; always
+    /// `None` outside `tests/sanitize_faults.rs`.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_with_policy(
         self,
         heap_bytes: usize,
         policy: Option<PolicyKind>,
+        sanitize: SanitizeLevel,
+        sanitize_fault: Option<InjectFault>,
         tracer: Tracer,
         vmm: &mut Vmm,
         pid: ProcessId,
@@ -101,7 +108,9 @@ impl CollectorKind {
         let mut config = HeapConfig::builder()
             .heap_bytes(heap_bytes)
             .tracer(tracer)
+            .sanitize(sanitize)
             .build();
+        config.sanitize_fault = sanitize_fault;
         if let Some(policy) = policy {
             config.policy = policy;
         }
@@ -272,6 +281,8 @@ mod tests {
             let _gc = CollectorKind::GenMs.build_with_policy(
                 1 << 20,
                 Some(policy),
+                SanitizeLevel::Off,
+                None,
                 Tracer::disabled(),
                 &mut vmm,
                 pid,

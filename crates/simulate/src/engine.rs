@@ -139,7 +139,7 @@ impl Engine {
             .signalmem
             .as_ref()
             .filter(|sm| !sm.done())
-            .map(|sm| sm.now());
+            .map(super::signalmem::Signalmem::now);
         match (jvm_next, sm_next) {
             (None, _) => false, // every JVM done: ignore remaining pressure
             (Some((_, jt)), Some(st)) if st <= jt => {

@@ -6,7 +6,7 @@
 //! a caller-supplied factory so these harnesses work with any benchmark
 //! from the `workloads` crate.
 
-use heap::GcStats;
+use heap::{GcStats, SanitizeLevel};
 use simtime::{CostModel, Nanos};
 use vmm::{VmStats, Vmm, VmmConfig};
 
@@ -156,6 +156,8 @@ pub struct FleetConfig {
     pub quantum: Nanos,
     /// Scheduler abort knob.
     pub max_slices: u64,
+    /// Sanitizer level for every tenant heap (`Off` by default).
+    pub sanitize: SanitizeLevel,
 }
 
 impl FleetConfig {
@@ -175,6 +177,7 @@ impl FleetConfig {
             shards: (tenants / 256).clamp(1, 8),
             quantum: Nanos::from_micros(100),
             max_slices: 50_000_000,
+            sanitize: SanitizeLevel::Off,
         }
     }
 }
@@ -238,8 +241,11 @@ pub fn run_fleet(config: &FleetConfig, make: &dyn Fn(usize) -> Box<dyn Program>)
     let mut tenants = Vec::with_capacity(config.tenants);
     for i in 0..config.tenants {
         let pid = vmm.register_process();
-        let gc = config.collector.build(
+        let gc = config.collector.build_with_policy(
             config.tenant_heap_bytes,
+            None,
+            config.sanitize,
+            None,
             telemetry::Tracer::disabled(),
             &mut vmm,
             pid,

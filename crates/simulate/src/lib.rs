@@ -34,7 +34,7 @@ mod signalmem;
 
 pub use collector_kind::CollectorKind;
 pub use engine::{Engine, JvmProcess};
-pub use heap::PolicyKind;
+pub use heap::{InjectFault, PolicyKind, SanitizeLevel};
 pub use program::{Program, ProgramStatus};
 pub use runner::{min_heap_search, run, run_multi, MultiRunResult, RunConfig, RunResult};
 pub use sched::Scheduler;

@@ -1,6 +1,6 @@
 //! Single- and multi-JVM benchmark runs, and the minimum-heap search.
 
-use heap::{GcStats, MetricsSnapshot, PolicyKind};
+use heap::{GcStats, MetricsSnapshot, PolicyKind, SanitizeLevel};
 use simtime::{CostModel, Nanos, PauseRecord, PauseStats};
 use telemetry::Tracer;
 use vmm::{VmStats, Vmm, VmmConfig};
@@ -31,6 +31,12 @@ pub struct RunConfig {
     /// Heap-sizing policy override. `None` keeps each collector's default
     /// (`Fixed` for the baselines; BC's shrink-to-footprint for BC).
     pub policy: Option<PolicyKind>,
+    /// Sanitizer level for every JVM in the run (`Off` by default; `Full`
+    /// shadow-re-traces after each collection without changing results).
+    pub sanitize: SanitizeLevel,
+    /// A seeded collector bug, armed once per JVM, for sanitizer
+    /// self-tests; `None` (the default) outside `tests/sanitize_faults.rs`.
+    pub sanitize_fault: Option<heap::InjectFault>,
 }
 
 impl RunConfig {
@@ -45,6 +51,8 @@ impl RunConfig {
             max_steps: 200_000_000,
             tracer: Tracer::disabled(),
             policy: None,
+            sanitize: SanitizeLevel::Off,
+            sanitize_fault: None,
         }
     }
 }
@@ -136,6 +144,8 @@ pub fn run_multi(config: &RunConfig, programs: Vec<Box<dyn Program>>) -> MultiRu
         let gc = config.collector.build_with_policy(
             config.heap_bytes,
             config.policy,
+            config.sanitize,
+            config.sanitize_fault,
             config.tracer.clone(),
             &mut vmm,
             pid,
@@ -329,7 +339,7 @@ mod tests {
             ],
         );
         assert_eq!(result.jvms.len(), 2);
-        assert!(result.jvms.iter().all(|r| r.ok()));
+        assert!(result.jvms.iter().all(super::RunResult::ok));
         assert!(result.total_elapsed >= result.jvms[0].exec_time.min(result.jvms[1].exec_time));
     }
 

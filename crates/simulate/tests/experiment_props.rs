@@ -102,7 +102,7 @@ fn multi_jvm_runs_share_fairly_when_memory_suffices() {
     let make = || Fixed::boxed(30_000, 2_000);
     let result = multi_jvm(CollectorKind::GenMs, 4 << 20, 64 << 20, &make);
     assert_eq!(result.jvms.len(), 2);
-    assert!(result.jvms.iter().all(|r| r.ok()));
+    assert!(result.jvms.iter().all(simulate::RunResult::ok));
     let a = result.jvms[0].exec_time.as_nanos() as f64;
     let b = result.jvms[1].exec_time.as_nanos() as f64;
     assert!((a / b - 1.0).abs() < 0.02, "unfair scheduling: {a} vs {b}");

@@ -366,8 +366,7 @@ impl Shard {
                 match self.active.pop_front_valid(|k| {
                     procs[k.pid.index()]
                         .page_ref(k.page)
-                        .map(|p| p.list == ListTag::Active)
-                        .unwrap_or(false)
+                        .is_some_and(|p| p.list == ListTag::Active)
                 }) {
                     Some(k) => k,
                     None => break,
@@ -406,15 +405,12 @@ impl Shard {
     /// dropped; the `pending` queue owns them now).
     fn pop_inactive(&mut self, procs: &mut [Process]) -> Option<PageKey> {
         let key = self.inactive.pop_front_valid(|k| {
-            procs[k.pid.index()]
-                .page_ref(k.page)
-                .map(|p| {
-                    p.list == ListTag::Inactive
-                        && p.evictable()
-                        && !p.pending_eviction
-                        && !p.relinquished
-                })
-                .unwrap_or(false)
+            procs[k.pid.index()].page_ref(k.page).is_some_and(|p| {
+                p.list == ListTag::Inactive
+                    && p.evictable()
+                    && !p.pending_eviction
+                    && !p.relinquished
+            })
         })?;
         procs[key.pid.index()].page(key.page).list = ListTag::None;
         self.inactive_count -= 1;
@@ -503,10 +499,7 @@ impl Shard {
 }
 
 fn page_flag(procs: &[Process], key: PageKey, test: impl Fn(&PageInfo) -> bool) -> bool {
-    procs[key.pid.index()]
-        .page_ref(key.page)
-        .map(test)
-        .unwrap_or(false)
+    procs[key.pid.index()].page_ref(key.page).is_some_and(test)
 }
 
 /// The simulated virtual memory manager.
@@ -615,8 +608,7 @@ impl Vmm {
     pub fn page_state(&self, pid: ProcessId, page: VirtPage) -> PageState {
         self.processes[pid.index()]
             .page_ref(page)
-            .map(|p| p.state)
-            .unwrap_or(PageState::Unmapped)
+            .map_or(PageState::Unmapped, |p| p.state)
     }
 
     /// Whether a page is backed by a physical frame (the `mincore` analogue).
@@ -643,17 +635,6 @@ impl Vmm {
         let proc = &mut self.processes[pid.index()];
         proc.queued_notify = false;
         proc.events.clear();
-    }
-
-    /// Drains the queued notifications for `pid` into a fresh vector.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `drain_events_into` with a reused buffer"
-    )]
-    pub fn take_events(&mut self, pid: ProcessId) -> Vec<VmEvent> {
-        let mut out = Vec::new();
-        self.drain_events_into(pid, &mut out);
-        out
     }
 
     /// Pops the id of the next process with undelivered events, or `None`
@@ -707,6 +688,7 @@ impl Vmm {
     /// and already on the active list — is a single page-info lookup, one
     /// clock advance, and an early return; every other case takes the
     /// outlined [`touch_slow`](Vmm::touch_slow) path.
+    #[zero_alloc::zero_alloc]
     pub fn touch(
         &mut self,
         pid: ProcessId,
@@ -1166,7 +1148,7 @@ mod tests {
         (Vmm::new(config, CostModel::default()), Clock::new())
     }
 
-    /// Test-side stand-in for the deprecated `take_events`.
+    /// Drains a process's mailbox into a fresh vector (test convenience).
     fn take(vmm: &mut Vmm, pid: ProcessId) -> Vec<VmEvent> {
         let mut out = Vec::new();
         vmm.drain_events_into(pid, &mut out);
@@ -1393,7 +1375,10 @@ mod tests {
             vmm.touch(pid, VirtPage::new(p), Access::Write, &mut clock);
         }
         vmm.pump(&mut clock);
-        let noticed: Vec<VirtPage> = take(&mut vmm, pid).iter().map(|e| e.page()).collect();
+        let noticed: Vec<VirtPage> = take(&mut vmm, pid)
+            .iter()
+            .map(super::super::events::VmEvent::page)
+            .collect();
         assert!(!noticed.is_empty());
         let discard: Vec<VirtPage> = (0..14)
             .map(VirtPage::new)
@@ -1532,22 +1517,6 @@ mod tests {
         let o = vmm.touch(pid, evicted, Access::Read, &mut clock);
         assert!(o.major_fault, "evicted page must fault on touch");
         assert_eq!(vmm.stats(pid).major_faults, before + 1);
-    }
-
-    #[test]
-    fn take_events_still_drains_the_mailbox() {
-        let (mut vmm, mut clock) = small_vmm(16);
-        let pid = vmm.register_process();
-        vmm.register_notifications(pid);
-        for p in 0..14 {
-            vmm.touch(pid, VirtPage::new(p), Access::Write, &mut clock);
-        }
-        vmm.pump(&mut clock);
-        assert!(vmm.has_events(pid));
-        #[allow(deprecated)]
-        let events = vmm.take_events(pid);
-        assert!(!events.is_empty());
-        assert!(!vmm.has_events(pid));
     }
 
     #[test]

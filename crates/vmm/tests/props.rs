@@ -1,6 +1,10 @@
 //! Property tests: the virtual memory manager preserves its core
 //! invariants under arbitrary operation sequences.
 
+// Property suites run hundreds of cases; far too slow under Miri's
+// interpreter. The Miri CI job covers the plain unit tests instead.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use simtime::{Clock, CostModel};
 use vmm::{Access, PageState, VirtPage, Vmm, VmmConfig};
@@ -57,13 +61,13 @@ fn run_ops(frames: usize, notify_p0: bool, ops: &[Op]) -> (Vmm, Vec<vmm::Process
             }
             Op::Munlock(p, g) => vmm.munlock(pids[p as usize], VirtPage::new(g), &mut clock),
             Op::Discard(p, g) => {
-                vmm.madvise_dontneed(pids[p as usize], &[VirtPage::new(g)], &mut clock)
+                vmm.madvise_dontneed(pids[p as usize], &[VirtPage::new(g)], &mut clock);
             }
             Op::Relinquish(p, g) => {
-                vmm.vm_relinquish(pids[p as usize], &[VirtPage::new(g)], &mut clock)
+                vmm.vm_relinquish(pids[p as usize], &[VirtPage::new(g)], &mut clock);
             }
             Op::Protect(p, g) => {
-                vmm.mprotect(pids[p as usize], &[VirtPage::new(g)], true, &mut clock)
+                vmm.mprotect(pids[p as usize], &[VirtPage::new(g)], true, &mut clock);
             }
             Op::Pump => vmm.pump(&mut clock),
         }

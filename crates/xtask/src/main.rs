@@ -1,0 +1,573 @@
+//! Workspace task runner.
+//!
+//! ```text
+//! cargo xtask lint
+//! ```
+//!
+//! `lint` is the project-specific static pass: the rules DESIGN.md states
+//! but the compiler and clippy cannot express. It is a hand-rolled text
+//! scanner (the workspace deliberately carries no proc-macro-parsing
+//! dependency); comments and string literals are stripped before matching,
+//! so doc text never trips a rule. Four rule families:
+//!
+//! 1. **zero-alloc bodies** — every function marked `#[zero_alloc]` must
+//!    contain no allocation-capable call (`Vec::new`, `format!`,
+//!    `collect()`, …). Growth of *reused* buffers (`push`/`reserve` on a
+//!    caller-owned scratch vector) is permitted: it amortizes to zero,
+//!    which is the invariant `heap/tests/zero_alloc_trace.rs` pins at
+//!    runtime. A registry also pins that the functions DESIGN.md §10
+//!    names stay marked, so deleting the attribute is itself a lint error.
+//! 2. **determinism** — simulation crates never read the host clock or a
+//!    host RNG (`Instant::now`, `SystemTime`, `thread_rng`): all time is
+//!    simulated, all randomness is seeded. The perf harness (`bench`) and
+//!    the vendored dev shims are exempt.
+//! 3. **`#[cold]` registry** — the designated slow-path outlines
+//!    (`Vmm::touch_slow`, `BumpSpace::grow_and_alloc`, `Tracer::record`)
+//!    must keep their `#[cold]` attribute so the hot paths stay small
+//!    enough to inline.
+//! 4. **dead API tokens** — removed APIs must not creep back in; the one
+//!    registered token today is the deleted `Vmm::take_events` mailbox
+//!    drain (replaced by `drain_events_into`).
+
+use std::path::{Path, PathBuf};
+
+/// One lint finding: where, which rule, and what to do about it.
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Calls that may allocate from the global heap, banned inside
+/// `#[zero_alloc]` bodies. Deliberately NOT listed: `push`, `reserve`,
+/// `insert` — growing a reused scratch buffer amortizes to zero.
+const ZERO_ALLOC_BANNED: &[&str] = &[
+    "Vec::new",
+    "vec![",
+    "Box::new",
+    "Box::from",
+    "String::new",
+    "String::from",
+    "format!",
+    "to_string(",
+    "to_owned(",
+    "to_vec(",
+    ".collect(",
+    "with_capacity(",
+    "HashMap::new",
+    "HashSet::new",
+    "BTreeMap::new",
+    "BTreeSet::new",
+    "VecDeque::new",
+    "Rc::new",
+    "Arc::new",
+];
+
+/// Functions that must stay `#[zero_alloc]`-marked (file suffix, fn name).
+const REQUIRED_ZERO_ALLOC: &[(&str, &str)] = &[
+    ("crates/heap/src/gc.rs", "scan_refs_into"),
+    ("crates/heap/src/gc.rs", "drain_gray"),
+    ("crates/vmm/src/vmm.rs", "touch"),
+];
+
+/// Host-nondeterminism tokens banned from simulation crates.
+const DETERMINISM_BANNED: &[&str] = &["Instant::now", "SystemTime", "thread_rng"];
+
+/// Crates exempt from the determinism ban: the perf harness measures host
+/// wall-clock on purpose, and the vendored dev-dependency shims are not
+/// simulation code. (`xtask` is exempt from everything: it names the
+/// banned tokens.)
+const DETERMINISM_EXEMPT: &[&str] = &[
+    "bench",
+    "criterion",
+    "rand",
+    "proptest",
+    "xtask",
+    "zero_alloc",
+];
+
+/// Slow-path outlines that must keep `#[cold]` (file suffix, fn name).
+const REQUIRED_COLD: &[(&str, &str)] = &[
+    ("crates/vmm/src/vmm.rs", "touch_slow"),
+    ("crates/heap/src/bump.rs", "grow_and_alloc"),
+    ("crates/telemetry/src/tracer.rs", "record"),
+];
+
+/// Removed-API tokens that must not reappear (token, replacement hint).
+/// Tokens are spelled split so this file never contains them itself.
+fn dead_tokens() -> Vec<(String, &'static str)> {
+    vec![(
+        ["take_", "events"].concat(),
+        "drain the mailbox with Vmm::drain_events_into / discard_events",
+    )]
+}
+
+/// Strips `//` comments, `/* */` comments, and the *contents* of string
+/// literals from source, line by line, so token scans never match doc
+/// text or message strings. Char literals and lifetimes are handled well
+/// enough for real code (`'"'` does not open a string; `'a` is left
+/// alone). Line structure is preserved for error reporting.
+fn strip_source(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    let mut in_string = false;
+    for line in content.lines() {
+        let mut kept = String::with_capacity(line.len());
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            if in_block_comment {
+                if c == '*' && next == Some('/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if in_string {
+                if c == '\\' {
+                    i += 2; // skip the escaped character
+                } else if c == '"' {
+                    in_string = false;
+                    kept.push('"');
+                    i += 1;
+                } else {
+                    i += 1; // drop string contents
+                }
+                continue;
+            }
+            match c {
+                '/' if next == Some('/') => break, // line comment: drop the rest
+                '/' if next == Some('*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    in_string = true;
+                    kept.push('"');
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal ('x', '\n', '\'') vs lifetime ('a).
+                    if next == Some('\\') && bytes.get(i + 3) == Some(&'\'') {
+                        i += 4;
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        i += 3;
+                    } else {
+                        kept.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    kept.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(kept);
+    }
+    out
+}
+
+/// Extracts the function name from a stripped line containing `fn `.
+fn fn_name(line: &str) -> Option<&str> {
+    let at = line.find("fn ")?;
+    // Guard against identifiers ending in "fn".
+    if at > 0 && line.as_bytes()[at - 1].is_ascii_alphanumeric() {
+        return None;
+    }
+    let rest = line[at + 3..].trim_start();
+    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Scans one file's `#[zero_alloc]` bodies for banned calls. Returns the
+/// names of every marked function found (for the registry check).
+fn check_zero_alloc(file: &str, stripped: &[String], out: &mut Vec<Violation>) -> Vec<String> {
+    let mut marked = Vec::new();
+    let mut i = 0;
+    while i < stripped.len() {
+        let attr = stripped[i].trim();
+        if attr != "#[zero_alloc]" && attr != "#[zero_alloc::zero_alloc]" {
+            i += 1;
+            continue;
+        }
+        // Find the fn this attribute decorates (other attributes and doc
+        // lines may sit in between).
+        let mut j = i + 1;
+        while j < stripped.len() && fn_name(&stripped[j]).is_none() {
+            j += 1;
+        }
+        let Some(name) = (j < stripped.len())
+            .then(|| fn_name(&stripped[j]))
+            .flatten()
+        else {
+            i += 1;
+            continue;
+        };
+        marked.push(name.to_string());
+        // Brace-match from the first '{' at or after the fn line.
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut k = j;
+        'body: while k < stripped.len() {
+            for c in stripped[k].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            break 'body;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if entered {
+                for banned in ZERO_ALLOC_BANNED {
+                    if stripped[k].contains(banned) {
+                        out.push(Violation {
+                            file: file.to_string(),
+                            line: k + 1,
+                            rule: "zero-alloc",
+                            message: format!(
+                                "`{banned}` in #[zero_alloc] fn `{name}` may allocate; \
+                                 reuse a caller-owned scratch buffer instead"
+                            ),
+                        });
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = j + 1;
+    }
+    marked
+}
+
+/// Scans stripped source for banned tokens, attributing each hit.
+fn check_tokens(
+    file: &str,
+    stripped: &[String],
+    tokens: &[(String, &'static str)],
+    rule: &'static str,
+    out: &mut Vec<Violation>,
+) {
+    for (n, line) in stripped.iter().enumerate() {
+        for (token, hint) in tokens {
+            if line.contains(token.as_str()) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: n + 1,
+                    rule,
+                    message: format!("`{token}` is banned here: {hint}"),
+                });
+            }
+        }
+    }
+}
+
+/// Checks that `fn name` in this file carries `#[cold]` among the
+/// attribute lines directly above it.
+fn check_cold(file: &str, stripped: &[String], name: &str, out: &mut Vec<Violation>) {
+    let needle = format!("fn {name}(");
+    for (n, line) in stripped.iter().enumerate() {
+        if !line.contains(&needle) || fn_name(line) != Some(name) {
+            continue;
+        }
+        let mut k = n;
+        let mut found = false;
+        while k > 0 {
+            k -= 1;
+            let above = stripped[k].trim();
+            if above == "#[cold]" {
+                found = true;
+                break;
+            }
+            // Keep walking up through the attribute/doc block only.
+            if !(above.starts_with("#[") || above.starts_with("///") || above.is_empty()) {
+                break;
+            }
+        }
+        if !found {
+            out.push(Violation {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "cold-registry",
+                message: format!(
+                    "`{name}` is a registered slow-path outline and must keep #[cold] \
+                     (see DESIGN.md §10)"
+                ),
+            });
+        }
+        return;
+    }
+    out.push(Violation {
+        file: file.to_string(),
+        line: 0,
+        rule: "cold-registry",
+        message: format!(
+            "registered #[cold] fn `{name}` not found; update the registry in \
+             crates/xtask/src/main.rs if it moved"
+        ),
+    });
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == ".git")
+            {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Whether `rel` (workspace-relative, '/'-separated) lives in one of the
+/// named crates.
+fn in_crate(rel: &str, names: &[&str]) -> bool {
+    names
+        .iter()
+        .any(|n| rel.starts_with(&format!("crates/{n}/")))
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    files.sort();
+    let mut out = Vec::new();
+    let dead = dead_tokens();
+    let determinism: Vec<(String, &'static str)> = DETERMINISM_BANNED
+        .iter()
+        .map(|t| {
+            (
+                (*t).to_string(),
+                "simulation is deterministic; use simtime::Clock / a seeded rand::Rng",
+            )
+        })
+        .collect();
+    let mut marked: Vec<(String, String)> = Vec::new(); // (rel path, fn)
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(content) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let stripped = strip_source(&content);
+        if in_crate(&rel, &["xtask"]) {
+            continue; // the linter names every banned token
+        }
+        for name in check_zero_alloc(&rel, &stripped, &mut out) {
+            marked.push((rel.clone(), name));
+        }
+        if !in_crate(&rel, DETERMINISM_EXEMPT) {
+            check_tokens(&rel, &stripped, &determinism, "determinism", &mut out);
+        }
+        if !in_crate(&rel, &["criterion", "rand", "proptest", "zero_alloc"]) {
+            check_tokens(&rel, &stripped, &dead, "dead-api", &mut out);
+        }
+        for (suffix, name) in REQUIRED_COLD {
+            if rel.ends_with(suffix) {
+                check_cold(&rel, &stripped, name, &mut out);
+            }
+        }
+    }
+    for (suffix, name) in REQUIRED_ZERO_ALLOC {
+        if !marked.iter().any(|(f, n)| f.ends_with(suffix) && n == name) {
+            out.push(Violation {
+                file: (*suffix).to_string(),
+                line: 0,
+                rule: "zero-alloc",
+                message: format!(
+                    "`{name}` must stay #[zero_alloc]-marked (DESIGN.md §10); \
+                     restore the attribute or update the registry"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") | None => {}
+        Some(other) => {
+            eprintln!("unknown xtask '{other}'; available: lint");
+            std::process::exit(2);
+        }
+    }
+    // crates/xtask/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let violations = lint_workspace(&root);
+    if violations.is_empty() {
+        println!("xtask lint: ok");
+        return;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("xtask lint: {} violation(s)", violations.len());
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_snippet(rel: &str, src: &str) -> Vec<Violation> {
+        let stripped = strip_source(src);
+        let mut out = Vec::new();
+        check_zero_alloc(rel, &stripped, &mut out);
+        out
+    }
+
+    #[test]
+    fn zero_alloc_body_with_allocation_is_flagged() {
+        let src = "#[zero_alloc]\nfn hot() {\n    let v = Vec::new();\n    drop(v);\n}\n";
+        let out = lint_snippet("crates/heap/src/gc.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "zero-alloc");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("Vec::new"));
+        assert!(out[0].message.contains("hot"));
+    }
+
+    #[test]
+    fn zero_alloc_reused_buffer_growth_is_allowed() {
+        let src = "#[zero_alloc]\nfn hot(out: &mut Vec<u32>) {\n    out.clear();\n    \
+                   out.reserve(8);\n    out.push(1);\n}\n";
+        assert!(lint_snippet("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allocation_outside_the_marked_fn_is_ignored() {
+        let src =
+            "#[zero_alloc]\nfn hot() {}\n\nfn cold_path() {\n    let _ = Vec::<u32>::new();\n}\n";
+        // `Vec::<u32>::new` is not the literal banned token, and more to
+        // the point it is outside the marked body.
+        assert!(lint_snippet("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn banned_token_in_comment_or_string_is_ignored() {
+        let src = "#[zero_alloc]\nfn hot() {\n    // calls like Vec::new are banned\n    \
+                   let m = \"no format! here\";\n    let _ = m;\n}\n";
+        assert!(lint_snippet("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_ban_fires_in_sim_code() {
+        let stripped = strip_source("fn t() { let _ = std::time::Instant::now(); }\n");
+        let mut out = Vec::new();
+        let tokens = vec![(String::from("Instant::now"), "use simtime::Clock")];
+        check_tokens(
+            "crates/vmm/src/vmm.rs",
+            &stripped,
+            &tokens,
+            "determinism",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "determinism");
+    }
+
+    #[test]
+    fn dead_api_token_is_flagged() {
+        let token = ["take_", "events"].concat();
+        let src = format!("fn drain(v: &mut Vmm) {{ v.{token}(pid); }}\n");
+        let stripped = strip_source(&src);
+        let mut out = Vec::new();
+        check_tokens(
+            "crates/simulate/src/runner.rs",
+            &stripped,
+            &dead_tokens(),
+            "dead-api",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("drain_events_into"));
+    }
+
+    #[test]
+    fn missing_cold_attribute_is_flagged() {
+        let cold = "#[cold]\n#[inline(never)]\nfn touch_slow(&mut self) {}\n";
+        let hot = "#[inline(never)]\nfn touch_slow(&mut self) {}\n";
+        let mut out = Vec::new();
+        check_cold("v.rs", &strip_source(cold), "touch_slow", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        check_cold("v.rs", &strip_source(hot), "touch_slow", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "cold-registry");
+    }
+
+    #[test]
+    fn string_stripping_handles_escapes_and_char_literals() {
+        let stripped = strip_source(
+            "let a = \"quote \\\" then Vec::new\"; let b = '\"'; let c: &'static str = \"x\";\n",
+        );
+        assert!(!stripped[0].contains("Vec::new"));
+        assert!(stripped[0].contains("let c"));
+    }
+
+    /// The real workspace must lint clean — this is the same pass CI runs.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let violations = lint_workspace(&root);
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The `#[zero_alloc]` marker attribute.
+//!
+//! DESIGN.md §10 requires the tracing loop and the VMM touch fast path to
+//! run without heap allocation. The compiler cannot check that, so the rule
+//! is enforced in two halves:
+//!
+//! * this attribute marks the functions that promise it (the marker expands
+//!   to nothing — zero runtime cost, zero extra dependencies), and
+//! * `cargo xtask lint` scans every marked body for allocation-capable
+//!   calls (`Vec::new`, `format!`, `collect()`, …) and fails the build on
+//!   any hit.
+//!
+//! Growth of *reused* scratch buffers (`reserve`/`push` on a buffer that
+//! lives across calls) is permitted: it amortizes to zero, which is the
+//! invariant the runtime tests in `heap/tests/zero_alloc_trace.rs` pin.
+
+use proc_macro::TokenStream;
+
+/// Marks a function as allocation-free; checked by `cargo xtask lint`.
+#[proc_macro_attribute]
+pub fn zero_alloc(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -11,6 +11,7 @@
 //! multiplied by `--scale` along with the workload volume, so the
 //! heap-to-live geometry matches the paper at any scale.
 
+use heap::SanitizeLevel;
 use simtime::{bmu_curve, Nanos};
 use simulate::{run, CollectorKind, PolicyKind, Program, RunConfig};
 use telemetry::{JsonlSink, Tracer};
@@ -28,6 +29,7 @@ struct Args {
     seed: u64,
     bmu: bool,
     trace: Option<std::path::PathBuf>,
+    sanitize: SanitizeLevel,
 }
 
 #[derive(Debug)]
@@ -70,7 +72,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gcsim [--collector C] [--benchmark B] [--heap SIZE] [--memory SIZE]
              [--pressure steady:FRAC|dynamic:AVAIL] [--policy P] [--scale F]
-             [--seed N] [--bmu] [--trace OUT.jsonl]
+             [--seed N] [--bmu] [--trace OUT.jsonl] [--sanitize off|checks|full]
        gcsim --list
 
   Sizes are paper-equivalent (scaled by --scale). Collectors:
@@ -80,7 +82,11 @@ fn usage() -> ! {
   default), bc-footprint (pressure-driven shrink-to-footprint), or
   membalancer (sqrt-rule sizing from allocation and trace rates).
   --trace streams every GC/VMM event to OUT.jsonl (see DESIGN.md for
-  the schema)."
+  the schema).
+  --sanitize enables the heap sanitizer: 'checks' poisons free cells
+  and audits space metadata; 'full' additionally shadow-re-traces the
+  heap after every collection. Verification only -- results are
+  unchanged; invariant violations abort with a 'sanitize:' panic."
     );
     std::process::exit(2)
 }
@@ -97,6 +103,7 @@ fn parse_args() -> Args {
         seed: 42,
         bmu: false,
         trace: None,
+        sanitize: SanitizeLevel::Off,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,20 +123,20 @@ fn parse_args() -> Args {
                 args.collector = parse_collector(&value()).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
-                })
+                });
             }
             "--benchmark" => args.benchmark = value(),
             "--heap" => {
                 args.heap = parse_size(&value()).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
-                })
+                });
             }
             "--memory" => {
                 args.memory = parse_size(&value()).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
-                })
+                });
             }
             "--pressure" => {
                 let v = value();
@@ -159,6 +166,13 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--bmu" => args.bmu = true,
             "--trace" => args.trace = Some(std::path::PathBuf::from(value())),
+            "--sanitize" => {
+                let v = value();
+                args.sanitize = SanitizeLevel::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown sanitize level '{v}' (try off, checks, full)");
+                    usage()
+                });
+            }
             _ => usage(),
         }
     }
@@ -204,6 +218,7 @@ fn main() {
     };
     config.tracer = tracer.clone();
     config.policy = args.policy;
+    config.sanitize = args.sanitize;
     let result = run(&config, make());
     tracer.flush();
     if let Some(path) = &args.trace {
@@ -213,6 +228,9 @@ fn main() {
     println!("collector        {}", args.collector);
     if let Some(policy) = args.policy {
         println!("policy           {policy}");
+    }
+    if args.sanitize != SanitizeLevel::Off {
+        println!("sanitizer        {}", args.sanitize);
     }
     println!("benchmark        {}", result.benchmark);
     println!(

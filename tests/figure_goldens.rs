@@ -23,7 +23,7 @@ use bench::pressure_figs::{
     dominates, fig5a_report, fig7_scale_report, fig_policy_report, fig_policy_runs,
 };
 use bench::{fig2_report, Params};
-use simulate::PolicyKind;
+use simulate::{PolicyKind, SanitizeLevel};
 
 #[test]
 fn fig2_matches_golden() {
@@ -53,6 +53,30 @@ fn fig5a_matches_golden() {
         t.to_csv(),
         include_str!("golden/fig5a_quick.csv"),
         "fig5a CSV output drifted from tests/golden/fig5a_quick.csv"
+    );
+}
+
+/// The sanitizer is observation-only: the same figures at
+/// `--sanitize full` — shadow re-traces after every collection, canary
+/// poisoning, frame audits — must match the sanitize-off goldens byte for
+/// byte. Figure 2 exercises all six collectors without pressure; fig5a
+/// runs the pressure collectors (BC's eviction/bookmark path included)
+/// under dynamic pressure.
+#[test]
+fn figures_match_goldens_with_sanitize_full() {
+    let mut params = Params::quick();
+    params.sanitize = SanitizeLevel::Full;
+    let fig2 = fig2_report(&params);
+    assert_eq!(
+        fig2.to_csv(),
+        include_str!("golden/fig2_quick.csv"),
+        "fig2 output changed under --sanitize full: the sanitizer leaked into simulation state"
+    );
+    let fig5a = fig5a_report(&params);
+    assert_eq!(
+        fig5a.to_csv(),
+        include_str!("golden/fig5a_quick.csv"),
+        "fig5a output changed under --sanitize full: the sanitizer leaked into simulation state"
     );
 }
 

@@ -1,0 +1,82 @@
+//! The sanitizer is verification-only: a run at any [`SanitizeLevel`]
+//! produces results identical to `Off`. The shadow trace reads raw memory
+//! without charging the cost model, poisoning touches only free space, and
+//! no hook advances the clock — so execution time, pause log, collection
+//! counts, and paging counters must all match exactly.
+
+use simulate::experiments::dynamic_pressure_config;
+use simulate::{run, CollectorKind, Program, RunConfig, RunResult, SanitizeLevel};
+use workloads::spec;
+
+fn program(scale: f64, seed: u64) -> Box<dyn Program> {
+    Box::new(spec("pseudoJBB").unwrap().program(scale, seed))
+}
+
+fn assert_identical(kind: CollectorKind, off: &RunResult, full: &RunResult) {
+    assert_eq!(off.exec_time, full.exec_time, "{kind}: exec time diverged");
+    assert_eq!(off.oom, full.oom, "{kind}: completion status diverged");
+    assert_eq!(off.timed_out, full.timed_out, "{kind}: timeout diverged");
+    assert_eq!(
+        off.pauses.count, full.pauses.count,
+        "{kind}: pause count diverged"
+    );
+    assert_eq!(
+        off.pauses.total, full.pauses.total,
+        "{kind}: pause total diverged"
+    );
+    assert_eq!(
+        off.gc.full_gcs, full.gc.full_gcs,
+        "{kind}: full-GC count diverged"
+    );
+    assert_eq!(
+        off.gc.nursery_gcs, full.gc.nursery_gcs,
+        "{kind}: nursery-GC count diverged"
+    );
+    assert_eq!(
+        off.gc.bytes_allocated, full.gc.bytes_allocated,
+        "{kind}: allocation volume diverged"
+    );
+    assert_eq!(
+        off.vm.major_faults, full.vm.major_faults,
+        "{kind}: major faults diverged"
+    );
+    assert_eq!(
+        off.vm.evictions, full.vm.evictions,
+        "{kind}: evictions diverged"
+    );
+}
+
+/// Every Figure-2 collector, no pressure: `--sanitize full` is invisible
+/// in the results.
+#[test]
+fn full_sanitize_is_transparent_without_pressure() {
+    for kind in CollectorKind::FIGURE2 {
+        let mut results = Vec::new();
+        for level in [SanitizeLevel::Off, SanitizeLevel::Full] {
+            let mut config = RunConfig::new(kind, 4 << 20, 512 << 20);
+            config.sanitize = level;
+            results.push(run(&config, program(0.02, 42)));
+        }
+        assert_identical(kind, &results[0], &results[1]);
+    }
+}
+
+/// BC under dynamic pressure — the path where the sanitizer does the most
+/// work (bookmark soundness, poisoned evicted cells) — still diverges
+/// nowhere.
+#[test]
+fn full_sanitize_is_transparent_under_pressure() {
+    let mut results = Vec::new();
+    for level in [SanitizeLevel::Off, SanitizeLevel::Full] {
+        let mut config = dynamic_pressure_config(
+            CollectorKind::Bc,
+            (100 << 20) / 50,
+            (224 << 20) / 50,
+            (60 << 20) / 50,
+            0.02,
+        );
+        config.sanitize = level;
+        results.push(run(&config, program(0.02, 42)));
+    }
+    assert_identical(CollectorKind::Bc, &results[0], &results[1]);
+}

@@ -1,9 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|fig7_scale|fig_policy|phases|all>
+//! figures <table1|fig2|fig3|fig4|fig5a|fig5b|fig6|fig7|fig7_scale|fig_policy|fig_parallel|phases|all>
 //!         [--scale F] [--seed N] [--jobs N] [--quick] [--csv DIR]
-//!         [--sanitize off|checks|full]
+//!         [--sanitize off|checks|full] [--gc-threads N]
 //! ```
 //!
 //! `--jobs N` fans the run matrix across N worker threads (default: all
@@ -13,10 +13,15 @@
 //! `--sanitize full` shadow-verifies every collection of every run; output
 //! stays byte-identical to `off` unless a collector invariant is broken,
 //! which aborts with a `sanitize:` panic.
+//!
+//! `--gc-threads N` traces every run with N simulated GC workers (work
+//! packets with deterministic stealing; pauses charge the critical path).
+//! The default 1 is byte-identical to the sequential tracer. `fig_parallel`
+//! sweeps its own worker axis and ignores the flag.
 
 use bench::pressure_figs::{
     fig3_report, fig4_report, fig5a_report, fig5b_report, fig6_report, fig7_report,
-    fig7_scale_report, fig_policy_report,
+    fig7_scale_report, fig_parallel_report, fig_policy_report,
 };
 use bench::{fig2_report, phases_report, table1_report, Params, Table};
 use simulate::SanitizeLevel;
@@ -73,6 +78,10 @@ fn main() {
                     );
                     std::process::exit(2);
                 });
+            }
+            "--gc-threads" => {
+                i += 1;
+                params.gc_threads = args[i].parse().expect("--gc-threads takes an integer");
             }
             "--csv" => {
                 i += 1;
@@ -148,6 +157,11 @@ fn main() {
         println!("{t}");
         emit_csv(&csv_dir, "fig_policy", &[&t]);
     }
+    if run("fig_parallel") {
+        let t = fig_parallel_report(&params);
+        println!("{t}");
+        emit_csv(&csv_dir, "fig_parallel", &[&t]);
+    }
     if run("phases") {
         println!("== Per-phase GC pause histograms (dynamic pressure, from telemetry) ==");
         let t = phases_report(&params);
@@ -165,6 +179,7 @@ fn main() {
         "fig7",
         "fig7_scale",
         "fig_policy",
+        "fig_parallel",
         "phases",
         "all",
     ]

@@ -5,6 +5,7 @@
 //! ```text
 //! simperf [--quick] [--scale F] [--seed N] [--jobs N] [--out PATH]
 //!         [--baseline PATH] [--max-regression F] [--sanitize LEVEL]
+//!         [--gc-threads N]
 //! ```
 //!
 //! The mix covers the run shapes the figures use — calm fig2-style
@@ -14,8 +15,11 @@
 //! time-slice scheduler at up to thousands of tenants) — plus two
 //! collector-hot-path groups: `full_heap_trace`
 //! (a tight heap, so the tracing loop dominates) and `alloc_rate` (a roomy
-//! heap, so the allocation fast paths dominate) — and `policy_pareto`,
-//! the fig_policy collector × heap-sizing-policy matrix. Each group fans out
+//! heap, so the allocation fast paths dominate) — `policy_pareto`,
+//! the fig_policy collector × heap-sizing-policy matrix — and
+//! `parallel_trace`, the tight-heap trace shape run through the packet
+//! scheduler at 1/4/16 simulated GC workers, so the host cost of the
+//! work-stealing machinery is tracked from PR to PR. Each group fans out
 //! through the same worker pool as the `figures` binary; per-group
 //! wall-clock therefore reflects `--jobs`.
 //!
@@ -129,6 +133,7 @@ fn no_pressure(params: &Params) -> GroupPerf {
     let results = parallel_map(params.jobs, &kinds, |_, &kind| {
         let mut config = RunConfig::new(kind, heap, 512 << 20);
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         run(&config, make())
     });
     g.wall = start.elapsed();
@@ -155,6 +160,7 @@ fn dynamic(params: &Params) -> GroupPerf {
         let target = scaled(params, avail);
         let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         run(&config, make())
     });
     g.wall = start.elapsed();
@@ -183,6 +189,43 @@ fn full_heap_trace(params: &Params) -> GroupPerf {
     let results = parallel_map(params.jobs, &kinds, |_, &kind| {
         let mut config = RunConfig::new(kind, heap, 512 << 20);
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
+        run(&config, make())
+    });
+    g.wall = start.elapsed();
+    for r in &results {
+        g.absorb(r);
+    }
+    g
+}
+
+/// Parallel-tracing cells: the `full_heap_trace` tight-heap shape run
+/// through the packet scheduler at 1, 4, and 16 simulated GC workers.
+/// The simulated results differ only in pause accounting, but the host
+/// pays for packet management, worker selection, and stealing — this
+/// group pins that overhead so the scheduler cannot silently slow the
+/// tracing loop down.
+fn parallel_trace(params: &Params) -> GroupPerf {
+    let mut g = GroupPerf::new("parallel_trace");
+    let b = spec("pseudoJBB").expect("pseudoJBB spec");
+    let live = ((b.immortal_bytes + b.live_window_bytes) as f64 * params.scale) as usize;
+    let heap = (live * 2).max(768 << 10);
+    let make = pseudo_jbb(params);
+    let kinds = [
+        CollectorKind::MarkSweep,
+        CollectorKind::Bc,
+        CollectorKind::GenMs,
+    ];
+    let threads = [1usize, 4, 16];
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&k| threads.iter().map(move |&t| (k, t)))
+        .collect();
+    let start = Instant::now();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, gc_threads)| {
+        let mut config = RunConfig::new(kind, heap, 512 << 20);
+        config.sanitize = params.sanitize;
+        config.gc_threads = gc_threads;
         run(&config, make())
     });
     g.wall = start.elapsed();
@@ -245,6 +288,7 @@ fn multi(params: &Params) -> GroupPerf {
     let results = parallel_map(params.jobs, &cells, |_, &(kind, mem)| {
         let mut config = RunConfig::new(kind, heap, scaled(params, mem));
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         run_multi(&config, vec![make(), make()])
     });
     g.wall = start.elapsed();
@@ -373,6 +417,7 @@ fn main() {
         sweep: SweepDepth::Quick,
         jobs: default_jobs(),
         sanitize: SanitizeLevel::Off,
+        gc_threads: 1,
     };
     let mut out_path = String::from("BENCH_simperf.json");
     let mut baseline_path: Option<String> = None;
@@ -410,6 +455,10 @@ fn main() {
                 params.sanitize =
                     SanitizeLevel::parse(&args[i]).expect("--sanitize takes off, checks, or full");
             }
+            "--gc-threads" => {
+                i += 1;
+                params.gc_threads = args[i].parse().expect("--gc-threads takes an integer");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -431,6 +480,7 @@ fn main() {
         multi(&params),
         fleet(&params),
         full_heap_trace(&params),
+        parallel_trace(&params),
         alloc_rate(&params),
         policy_pareto(&params),
     ];

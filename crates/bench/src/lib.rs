@@ -56,6 +56,11 @@ pub struct Params {
     /// Verification only: any level produces output byte-identical to
     /// `Off`, or aborts with a `sanitize:` panic on an invariant breach.
     pub sanitize: SanitizeLevel,
+    /// Simulated GC workers for the packet tracer (`figures
+    /// --gc-threads N`). 1 (the default) reproduces the sequential tracer
+    /// byte-for-byte; the `fig_parallel` figure sweeps its own axis and
+    /// ignores this knob.
+    pub gc_threads: usize,
 }
 
 impl Params {
@@ -67,6 +72,7 @@ impl Params {
             sweep: SweepDepth::Quick,
             jobs: pool::default_jobs(),
             sanitize: SanitizeLevel::Off,
+            gc_threads: 1,
         }
     }
 
@@ -79,6 +85,7 @@ impl Params {
             sweep: SweepDepth::Full,
             jobs: pool::default_jobs(),
             sanitize: SanitizeLevel::Off,
+            gc_threads: 1,
         }
     }
 
@@ -121,6 +128,7 @@ pub fn table1_report(params: &Params) -> Table {
     let scale = params.scale;
     let seed = params.seed;
     let sanitize = params.sanitize;
+    let gc_threads = params.gc_threads;
     // One worker per benchmark: the search and the confirming run are a
     // self-contained deterministic cell. (The min-heap binary search stays
     // unsanitized — it is a probe, and its result feeds the sanitized runs.)
@@ -134,6 +142,7 @@ pub fn table1_report(params: &Params) -> Table {
         // Run once at a comfortable heap to confirm the allocation volume.
         let mut config = simulate::RunConfig::new(CollectorKind::Bc, hi, 512 << 20);
         config.sanitize = sanitize;
+        config.gc_threads = gc_threads;
         let run = simulate::run(&config, mk());
         (run.gc.bytes_allocated, min)
     });
@@ -262,6 +271,7 @@ pub fn phases_report(params: &Params) -> Table {
             simulate::experiments::dynamic_pressure_config(kind, heap, memory, available, scale);
         config.tracer = tracer.clone();
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         let result = simulate::run(&config, Box::new(b.program(scale, seed)));
         let _ = result; // the table reports the trace, not the run summary
         let agg = telemetry::aggregate(&tracer.snapshot(), simtime::Nanos::ZERO);
@@ -279,10 +289,14 @@ pub fn phases_report(params: &Params) -> Table {
             ]);
         }
         // Heap-sizing decisions (count-only rows): how often this run's
-        // sizing policy shrank and regrew the budget.
+        // sizing policy shrank and regrew the budget. Packet-tracer
+        // counters ride along so `--gc-threads N` runs show their work
+        // distribution in the same table.
         for (label, count) in [
             ("heap-shrinks", agg.counts.heap_shrinks),
             ("heap-grows", agg.counts.heap_grows),
+            ("trace-packets", agg.counts.trace_packets),
+            ("trace-steals", agg.counts.trace_steals),
         ] {
             rows.push(vec![
                 kind.label().to_string(),
@@ -313,5 +327,6 @@ pub fn run_bench(
 ) -> simulate::RunResult {
     let mut config = simulate::RunConfig::new(kind, heap_bytes, memory_bytes);
     config.sanitize = params.sanitize;
+    config.gc_threads = params.gc_threads;
     simulate::run(&config, Box::new(b.program(params.scale, params.seed)))
 }

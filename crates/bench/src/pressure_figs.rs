@@ -70,6 +70,7 @@ pub fn fig3_report(params: &Params) -> (Table, Table) {
         let memory = heap + scaled(params, 8 << 20);
         let mut config = steady_pressure_config(kind, heap, memory, 0.6);
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         run(&config, make())
     });
     for (ki, &kind) in kinds.iter().enumerate() {
@@ -114,6 +115,7 @@ fn dynamic_run(params: &Params, kind: CollectorKind, paper_available: usize) -> 
     let make = pseudo_jbb(params);
     let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
     config.sanitize = params.sanitize;
+    config.gc_threads = params.gc_threads;
     run(&config, make())
 }
 
@@ -344,6 +346,7 @@ pub fn fig_policy_runs(params: &Params) -> Vec<(CollectorKind, PolicyKind, RunRe
         let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
         config.policy = Some(policy);
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         simulate::run(&config, make())
     });
     cells
@@ -384,6 +387,7 @@ pub fn fig7_report(params: &Params) -> (Table, Table) {
         let memory = scaled(params, mem);
         let mut config = RunConfig::new(kind, heap, memory);
         config.sanitize = params.sanitize;
+        config.gc_threads = params.gc_threads;
         run_multi(&config, vec![make(), make()])
     });
     for (ki, &kind) in kinds.iter().enumerate() {
@@ -402,6 +406,78 @@ pub fn fig7_report(params: &Params) -> (Table, Table) {
         tb.row(rb);
     }
     (ta, tb)
+}
+
+/// The GC-worker axis of the parallel-tracing figure.
+pub const PARALLEL_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The raw runs behind [`fig_parallel_report`]: every Figure 5a collector
+/// × GC-worker count in [`PARALLEL_THREADS`], under Figure 4/5's dynamic
+/// pressure at the heavy (93 MB paper-equivalent) availability, grouped
+/// collector-major.
+///
+/// The worker axis is never thinned: it *is* the figure's x-axis, and the
+/// golden test pins the whole pause-vs-workers curve.
+pub fn fig_parallel_runs(params: &Params) -> Vec<(CollectorKind, usize, RunResult)> {
+    let kinds = [
+        CollectorKind::Bc,
+        CollectorKind::BcResizeOnly,
+        CollectorKind::SemiSpace,
+        CollectorKind::GenCopy,
+        CollectorKind::GenMs,
+        CollectorKind::CopyMs,
+    ];
+    let make = pseudo_jbb(params);
+    let cells: Vec<(CollectorKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| PARALLEL_THREADS.iter().map(move |&n| (kind, n)))
+        .collect();
+    let results = parallel_map(params.jobs, &cells, |_, &(kind, threads)| {
+        let heap = scaled(params, DYNAMIC_PAPER_HEAP);
+        let memory = scaled(params, DYNAMIC_PAPER_MEMORY);
+        let target = scaled(params, 93 << 20);
+        let mut config = dynamic_pressure_config(kind, heap, memory, target, params.scale);
+        config.sanitize = params.sanitize;
+        config.gc_threads = threads;
+        run(&config, make())
+    });
+    cells
+        .into_iter()
+        .zip(results)
+        .map(|((kind, threads), r)| (kind, threads, r))
+        .collect()
+}
+
+/// **Parallel-tracing figure**: average GC pause as a function of the
+/// simulated GC-worker count, for every Figure 5a collector under dynamic
+/// memory pressure. The pause a collection charges is the *critical path*
+/// over workers (the longest per-worker trace time), so trace-heavy pauses
+/// shrink as workers are added while fault-dominated pauses do not — the
+/// same distinction the paper draws between CPU work and paging stalls.
+///
+/// A second block of rows reports the packet-scheduler counters (packets
+/// drained / packets stolen) at each worker count: steals are zero at one
+/// worker by construction and grow with the worker count as the
+/// work-stealing scheduler balances the packet queue.
+pub fn fig_parallel_report(params: &Params) -> Table {
+    let headers: Vec<String> = std::iter::once("Collector".to_string())
+        .chain(PARALLEL_THREADS.iter().map(|n| format!("{n} workers")))
+        .collect();
+    let mut t = Table::new(headers);
+    t.caption =
+        "Parallel tracing: average GC pause vs simulated GC workers (fig4 dynamic pressure)".into();
+    let runs = fig_parallel_runs(params);
+    for group in runs.chunks(PARALLEL_THREADS.len()) {
+        let mut pauses = vec![group[0].0.label().to_string()];
+        let mut packets = vec![format!("{} packets/steals", group[0].0.label())];
+        for (_, _, r) in group {
+            pauses.push(cell_pause(r));
+            packets.push(format!("{}/{}", r.gc.trace_packets, r.gc.trace_steals));
+        }
+        t.row(pauses);
+        t.row(packets);
+    }
+    t
 }
 
 /// The tenancy axis of the scaled multiple-JVM experiment: from the

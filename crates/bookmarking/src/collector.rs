@@ -1,6 +1,6 @@
 //! The collector proper: heap organization, nursery and full collections.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use heap::gc::{drain_gray, forward_roots, is_large, Core, Forwarder, NurserySizer};
 use heap::object::HEADER_BYTES;
@@ -127,8 +127,9 @@ pub struct Bookmarking {
     pub(crate) nursery_limit: u32,
     pub(crate) residency: ResidencyMap,
     /// Incoming-bookmark counters for large objects (the LOS analogue of
-    /// the per-superpage counter).
-    pub(crate) los_incoming: HashMap<u32, u32>,
+    /// the per-superpage counter). Ordered so bookmarked-LOS root
+    /// enumeration is run-independent.
+    pub(crate) los_incoming: BTreeMap<u32, u32>,
     pub(crate) options: BcOptions,
     pub(crate) phase: Phase,
     pub(crate) gc_requested: GcRequest,
@@ -188,7 +189,7 @@ impl Bookmarking {
             sizer,
             nursery_limit: 0,
             residency: ResidencyMap::new(),
-            los_incoming: HashMap::new(),
+            los_incoming: BTreeMap::new(),
             options,
             phase: Phase::Idle,
             gc_requested: GcRequest::None,
@@ -594,7 +595,7 @@ impl Bookmarking {
     /// unexamined ("a sweep of the memory-resident pages completes the
     /// collection", §3.4.1).
     pub(crate) fn sweep_resident(&mut self, ctx: &mut MemCtx<'_>) {
-        let mut dead = std::mem::take(&mut self.core.sweep_scratch);
+        let mut dead = std::mem::take(self.core.sweep_scratch());
         for sp in self.ms.assigned_sps() {
             dead.clear();
             for cell in self.ms.allocated_cells_iter(sp) {
@@ -614,7 +615,7 @@ impl Bookmarking {
                 self.ms.note_partial(sp);
             }
         }
-        self.core.sweep_scratch = dead;
+        *self.core.sweep_scratch() = dead;
         for (obj, _pages) in self.los.objects() {
             if self.core.is_marked(ctx, obj) {
                 self.core.clear_mark(ctx, obj);

@@ -1,7 +1,7 @@
 //! Compacting collection (§3.2, §3.4.1), the completeness fail-safe
 //! (§3.5), and the allocation slow path that escalates through them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use heap::gc::{drain_gray, forward_roots, is_large};
 use heap::{
@@ -212,7 +212,7 @@ impl Bookmarking {
     /// Frees unmarked resident cells and large objects, preserving marks on
     /// the survivors.
     fn sweep_keep_marks(&mut self, ctx: &mut MemCtx<'_>) {
-        let mut dead = std::mem::take(&mut self.core.sweep_scratch);
+        let mut dead = std::mem::take(self.core.sweep_scratch());
         for sp in self.ms.assigned_sps() {
             dead.clear();
             for cell in self.ms.allocated_cells_iter(sp) {
@@ -227,7 +227,7 @@ impl Bookmarking {
                 let _ = self.ms.free_cell(&mut self.core.pool, cell);
             }
         }
-        self.core.sweep_scratch = dead;
+        *self.core.sweep_scratch() = dead;
         for (obj, _pages) in self.los.objects() {
             if !self.core.is_marked(ctx, obj) {
                 let _ = self.los.free(&mut self.core.pool, obj);
@@ -239,10 +239,12 @@ impl Bookmarking {
     fn select_compact_targets(&mut self) {
         self.compact_targets.clear();
         self.target_alloc.clear();
-        // Group assigned superpages by (class, kind).
+        // Group assigned superpages by (class, kind). The map is ordered so
+        // group processing (and therefore target selection) is
+        // run-independent.
         // (allocated_cells, superpage, any_evicted) per (class, kind) group.
         type Group = Vec<(u32, SpIndex, bool)>;
-        let mut groups: HashMap<(u8, BlockKind), Group> = HashMap::new();
+        let mut groups: BTreeMap<(u8, BlockKind), Group> = BTreeMap::new();
         for sp in self.ms.assigned_sps() {
             let info = self.ms.info(sp);
             let Some((class, kind)) = info.assignment else {

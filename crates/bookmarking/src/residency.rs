@@ -5,7 +5,7 @@
 //! collector uses this bit array to avoid following pointers into pages that
 //! are not resident."
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use heap::Address;
 use vmm::VirtPage;
@@ -15,9 +15,14 @@ use vmm::VirtPage;
 /// Pages start (and, after reload, return to) the resident state; BC marks a
 /// page non-resident exactly when it relinquishes it (or learns of a hard
 /// eviction) and resident again on a `MadeResident` notification.
+///
+/// The set is ordered so every iteration over evicted pages (bookmark
+/// scans, fail-safe restores) proceeds in a fixed, run-independent order —
+/// a `HashSet` here made BC's simulated trace order depend on the host
+/// process's hash seed.
 #[derive(Clone, Debug, Default)]
 pub struct ResidencyMap {
-    evicted: HashSet<VirtPage>,
+    evicted: BTreeSet<VirtPage>,
 }
 
 impl ResidencyMap {
@@ -63,7 +68,7 @@ impl ResidencyMap {
         !self.evicted.is_empty()
     }
 
-    /// The evicted pages, in arbitrary order.
+    /// The evicted pages, in ascending page order.
     pub fn evicted_pages(&self) -> impl Iterator<Item = VirtPage> + '_ {
         self.evicted.iter().copied()
     }

@@ -129,7 +129,7 @@ impl GenMs {
     }
 
     fn sweep(&mut self, ctx: &mut MemCtx<'_>) {
-        let mut dead = std::mem::take(&mut self.core.sweep_scratch);
+        let mut dead = std::mem::take(self.core.sweep_scratch());
         for sp in self.ms.assigned_sps() {
             dead.clear();
             for cell in self.ms.allocated_cells_iter(sp) {
@@ -146,7 +146,7 @@ impl GenMs {
                 self.ms.note_partial(sp);
             }
         }
-        self.core.sweep_scratch = dead;
+        *self.core.sweep_scratch() = dead;
         for (obj, _pages) in self.los.objects() {
             if self.core.is_marked(ctx, obj) {
                 self.core.clear_mark(ctx, obj);

@@ -147,6 +147,11 @@ pub struct HeapConfig {
     /// A collector fault to inject once, for sanitizer self-tests; `None`
     /// (the default) outside `tests/sanitize_faults.rs`.
     pub sanitize_fault: Option<InjectFault>,
+    /// Simulated GC worker count for the packet-drain tracer (see
+    /// [`crate::packet`]). The default, 1, reproduces the sequential tracer
+    /// byte-for-byte; larger counts model parallel tracing with the pause
+    /// charged as the critical path over workers.
+    pub gc_threads: usize,
 }
 
 impl HeapConfig {
@@ -162,6 +167,7 @@ impl HeapConfig {
                 tracer: Tracer::disabled(),
                 sanitize: SanitizeLevel::Off,
                 sanitize_fault: None,
+                gc_threads: 1,
             },
         }
     }
@@ -214,6 +220,12 @@ impl HeapConfigBuilder {
     /// Arms a one-shot collector fault for sanitizer self-tests.
     pub fn sanitize_fault(mut self, fault: InjectFault) -> HeapConfigBuilder {
         self.config.sanitize_fault = Some(fault);
+        self
+    }
+
+    /// Sets the simulated GC worker count (clamped to `1..=64`).
+    pub fn gc_threads(mut self, threads: usize) -> HeapConfigBuilder {
+        self.config.gc_threads = threads.clamp(1, 64);
         self
     }
 

@@ -10,6 +10,13 @@ use crate::addr::Address;
 pub const CARD_BYTES: u32 = 512;
 
 /// A bitmap of dirty cards over a contiguous address range.
+///
+/// The bitmap grows on demand as high cards are marked: BC covers its
+/// whole mature *region* (gigabytes of address space) but a small heap
+/// only ever dirties cards near the region base, so an eager bitmap would
+/// charge every collector instance ~640 KB of host memory up front —
+/// which is exactly what flattened the multi-thousand-tenant fleet runs.
+/// Words past `bits.len()` simply read as clean.
 #[derive(Clone, Debug)]
 pub struct CardTable {
     base: Address,
@@ -29,7 +36,7 @@ impl CardTable {
         let cards = (limit.0 - base.0) / CARD_BYTES;
         CardTable {
             base,
-            bits: vec![0; cards.div_ceil(64) as usize],
+            bits: Vec::new(),
             cards,
         }
     }
@@ -48,13 +55,20 @@ impl CardTable {
     /// Panics if `addr` is outside the covered range.
     pub fn mark(&mut self, addr: Address) {
         let c = self.card_of(addr).expect("address outside card table");
-        self.bits[(c / 64) as usize] |= 1 << (c % 64);
+        let w = (c / 64) as usize;
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        self.bits[w] |= 1 << (c % 64);
     }
 
     /// Whether the card containing `addr` is dirty.
     pub fn is_marked(&self, addr: Address) -> bool {
         self.card_of(addr)
-            .is_some_and(|c| self.bits[(c / 64) as usize] & (1 << (c % 64)) != 0)
+            .is_some_and(|c| match self.bits.get((c / 64) as usize) {
+                Some(&w) => w & (1 << (c % 64)) != 0,
+                None => false,
+            })
     }
 
     /// The base addresses of all dirty cards, ascending.
@@ -132,5 +146,21 @@ mod tests {
         let t = CardTable::new(Address(0x1000), Address(0x2000));
         assert!(!t.is_marked(Address(0)));
         assert!(!t.is_marked(Address(0x9000)));
+    }
+
+    #[test]
+    fn bitmap_grows_lazily_with_the_highest_marked_card() {
+        // A gigabyte-spanning table must cost nothing until marked, and
+        // then only as much as its highest dirty card demands.
+        let mut t = CardTable::new(Address(0), Address(1 << 30));
+        assert_eq!(t.bits.len(), 0);
+        assert!(!t.is_marked(Address(1 << 29)));
+        t.mark(Address(0x200));
+        assert_eq!(t.bits.len(), 1);
+        t.mark(Address(1 << 20));
+        assert!(t.bits.len() <= (1 << 20) / (512 * 64) + 1);
+        assert!(t.is_marked(Address(0x200)));
+        assert!(t.is_marked(Address(1 << 20)));
+        assert_eq!(t.dirty_count(), 2);
     }
 }

@@ -14,6 +14,7 @@ use crate::api::{AllocKind, HeapConfig, NurseryPolicy};
 use crate::ctx::MemCtx;
 use crate::mem::SimMemory;
 use crate::object::{field_addr, Header, ObjectKind, HEADER_BYTES};
+use crate::packet::{Acquired, PacketQueue, PACKET_CAP};
 use crate::policy::{HeapSizePolicy, SizingDecision, SizingInput};
 use crate::pool::PagePool;
 use crate::roots::RootSet;
@@ -50,17 +51,14 @@ pub struct Core {
     /// The heap-sizing policy (built from `config.policy`); every budget
     /// move goes through [`Core::apply_decision`].
     pub policy: Box<dyn HeapSizePolicy>,
-    /// Reusable `(slot, target)` scratch for the tracing loop. [`drain_gray`]
-    /// borrows it for the duration of a drain; after warm-up the loop
-    /// performs no heap allocations per traced object.
-    scan_scratch: Vec<(Address, Address)>,
+    /// The work-packet tracing scheduler (see [`crate::packet`]): per-worker
+    /// packet stacks plus each worker's reusable scan/sweep scratch.
+    /// [`drain_gray`] takes it for the duration of a drain; after warm-up
+    /// the packet path performs no heap allocations per traced object.
+    pub packets: PacketQueue,
     /// Reusable VM-event buffer for [`Core::pump_policy_events`]: queued
     /// notifications drain into it without a per-pump allocation.
     event_scratch: Vec<vmm::VmEvent>,
-    /// Reusable dead-cell scratch for sweep loops: collectors gather a
-    /// superpage's unmarked cells here (the mark checks run against an
-    /// [`MsSpace`](crate::MsSpace) iterator borrow), then free them.
-    pub sweep_scratch: Vec<Address>,
     /// Sanitizer state (level, poison ledger, shadow-trace scratch); see
     /// [`crate::sanitize`]. Inert at [`SanitizeLevel::Off`](crate::SanitizeLevel::Off).
     pub(crate) san: Sanitizer,
@@ -78,12 +76,19 @@ impl Core {
             queue: MarkQueue::new(),
             oom: false,
             policy: config.policy.build(),
-            scan_scratch: Vec::new(),
+            packets: PacketQueue::new(config.gc_threads),
             event_scratch: Vec::new(),
-            sweep_scratch: Vec::new(),
             san: Sanitizer::new(config.sanitize, config.sanitize_fault),
             config,
         }
+    }
+
+    /// The reusable dead-cell scratch for sweep loops (worker 0's buffer in
+    /// the packet scheduler): collectors gather a superpage's unmarked
+    /// cells here (the mark checks run against an
+    /// [`MsSpace`](crate::MsSpace) iterator borrow), then free them.
+    pub fn sweep_scratch(&mut self) -> &mut Vec<Address> {
+        self.packets.sweep_scratch()
     }
 
     /// Reads an object's header (charged).
@@ -463,30 +468,98 @@ pub fn forward_roots<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
     f.core_mut().roots = roots;
 }
 
-/// Drains the gray queue: scans each pending object and forwards its
-/// outgoing references, updating fields that moved.
+/// Drains the gray queue through the work-packet scheduler: the pending
+/// queue is partitioned into packets, N simulated workers drain them with
+/// deterministic work-stealing, and the clock is rewound so the elapsed
+/// pause equals the critical path (`max` over per-worker busy time) rather
+/// than the sum. See [`crate::packet`] for the scheduling rules.
 ///
-/// The loop is allocation-free per traced object: the `(slot, target)`
-/// pairs land in the [`Core`]'s reusable scratch buffer (taken for the
-/// duration of the drain, handed back at the end), and the pop / count /
-/// scan bookkeeping shares one `core_mut()` re-borrow per object.
+/// At `gc_threads = 1` this reproduces the old sequential loop exactly:
+/// one worker, no steals, zero rewind, identical pop order and charges.
+///
+/// The loop is allocation-free per traced object: `(slot, target)` pairs
+/// land in the active worker's reusable scan buffer, and packets recycle
+/// through the scheduler's free pool.
 #[zero_alloc]
 pub fn drain_gray<F: Forwarder>(f: &mut F, ctx: &mut MemCtx<'_>) {
-    let mut scratch = std::mem::take(&mut f.core_mut().scan_scratch);
-    loop {
+    // The scheduler must be borrowed alongside `Core` (scan scratch on one
+    // side, charged heap access on the other), so it is moved out of the
+    // core for the duration of the drain.
+    let mut pq = std::mem::take(&mut f.core_mut().packets);
+    {
         let core = f.core_mut();
-        let Some(obj) = core.queue.pop() else { break };
-        core.stats.objects_traced += 1;
-        core.scan_refs_into(ctx, obj, &mut scratch);
-        for &(slot, target) in &scratch {
-            let new = f.forward(ctx, target);
-            if new != target {
-                // Page already touched by the scan.
-                f.core_mut().mem.write_word(slot, new.0);
+        pq.begin(core.queue.as_slice());
+        core.queue.clear();
+    }
+    let steal_cost = ctx.vmm.costs().steal_packet;
+    while let Some(w) = pq.select() {
+        let quantum_start = ctx.clock.now();
+        match pq.acquire(w) {
+            Acquired::Nothing => break,
+            Acquired::Steal => ctx.clock.advance(steal_cost),
+            Acquired::Local | Acquired::Injector => {}
+        }
+        // One scheduling quantum: up to a packet's worth of objects, so the
+        // least-busy-worker pick amortizes over PACKET_CAP scans.
+        let mut quantum = 0;
+        while quantum < PACKET_CAP {
+            let Some(obj) = pq.pop_obj(w) else { break };
+            quantum += 1;
+            f.core_mut().stats.objects_traced += 1;
+            f.core_mut()
+                .scan_refs_into(ctx, obj, &mut pq.worker_mut(w).scan);
+            for i in 0..pq.workers()[w].scan.len() {
+                let (slot, target) = pq.workers()[w].scan[i];
+                let new = f.forward(ctx, target);
+                if new != target {
+                    // Page already touched by the scan.
+                    f.core_mut().mem.write_word(slot, new.0);
+                }
             }
+            // Children the forwarder just enqueued move onto this worker's
+            // local stack, newest on top — the sequential LIFO order.
+            let core = f.core_mut();
+            for &child in core.queue.as_slice() {
+                pq.push_obj(w, child);
+            }
+            core.queue.clear();
+        }
+        let spent = ctx.clock.now() - quantum_start;
+        pq.worker_mut(w).busy += spent;
+    }
+    let (total, critical) = pq.busy_totals();
+    ctx.clock.rewind(total - critical);
+    finish_drain(f, ctx, &pq);
+    f.core_mut().packets = pq;
+}
+
+/// End-of-drain bookkeeping: folds per-worker packet/steal counters into
+/// [`GcStats`] and emits one [`EventKind::TraceWorker`] summary per worker
+/// (timestamps are post-rewind, like the pause end).
+fn finish_drain<F: Forwarder>(f: &mut F, ctx: &MemCtx<'_>, pq: &PacketQueue) {
+    let (_, critical) = pq.busy_totals();
+    let core = f.core_mut();
+    let mut traced_any = false;
+    for w in pq.workers() {
+        core.stats.trace_packets += w.packets;
+        core.stats.trace_steals += w.steals;
+        traced_any |= w.objects > 0;
+    }
+    if traced_any && core.config.tracer.enabled() {
+        for (i, w) in pq.workers().iter().enumerate() {
+            core.trace_event(
+                ctx,
+                EventKind::TraceWorker {
+                    worker: i as u32,
+                    packets: w.packets,
+                    steals: w.steals,
+                    objects: w.objects,
+                    busy_ns: w.busy.as_nanos(),
+                    idle_ns: critical.saturating_sub(w.busy).as_nanos(),
+                },
+            );
         }
     }
-    f.core_mut().scan_scratch = scratch;
 }
 
 /// Appel-style nursery sizing shared by the generational collectors.

@@ -39,6 +39,7 @@ mod los;
 mod mem;
 mod ms;
 pub mod object;
+pub mod packet;
 pub mod policy;
 mod pool;
 mod roots;
@@ -60,6 +61,7 @@ pub use los::LargeObjectSpace;
 pub use mem::SimMemory;
 pub use ms::{AllocatedCells, BlockKind, MsSpace, SpIndex, SuperpageInfo};
 pub use object::{Header, ObjectKind, LARGEST_CELL_BYTES, MAX_SMALL_OBJECT_BYTES};
+pub use packet::{PacketQueue, TraceScratch, PACKET_CAP};
 pub use policy::{HeapSizePolicy, PolicyKind, SizingDecision, SizingInput};
 pub use pool::PagePool;
 pub use roots::{Handle, RootSet};

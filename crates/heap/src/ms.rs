@@ -25,7 +25,7 @@ use crate::sizeclass::{SizeClasses, SUPERPAGE_METADATA_BYTES};
 pub struct SpIndex(pub u32);
 
 /// Whether a superpage holds scalars or arrays (§4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BlockKind {
     /// Scalars only.
     Scalar,

@@ -43,6 +43,12 @@ pub struct GcStats {
     /// Pointer-rich victim pages vetoed by the §7 victim-selection
     /// extension (zero under the default kernel-choice policy).
     pub victims_vetoed: u64,
+    /// Work packets drained by the packet tracer across all collections
+    /// (see [`crate::packet`]).
+    pub trace_packets: u64,
+    /// Work packets stolen between simulated GC workers (zero at
+    /// `gc_threads = 1`).
+    pub trace_steals: u64,
 }
 
 impl GcStats {

@@ -42,6 +42,15 @@ impl MarkQueue {
     pub fn clear(&mut self) {
         self.work.clear();
     }
+
+    /// The pending entries in push order (oldest first).
+    ///
+    /// Used by the packet scheduler to partition the queue into work
+    /// packets; consuming the slice with [`MarkQueue::clear`] and popping
+    /// packets newest-first preserves the sequential LIFO order exactly.
+    pub fn as_slice(&self) -> &[Address] {
+        &self.work
+    }
 }
 
 #[cfg(test)]

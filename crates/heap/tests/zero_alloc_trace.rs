@@ -61,8 +61,9 @@ impl Forwarder for Marker {
     }
 }
 
-#[test]
-fn drain_gray_allocates_nothing_when_warm() {
+/// Builds the tree, warms every buffer with one drain, then measures a
+/// second identical drain under the counting allocator.
+fn measure_warm_drain(gc_threads: usize) -> (u64, usize) {
     const N: u32 = 512;
     let mut vmm = Vmm::new(
         VmmConfig::builder().frames(4096).build(),
@@ -71,7 +72,12 @@ fn drain_gray_allocates_nothing_when_warm() {
     let pid = vmm.register_process();
     let mut clock = Clock::new();
     let mut marker = Marker {
-        core: Core::new(HeapConfig::builder().heap_bytes(1 << 20).build()),
+        core: Core::new(
+            HeapConfig::builder()
+                .heap_bytes(1 << 20)
+                .gc_threads(gc_threads)
+                .build(),
+        ),
     };
     let mut ctx = MemCtx::new(&mut vmm, &mut clock, pid);
 
@@ -91,8 +97,8 @@ fn drain_gray_allocates_nothing_when_warm() {
         }
     }
 
-    // Warm-up drain: grows the mark queue, the scan scratch buffer, and
-    // the simulated page structures to their steady-state sizes.
+    // Warm-up drain: grows the mark queue, the packet pool, the per-worker
+    // scratch buffers, and the simulated page structures to steady state.
     marker.forward(&mut ctx, objs[0]);
     drain_gray(&mut marker, &mut ctx);
     assert_eq!(marker.core.stats.objects_traced, N as u64);
@@ -105,11 +111,29 @@ fn drain_gray_allocates_nothing_when_warm() {
     marker.forward(&mut ctx, objs[0]);
     drain_gray(&mut marker, &mut ctx);
     let allocs = ALLOCS.load(Ordering::SeqCst);
-
     assert_eq!(marker.core.stats.objects_traced, 2 * N as u64);
+    (2 * N as u64, allocs)
+}
+
+#[test]
+fn drain_gray_allocates_nothing_when_warm() {
+    let (traced, allocs) = measure_warm_drain(1);
     assert_eq!(
         allocs, 0,
-        "drain_gray allocated {allocs} times while tracing {N} objects; \
+        "drain_gray allocated {allocs} times while tracing {traced} objects; \
          the hot loop must reuse the core's scratch buffers"
+    );
+}
+
+/// Same proof for the parallel packet path: with four simulated workers,
+/// packets recycle through the free pool and every per-worker scratch is
+/// reused, so a warm drain still allocates nothing.
+#[test]
+fn packet_drain_allocates_nothing_when_warm_at_four_workers() {
+    let (traced, allocs) = measure_warm_drain(4);
+    assert_eq!(
+        allocs, 0,
+        "packet drain (4 workers) allocated {allocs} times while tracing \
+         {traced} objects; packets must recycle through the free pool"
     );
 }

@@ -201,6 +201,18 @@ impl Clock {
     pub fn reset(&mut self) {
         self.now = Nanos::ZERO;
     }
+
+    /// Rewinds the clock by `span` (saturating at zero).
+    ///
+    /// This is the critical-path adjustment used by the parallel tracing
+    /// scheduler: a packet drain is *executed* sequentially (charging every
+    /// worker's simulated work to this clock), then the clock is rewound by
+    /// `total_work - max(per_worker_work)` so the elapsed pause equals the
+    /// critical path over the simulated workers rather than their sum. With
+    /// one worker the rewind span is exactly zero.
+    pub fn rewind(&mut self, span: Nanos) {
+        self.now = self.now.saturating_sub(span);
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +259,16 @@ mod tests {
         c.advance(Nanos(9));
         assert_eq!(c.now(), Nanos(3_009));
         c.reset();
+        assert_eq!(c.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn clock_rewind_saturates_at_zero() {
+        let mut c = Clock::new();
+        c.advance(Nanos(100));
+        c.rewind(Nanos(30));
+        assert_eq!(c.now(), Nanos(70));
+        c.rewind(Nanos(1_000));
         assert_eq!(c.now(), Nanos::ZERO);
     }
 }

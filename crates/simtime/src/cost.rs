@@ -63,6 +63,11 @@ pub struct CostModel {
     /// 20% slowdown", §5.2). Charged only by collectors that allocate
     /// directly into the segregated-fit space.
     pub alloc_freelist_extra: Nanos,
+    /// Transferring one work packet between simulated GC workers (a steal):
+    /// CAS on the victim's deque plus the cache-line transfer of the packet
+    /// header. Charged to the thief's worker time only when a steal actually
+    /// happens, so single-threaded tracing never pays it.
+    pub steal_packet: Nanos,
 }
 
 impl CostModel {
@@ -106,6 +111,7 @@ impl Default for CostModel {
             syscall: Nanos::from_micros(1),
             mutator_work: Nanos::from_micros(3),
             alloc_freelist_extra: Nanos(500),
+            steal_packet: Nanos(250),
         }
     }
 }

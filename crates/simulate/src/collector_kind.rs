@@ -79,7 +79,16 @@ impl CollectorKind {
         vmm: &mut Vmm,
         pid: ProcessId,
     ) -> Box<dyn GcHeap> {
-        self.build_with_policy(heap_bytes, None, SanitizeLevel::Off, None, tracer, vmm, pid)
+        self.build_with_policy(
+            heap_bytes,
+            None,
+            SanitizeLevel::Off,
+            None,
+            1,
+            tracer,
+            vmm,
+            pid,
+        )
     }
 
     /// [`CollectorKind::build`] with an explicit heap-sizing policy.
@@ -92,7 +101,9 @@ impl CollectorKind {
     /// verification level ([`SanitizeLevel::Off`] is free; `Full` adds the
     /// shadow re-trace after every collection). `sanitize_fault` arms a
     /// one-shot seeded collector bug for sanitizer self-tests; always
-    /// `None` outside `tests/sanitize_faults.rs`.
+    /// `None` outside `tests/sanitize_faults.rs`. `gc_threads` sets the
+    /// simulated GC worker count of the packet tracer (1 reproduces the
+    /// sequential tracer byte-for-byte).
     #[allow(clippy::too_many_arguments)]
     pub fn build_with_policy(
         self,
@@ -100,6 +111,7 @@ impl CollectorKind {
         policy: Option<PolicyKind>,
         sanitize: SanitizeLevel,
         sanitize_fault: Option<InjectFault>,
+        gc_threads: usize,
         tracer: Tracer,
         vmm: &mut Vmm,
         pid: ProcessId,
@@ -109,6 +121,7 @@ impl CollectorKind {
             .heap_bytes(heap_bytes)
             .tracer(tracer)
             .sanitize(sanitize)
+            .gc_threads(gc_threads)
             .build();
         config.sanitize_fault = sanitize_fault;
         if let Some(policy) = policy {
@@ -283,6 +296,7 @@ mod tests {
                 Some(policy),
                 SanitizeLevel::Off,
                 None,
+                1,
                 Tracer::disabled(),
                 &mut vmm,
                 pid,

@@ -246,6 +246,7 @@ pub fn run_fleet(config: &FleetConfig, make: &dyn Fn(usize) -> Box<dyn Program>)
             None,
             config.sanitize,
             None,
+            1,
             telemetry::Tracer::disabled(),
             &mut vmm,
             pid,

@@ -37,6 +37,9 @@ pub struct RunConfig {
     /// A seeded collector bug, armed once per JVM, for sanitizer
     /// self-tests; `None` (the default) outside `tests/sanitize_faults.rs`.
     pub sanitize_fault: Option<heap::InjectFault>,
+    /// Simulated GC worker count for every JVM's packet tracer; 1 (the
+    /// default) reproduces the sequential tracer byte-for-byte.
+    pub gc_threads: usize,
 }
 
 impl RunConfig {
@@ -53,6 +56,7 @@ impl RunConfig {
             policy: None,
             sanitize: SanitizeLevel::Off,
             sanitize_fault: None,
+            gc_threads: 1,
         }
     }
 }
@@ -146,6 +150,7 @@ pub fn run_multi(config: &RunConfig, programs: Vec<Box<dyn Program>>) -> MultiRu
             config.policy,
             config.sanitize,
             config.sanitize_fault,
+            config.gc_threads,
             config.tracer.clone(),
             &mut vmm,
             pid,

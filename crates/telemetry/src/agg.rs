@@ -136,6 +136,10 @@ pub struct EventCounts {
     pub heap_grows: u64,
     /// Collections started.
     pub collections: u64,
+    /// Work packets drained by GC workers (summed over `TraceWorker` events).
+    pub trace_packets: u64,
+    /// Work packets stolen between GC workers.
+    pub trace_steals: u64,
 }
 
 /// One bucket of the time series.
@@ -199,6 +203,12 @@ fn bump(counts: &mut EventCounts, kind: &EventKind) {
         EventKind::HeapShrink { .. } => counts.heap_shrinks += 1,
         EventKind::HeapGrow { .. } => counts.heap_grows += 1,
         EventKind::CollectionBegin { .. } => counts.collections += 1,
+        EventKind::TraceWorker {
+            packets, steals, ..
+        } => {
+            counts.trace_packets += packets;
+            counts.trace_steals += steals;
+        }
         _ => {}
     }
 }

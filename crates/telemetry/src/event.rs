@@ -191,6 +191,23 @@ pub enum EventKind {
         /// The sizing policy's reasoning (e.g. `"regrow"`).
         reason: Cow<'static, str>,
     },
+    /// Per-worker summary of one parallel packet-drain (emitted once per
+    /// simulated GC worker at the end of each collection's trace).
+    TraceWorker {
+        /// Worker index within the drain, `0..gc_threads`.
+        worker: u32,
+        /// Work packets this worker drained (including stolen ones).
+        packets: u64,
+        /// Packets this worker stole from other workers' deques.
+        steals: u64,
+        /// Objects this worker scanned.
+        objects: u64,
+        /// Simulated time this worker spent tracing, in nanoseconds.
+        busy_ns: u64,
+        /// Simulated time this worker idled while the critical-path worker
+        /// was still tracing: `max(busy) - busy`, in nanoseconds.
+        idle_ns: u64,
+    },
     /// Residency snapshot of one superpage after a major collection.
     Residency {
         /// First page of the superpage.
@@ -222,6 +239,7 @@ impl EventKind {
             EventKind::BookmarkScanned { .. } => "bookmark_scanned",
             EventKind::HeapShrink { .. } => "heap_shrink",
             EventKind::HeapGrow { .. } => "heap_grow",
+            EventKind::TraceWorker { .. } => "trace_worker",
             EventKind::Residency { .. } => "residency",
         }
     }

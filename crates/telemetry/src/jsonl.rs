@@ -81,6 +81,21 @@ pub fn to_json(event: &Event) -> String {
             field("budget_pages", &budget_pages.to_string(), false);
             field("reason", reason, true);
         }
+        EventKind::TraceWorker {
+            worker,
+            packets,
+            steals,
+            objects,
+            busy_ns,
+            idle_ns,
+        } => {
+            field("worker", &worker.to_string(), false);
+            field("packets", &packets.to_string(), false);
+            field("steals", &steals.to_string(), false);
+            field("objects", &objects.to_string(), false);
+            field("busy_ns", &busy_ns.to_string(), false);
+            field("idle_ns", &idle_ns.to_string(), false);
+        }
         EventKind::Residency {
             superpage,
             resident,
@@ -229,6 +244,14 @@ pub fn parse(line: &str) -> Option<Event> {
         "heap_grow" => EventKind::HeapGrow {
             budget_pages: page("budget_pages")?,
             reason: Cow::Owned(get("reason")?.to_string()),
+        },
+        "trace_worker" => EventKind::TraceWorker {
+            worker: page("worker")?,
+            packets: num("packets")?,
+            steals: num("steals")?,
+            objects: num("objects")?,
+            busy_ns: num("busy_ns")?,
+            idle_ns: num("idle_ns")?,
         },
         "residency" => EventKind::Residency {
             superpage: page("superpage")?,

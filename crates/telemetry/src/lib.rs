@@ -127,6 +127,14 @@ mod tests {
                 budget_pages: 1024,
                 reason: Cow::Borrowed("regrow"),
             },
+            EventKind::TraceWorker {
+                worker: 3,
+                packets: 17,
+                steals: 2,
+                objects: 900,
+                busy_ns: 123_456,
+                idle_ns: 789,
+            },
             EventKind::Residency {
                 superpage: 16,
                 resident: 3,

@@ -79,6 +79,9 @@ const ZERO_ALLOC_BANNED: &[&str] = &[
 const REQUIRED_ZERO_ALLOC: &[(&str, &str)] = &[
     ("crates/heap/src/gc.rs", "scan_refs_into"),
     ("crates/heap/src/gc.rs", "drain_gray"),
+    ("crates/heap/src/packet.rs", "acquire"),
+    ("crates/heap/src/packet.rs", "pop_obj"),
+    ("crates/heap/src/packet.rs", "push_obj"),
     ("crates/vmm/src/vmm.rs", "touch"),
 ];
 
@@ -102,6 +105,7 @@ const DETERMINISM_EXEMPT: &[&str] = &[
 const REQUIRED_COLD: &[(&str, &str)] = &[
     ("crates/vmm/src/vmm.rs", "touch_slow"),
     ("crates/heap/src/bump.rs", "grow_and_alloc"),
+    ("crates/heap/src/packet.rs", "fresh_packet"),
     ("crates/telemetry/src/tracer.rs", "record"),
 ];
 
@@ -549,6 +553,18 @@ mod tests {
         );
         assert!(!stripped[0].contains("Vec::new"));
         assert!(stripped[0].contains("let c"));
+    }
+
+    /// The packet scheduler lives in `heap`, which must never become
+    /// determinism-exempt: its work-stealing order is part of the
+    /// simulation's reproducibility contract (no host clocks, no RNG).
+    #[test]
+    fn heap_crate_stays_under_the_determinism_ban() {
+        assert!(
+            !DETERMINISM_EXEMPT.contains(&"heap"),
+            "crates/heap (packet tracing scheduler) must stay subject to \
+             the determinism lint"
+        );
     }
 
     /// The real workspace must lint clean — this is the same pass CI runs.

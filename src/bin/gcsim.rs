@@ -30,6 +30,7 @@ struct Args {
     bmu: bool,
     trace: Option<std::path::PathBuf>,
     sanitize: SanitizeLevel,
+    gc_threads: usize,
 }
 
 #[derive(Debug)]
@@ -73,6 +74,7 @@ fn usage() -> ! {
         "usage: gcsim [--collector C] [--benchmark B] [--heap SIZE] [--memory SIZE]
              [--pressure steady:FRAC|dynamic:AVAIL] [--policy P] [--scale F]
              [--seed N] [--bmu] [--trace OUT.jsonl] [--sanitize off|checks|full]
+             [--gc-threads N]
        gcsim --list
 
   Sizes are paper-equivalent (scaled by --scale). Collectors:
@@ -86,7 +88,11 @@ fn usage() -> ! {
   --sanitize enables the heap sanitizer: 'checks' poisons free cells
   and audits space metadata; 'full' additionally shadow-re-traces the
   heap after every collection. Verification only -- results are
-  unchanged; invariant violations abort with a 'sanitize:' panic."
+  unchanged; invariant violations abort with a 'sanitize:' panic.
+  --gc-threads N traces with N simulated GC workers (deterministic
+  work-stealing over work packets); the pause is charged as the
+  critical path over workers. N=1 (the default) is the sequential
+  tracer, byte-for-byte."
     );
     std::process::exit(2)
 }
@@ -104,6 +110,7 @@ fn parse_args() -> Args {
         bmu: false,
         trace: None,
         sanitize: SanitizeLevel::Off,
+        gc_threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -165,6 +172,7 @@ fn parse_args() -> Args {
             "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--bmu" => args.bmu = true,
+            "--gc-threads" => args.gc_threads = value().parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(std::path::PathBuf::from(value())),
             "--sanitize" => {
                 let v = value();
@@ -219,6 +227,7 @@ fn main() {
     config.tracer = tracer.clone();
     config.policy = args.policy;
     config.sanitize = args.sanitize;
+    config.gc_threads = args.gc_threads;
     let result = run(&config, make());
     tracer.flush();
     if let Some(path) = &args.trace {
@@ -231,6 +240,12 @@ fn main() {
     }
     if args.sanitize != SanitizeLevel::Off {
         println!("sanitizer        {}", args.sanitize);
+    }
+    if args.gc_threads > 1 {
+        println!(
+            "gc threads       {} ({} packets drained, {} stolen)",
+            args.gc_threads, result.gc.trace_packets, result.gc.trace_steals
+        );
     }
     println!("benchmark        {}", result.benchmark);
     println!(

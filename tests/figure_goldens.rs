@@ -17,10 +17,13 @@
 //! mv tests/golden/fig_policy.csv tests/golden/fig_policy_quick.csv
 //! cargo run --release -p bench --bin figures -- fig7_scale --quick --csv tests/golden > tests/golden/fig7_scale_quick.txt
 //! mv tests/golden/fig7_scale.csv tests/golden/fig7_scale_quick.csv
+//! cargo run --release -p bench --bin figures -- fig_parallel --quick --csv tests/golden > tests/golden/fig_parallel_quick.txt
+//! mv tests/golden/fig_parallel.csv tests/golden/fig_parallel_quick.csv
 //! ```
 
 use bench::pressure_figs::{
-    dominates, fig5a_report, fig7_scale_report, fig_policy_report, fig_policy_runs,
+    dominates, fig5a_report, fig7_scale_report, fig_parallel_report, fig_parallel_runs,
+    fig_policy_report, fig_policy_runs, PARALLEL_THREADS,
 };
 use bench::{fig2_report, Params};
 use simulate::{PolicyKind, SanitizeLevel};
@@ -135,4 +138,42 @@ fn fig_policy_matches_golden_and_membalancer_dominates() {
         won,
         "MemBalancer should strictly dominate Fixed on at least one collector:\n{t}"
     );
+}
+
+/// The parallel-tracing figure is pinned byte-for-byte (its 1-worker
+/// column doubles as the N=1 ≡ sequential proof at figure scale), and the
+/// headline claim is asserted directly on the raw runs: for every
+/// collector, the mean pause at 8 workers is shorter than at 1 worker —
+/// the critical-path pause model actually shortens trace-bound pauses.
+#[test]
+fn fig_parallel_matches_golden_and_workers_shorten_pauses() {
+    let t = fig_parallel_report(&Params::quick());
+    assert_eq!(
+        format!("{t}\n"),
+        include_str!("golden/fig_parallel_quick.txt"),
+        "fig_parallel text output drifted from tests/golden/fig_parallel_quick.txt"
+    );
+    assert_eq!(
+        t.to_csv(),
+        include_str!("golden/fig_parallel_quick.csv"),
+        "fig_parallel CSV output drifted from tests/golden/fig_parallel_quick.csv"
+    );
+    let runs = fig_parallel_runs(&Params::quick());
+    for group in runs.chunks(PARALLEL_THREADS.len()) {
+        let kind = group[0].0;
+        let pause_at = |threads: usize| {
+            let (_, _, r) = group
+                .iter()
+                .find(|(_, t, _)| *t == threads)
+                .expect("worker count in sweep");
+            assert!(r.pauses.count > 0, "{kind}: no pauses at {threads} workers");
+            r.pauses.mean
+        };
+        assert!(
+            pause_at(8) < pause_at(1),
+            "{kind}: 8 workers should shorten the mean pause ({} vs {})",
+            pause_at(8),
+            pause_at(1)
+        );
+    }
 }

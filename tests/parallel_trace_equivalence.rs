@@ -1,0 +1,117 @@
+//! End-to-end guarantees of the parallel packet tracer:
+//!
+//! 1. `gc_threads: 1` is *byte-identical* to a default-built config — the
+//!    packet scheduler at one worker reproduces the sequential tracer
+//!    exactly (the figure goldens pin the same property at figure scale).
+//! 2. Any worker count is deterministic: two identical runs produce the
+//!    same simulated times, paging counters, pause log, and GC stats.
+//! 3. Every worker count keeps the heap sound: the sanitizer's `Full`
+//!    shadow re-trace (an independent sequential traversal) re-verifies
+//!    reachability after every collection and panics on any divergence,
+//!    so a clean run *is* the marks/forwards-identical oracle.
+
+use heap::SanitizeLevel;
+use proptest::prelude::*;
+use simulate::experiments::dynamic_pressure_config;
+use simulate::{run, CollectorKind, RunConfig};
+use workloads::spec;
+
+/// One small run under dynamic pressure, reduced to a byte-exact
+/// fingerprint of everything the simulation reports.
+fn fingerprint(
+    kind: CollectorKind,
+    gc_threads: usize,
+    sanitize: SanitizeLevel,
+    seed: u64,
+) -> String {
+    let scale = 0.02;
+    let mut config = dynamic_pressure_config(
+        kind,
+        (100 << 20) / 50,
+        (224 << 20) / 50,
+        (60 << 20) / 50,
+        scale,
+    );
+    config.gc_threads = gc_threads;
+    config.sanitize = sanitize;
+    let program = Box::new(spec("_202_jess").unwrap().program(scale, seed));
+    format!("{:?}", run(&config, program))
+}
+
+/// A calm (ample-memory) variant, covering the path where tracing never
+/// races eviction.
+fn calm_fingerprint(
+    kind: CollectorKind,
+    gc_threads: usize,
+    sanitize: SanitizeLevel,
+    seed: u64,
+) -> String {
+    let mut config = RunConfig::new(kind, 4 << 20, 64 << 20);
+    config.gc_threads = gc_threads;
+    config.sanitize = sanitize;
+    let program = Box::new(spec("_202_jess").unwrap().program(0.02, seed));
+    format!("{:?}", run(&config, program))
+}
+
+#[test]
+fn one_worker_is_byte_identical_to_the_default_config() {
+    for kind in CollectorKind::ALL {
+        let default = {
+            let mut config = dynamic_pressure_config(
+                kind,
+                (100 << 20) / 50,
+                (224 << 20) / 50,
+                (60 << 20) / 50,
+                0.02,
+            );
+            config.sanitize = SanitizeLevel::Off;
+            let program = Box::new(spec("_202_jess").unwrap().program(0.02, 42));
+            format!("{:?}", run(&config, program))
+        };
+        assert_eq!(
+            default,
+            fingerprint(kind, 1, SanitizeLevel::Off, 42),
+            "{kind}: --gc-threads 1 diverged from the default config"
+        );
+    }
+}
+
+#[test]
+fn every_worker_count_survives_the_shadow_retrace_oracle() {
+    // `Full` re-traces the whole heap sequentially after every collection
+    // and panics on any mark/forward mismatch — if the packet scheduler
+    // marked a different object set or lost a forward, this run aborts.
+    for kind in [
+        CollectorKind::Bc,
+        CollectorKind::SemiSpace,
+        CollectorKind::GenMs,
+    ] {
+        for k in [2, 4, 16] {
+            let _ = fingerprint(kind, k, SanitizeLevel::Full, 42);
+            let _ = calm_fingerprint(kind, k, SanitizeLevel::Full, 42);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized collectors, seeds, and worker counts: every parallel
+    /// run is deterministic (run twice, byte-identical) and passes the
+    /// shadow re-trace oracle.
+    #[test]
+    fn parallel_runs_are_deterministic_and_shadow_clean(
+        kind_idx in 0usize..9,
+        gc_threads in 1usize..=16,
+        seed in 1u64..=512,
+    ) {
+        let kind = CollectorKind::ALL[kind_idx];
+        let first = fingerprint(kind, gc_threads, SanitizeLevel::Full, seed);
+        let second = fingerprint(kind, gc_threads, SanitizeLevel::Full, seed);
+        prop_assert_eq!(
+            first, second,
+            "{} seed {} with {} workers: two identical runs diverged",
+            kind, seed, gc_threads
+        );
+    }
+}
